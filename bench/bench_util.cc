@@ -1,0 +1,26 @@
+#include "bench_util.h"
+
+namespace stemroot::bench {
+
+SamplerSet MakeStandardSamplers(double random_probability,
+                                bool rodinia_tuning) {
+  SamplerSet set;
+  set.Add(std::make_unique<baselines::RandomSampler>(random_probability));
+
+  baselines::PkaConfig pka;
+  pka.random_representative = rodinia_tuning;
+  set.Add(std::make_unique<baselines::PkaSampler>(pka));
+
+  baselines::SieveConfig sieve;
+  sieve.random_representative = rodinia_tuning;
+  // Sec. 5.1: Sieve's KDE clustering is turned off on the ML suite, where
+  // it oversamples and caps speedup at 2-5x.
+  sieve.use_kde = rodinia_tuning;
+  set.Add(std::make_unique<baselines::SieveSampler>(sieve));
+
+  set.Add(std::make_unique<baselines::PhotonSampler>());
+  set.Add(std::make_unique<core::StemRootSampler>());
+  return set;
+}
+
+}  // namespace stemroot::bench

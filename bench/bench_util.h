@@ -1,0 +1,54 @@
+/// \file
+/// Shared plumbing for the bench binaries: the standard sampler roster
+/// (Table 1's four methods + uniform random), result directories, and the
+/// experiment-wide default seeds/scales.
+///
+/// Every bench prints the paper-table layout to stdout and mirrors the raw
+/// series into bench_results/*.csv (like the paper artifact's per-figure
+/// CSVs).
+
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/photon.h"
+#include "baselines/pka.h"
+#include "baselines/random_sampler.h"
+#include "baselines/sieve.h"
+#include "core/sampler.h"
+
+namespace stemroot::bench {
+
+/// Master seed shared by all benches (reproducible end to end).
+inline constexpr uint64_t kSeed = 20251018;  // MICRO '25 week
+
+/// Where benches drop their CSVs.
+inline std::string ResultsDir() {
+  const std::string dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Owning container for a sampler roster.
+struct SamplerSet {
+  std::vector<std::unique_ptr<core::Sampler>> owned;
+  std::vector<const core::Sampler*> pointers;
+
+  void Add(std::unique_ptr<core::Sampler> sampler) {
+    pointers.push_back(sampler.get());
+    owned.push_back(std::move(sampler));
+  }
+};
+
+/// The paper's comparison roster for a suite (Sec. 5):
+/// Random(p), PKA, Sieve, Photon, STEM. Per Sec. 5.1 the evaluation uses
+/// the hand-tuned random-representative variants of PKA/Sieve on Rodinia
+/// (first-chronological fails catastrophically there) and disables
+/// Sieve's KDE on CASIO (it oversamples); `rodinia_tuning` selects that.
+SamplerSet MakeStandardSamplers(double random_probability,
+                                bool rodinia_tuning);
+
+}  // namespace stemroot::bench

@@ -1,0 +1,108 @@
+/// \file
+/// Extension bench (paper Sec. 7.3): combining kernel-level STEM+ROOT with
+/// intra-kernel (CTA-wave) sampling for workloads with few, long-running
+/// kernels -- the regime where kernel-level sampling alone buys little.
+/// Compares full simulation, kernel-level-only sampling, and the combined
+/// scheme on simulated cycles and estimation error.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "hw/hardware_model.h"
+#include "sim/intra_kernel.h"
+#include "workloads/context_model.h"
+
+using namespace stemroot;
+
+namespace {
+
+/// A few-calls / long-kernels workload: one mega-kernel type with two
+/// hidden contexts, tens of launches, dozens of CTA waves per launch.
+KernelTrace LongKernelTrace(uint64_t seed) {
+  KernelTrace trace("long_kernels");
+  const uint32_t k = trace.InternKernel("mega_kernel");
+  Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    KernelInvocation inv;
+    const bool heavy = i % 3 == 0;
+    inv.behavior = workloads::ComputeBoundBehavior(
+        static_cast<uint64_t>((heavy ? 1.6e9 : 8e8) *
+                              rng.NextLogNormal(0.0, 0.05)),
+        8 << 20);
+    inv.behavior.mem_fraction = heavy ? 0.02f : 0.01f;
+    inv.context_id = heavy ? 1 : 0;
+    inv.kernel_id = k;
+    inv.launch.grid_x = 46 * 40;  // ~10 waves per SM
+    inv.launch.block_x = 256;
+    trace.Add(inv);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: kernel-level + intra-kernel (wave) sampling "
+              "(Sec. 7.3) ===\n\n");
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  KernelTrace trace = LongKernelTrace(bench::kSeed);
+  gpu.ProfileTrace(trace, bench::kSeed);
+  const sim::SimConfig config =
+      sim::SimConfig::FromSpec(hw::GpuSpec::Rtx2080());
+
+  const sim::TraceSimResult full = sim::SimulateTraceFull(trace, config);
+  core::StemRootSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, bench::kSeed);
+  const sim::SampledSimResult kernel_only =
+      sim::SimulateSampled(trace, plan, config);
+  const sim::CombinedSimResult combined =
+      sim::SimulateSampledIntra(trace, plan, config);
+
+  auto error_of = [&](double estimate) {
+    return std::abs(estimate - full.total_cycles) / full.total_cycles *
+           100.0;
+  };
+  TextTable table({"Scheme", "Simulated Mcycles", "Estimate Mcycles",
+                   "Error (%)", "Speedup (x)"});
+  table.SetTitle(Format(
+      "60 launches x ~%zu waves each; full simulation = %.1f Mcycles",
+      static_cast<size_t>(10), full.total_cycles / 1e6));
+  table.AddRow({"full simulation", TextTable::Num(full.total_cycles / 1e6, 2),
+                TextTable::Num(full.total_cycles / 1e6, 2), "0.00", "1.00"});
+  table.AddRow({"kernel-level STEM",
+                TextTable::Num(kernel_only.simulated_cost_cycles / 1e6, 2),
+                TextTable::Num(kernel_only.estimated_total_cycles / 1e6, 2),
+                TextTable::Num(error_of(kernel_only.estimated_total_cycles),
+                               2),
+                TextTable::Num(full.total_cycles /
+                                   kernel_only.simulated_cost_cycles, 2)});
+  table.AddRow({"STEM + intra-kernel",
+                TextTable::Num(combined.simulated_cost_cycles / 1e6, 2),
+                TextTable::Num(combined.estimated_total_cycles / 1e6, 2),
+                TextTable::Num(error_of(combined.estimated_total_cycles), 2),
+                TextTable::Num(full.total_cycles /
+                                   combined.simulated_cost_cycles, 2)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("%zu of %zu sampled kernels used wave extrapolation.\n",
+              combined.kernels_wave_sampled, combined.kernels_simulated);
+
+  CsvWriter csv(bench::ResultsDir() + "/ext_intra_kernel.csv");
+  csv.WriteHeader({"scheme", "simulated_cycles", "estimate_cycles",
+                   "error_pct"});
+  csv.WriteRow({"full", Format("%.0f", full.total_cycles),
+                Format("%.0f", full.total_cycles), "0"});
+  csv.WriteRow({"kernel_level",
+                Format("%.0f", kernel_only.simulated_cost_cycles),
+                Format("%.0f", kernel_only.estimated_total_cycles),
+                Format("%.4f", error_of(kernel_only.estimated_total_cycles))});
+  csv.WriteRow({"combined", Format("%.0f", combined.simulated_cost_cycles),
+                Format("%.0f", combined.estimated_total_cycles),
+                Format("%.4f", error_of(combined.estimated_total_cycles))});
+  std::printf("raw series: %s/ext_intra_kernel.csv\n",
+              bench::ResultsDir().c_str());
+  return 0;
+}

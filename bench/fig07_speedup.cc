@@ -1,0 +1,47 @@
+/// \file
+/// Figure 7 reproduction: per-workload speedup of the four kernel-sampling
+/// methods (plus uniform random) on the Rodinia and CASIO suites.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/report.h"
+
+using namespace stemroot;
+
+int main() {
+  std::printf("=== Figure 7: speedup per workload (Rodinia + CASIO) ===\n\n");
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+
+  struct SuiteRun {
+    workloads::SuiteId suite;
+    double random_p;
+    bool rodinia_tuning;
+  };
+  const SuiteRun runs[] = {
+      {workloads::SuiteId::kRodinia, 0.10, true},
+      {workloads::SuiteId::kCasio, 0.001, false},
+  };
+
+  for (const SuiteRun& run : runs) {
+    bench::SamplerSet samplers =
+        bench::MakeStandardSamplers(run.random_p, run.rodinia_tuning);
+    eval::SuiteRunConfig config;
+    config.suite = run.suite;
+    config.reps = 10;
+    config.seed = bench::kSeed;
+    const eval::SuiteResults results =
+        eval::RunSuite(config, gpu, samplers.pointers);
+
+    std::printf("%s\n",
+                eval::FormatSuiteTable(
+                    results, std::string(workloads::SuiteName(run.suite)) +
+                                 " (speedup x / error %)")
+                    .c_str());
+    eval::WriteResultsCsv(results,
+                          bench::ResultsDir() + "/fig07_" +
+                              workloads::SuiteName(run.suite) + ".csv");
+  }
+  std::printf("raw series: %s/fig07_*.csv\n", bench::ResultsDir().c_str());
+  return 0;
+}

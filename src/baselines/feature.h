@@ -1,0 +1,23 @@
+/// \file
+/// Shared feature-engineering helpers for the baseline samplers:
+/// column z-normalization for PKA's metric matrix and the elbow rule PKA
+/// uses to choose k in its k-means sweep.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stemroot::baselines {
+
+/// Z-normalize each column of a row-major n x dim matrix in place.
+/// Zero-variance columns become all-zero. Throws on bad shape.
+void ZNormalizeColumns(std::span<double> matrix, size_t dim);
+
+/// Elbow rule over a k -> inertia curve (index 0 = k=1): the smallest k
+/// whose marginal inertia reduction, relative to the k=1 inertia, falls
+/// below `threshold`. Returns a value in [1, inertias.size()].
+uint32_t ElbowK(std::span<const double> inertias, double threshold = 0.02);
+
+}  // namespace stemroot::baselines

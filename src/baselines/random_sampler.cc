@@ -1,0 +1,40 @@
+#include "baselines/random_sampler.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/str.h"
+
+namespace stemroot::baselines {
+
+RandomSampler::RandomSampler(double probability)
+    : probability_(probability) {
+  if (!(probability > 0.0 && probability <= 1.0))
+    throw std::invalid_argument("RandomSampler: probability not in (0, 1]");
+}
+
+std::string RandomSampler::Name() const {
+  return Format("Random(%.3g%%)", probability_ * 100.0);
+}
+
+core::SamplingPlan RandomSampler::BuildPlan(const KernelTrace& trace,
+                                            uint64_t seed) const {
+  if (trace.Empty())
+    throw std::invalid_argument("RandomSampler: empty trace");
+  core::SamplingPlan plan;
+  plan.method = Name();
+  Rng rng(DeriveSeed(seed, 0x52414E44ULL));
+  const double weight = 1.0 / probability_;
+  for (uint32_t i = 0; i < trace.NumInvocations(); ++i)
+    if (rng.NextBool(probability_)) plan.entries.push_back({i, weight});
+  if (plan.entries.empty()) {
+    const uint32_t idx = static_cast<uint32_t>(
+        rng.NextBounded(trace.NumInvocations()));
+    plan.entries.push_back(
+        {idx, static_cast<double>(trace.NumInvocations())});
+  }
+  plan.num_clusters = 1;
+  return plan;
+}
+
+}  // namespace stemroot::baselines

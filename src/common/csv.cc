@@ -1,0 +1,108 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stemroot {
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out)
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+std::string CsvWriter::Quote(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << Quote(cells[i]);
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::Flush() { impl_->out.flush(); }
+
+CsvTable CsvTable::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CsvTable: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+CsvTable CsvTable::Parse(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&] {
+    end_cell();
+    table.rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // swallow; \n terminates the row
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) end_row();
+        break;
+      default:
+        cell += c;
+        row_has_content = true;
+    }
+  }
+  if (row_has_content || !cell.empty() || !row.empty()) end_row();
+  return table;
+}
+
+}  // namespace stemroot

@@ -1,0 +1,55 @@
+/// \file
+/// Minimal CSV reading/writing for experiment artifacts.
+///
+/// Every bench binary dumps its raw series as CSV next to its printed table
+/// (mirroring the paper's artifact layout, which ships per-figure CSVs), so
+/// the plots can be regenerated offline.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stemroot {
+
+/// Append-only CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Open (truncate) path for writing. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write one row of string cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: header row.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  /// Flush underlying stream.
+  void Flush();
+
+  /// Quote a cell per RFC 4180 when it contains a comma/quote/newline.
+  static std::string Quote(const std::string& cell);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Parsed CSV: rows of string cells. Handles quoted cells with embedded
+/// commas/newlines.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  /// Parse a whole file. Throws std::runtime_error if unreadable.
+  static CsvTable ReadFile(const std::string& path);
+
+  /// Parse from a string.
+  static CsvTable Parse(const std::string& text);
+};
+
+}  // namespace stemroot

@@ -1,0 +1,63 @@
+/// \file
+/// Fixed-bin histograms plus peak detection.
+///
+/// Execution-time histograms are the paper's central diagnostic (Fig. 1):
+/// multi-peak histograms signal a kernel used in several runtime contexts,
+/// wide single peaks signal memory-bound jitter. Histogram supports ASCII
+/// rendering (for the fig01 bench) and a smoothed-mode peak counter used by
+/// the workload validators and by tests that assert the generators really do
+/// produce the documented shapes.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stemroot {
+
+/// Equal-width histogram over [lo, hi] with a fixed number of bins.
+class Histogram {
+ public:
+  /// Build with explicit bounds. Throws if bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Build with bounds spanning the data (padded by half a bin so extremes
+  /// fall strictly inside). Throws on empty data or bins == 0.
+  static Histogram FromData(std::span<const double> values, size_t bins);
+
+  /// Insert one observation; values outside [lo, hi] clamp to edge bins.
+  void Add(double x);
+
+  size_t NumBins() const { return counts_.size(); }
+  double Lo() const { return lo_; }
+  double Hi() const { return hi_; }
+  double BinWidth() const { return width_; }
+  uint64_t Count(size_t bin) const { return counts_.at(bin); }
+  uint64_t TotalCount() const { return total_; }
+
+  /// Center of a bin.
+  double BinCenter(size_t bin) const;
+
+  /// Counts vector (bin order).
+  const std::vector<uint64_t>& Counts() const { return counts_; }
+
+  /// Number of local maxima after moving-average smoothing, ignoring modes
+  /// shorter than min_prominence_frac * max_count. This is the "how many
+  /// performance peaks does this kernel have" question from Fig. 1/2.
+  size_t CountPeaks(double min_prominence_frac = 0.05,
+                    size_t smooth_radius = 1) const;
+
+  /// Render a horizontal ASCII bar chart (one row per bin) of at most
+  /// max_width characters per bar; used by the fig01 bench and examples.
+  std::string Render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace stemroot

@@ -1,0 +1,76 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace stemroot {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+std::string VFormat(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed < 0) return "<format error>";
+  std::vector<char> buf(static_cast<size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args);
+  return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+namespace {
+void Emit(const char* prefix, const char* fmt, va_list args) {
+  const std::string msg = VFormat(fmt, args);
+  std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+}  // namespace
+
+void Inform(const char* fmt, ...) {
+  if (g_level < LogLevel::kInform) return;
+  va_list args;
+  va_start(args, fmt);
+  Emit("info: ", fmt, args);
+  va_end(args);
+}
+
+void Warn(const char* fmt, ...) {
+  if (g_level < LogLevel::kWarn) return;
+  va_list args;
+  va_start(args, fmt);
+  Emit("warn: ", fmt, args);
+  va_end(args);
+}
+
+void Debug(const char* fmt, ...) {
+  if (g_level < LogLevel::kDebug) return;
+  va_list args;
+  va_start(args, fmt);
+  Emit("debug: ", fmt, args);
+  va_end(args);
+}
+
+void Fatal(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  const std::string msg = VFormat(fmt, args);
+  va_end(args);
+  throw std::runtime_error("fatal: " + msg);
+}
+
+void Panic(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  const std::string msg = VFormat(fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "panic: %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace stemroot

@@ -1,0 +1,45 @@
+/// \file
+/// Leveled logging with the gem5-style fatal/panic distinction.
+///
+/// - Fatal(...)  : user error (bad configuration / arguments); throws
+///                 std::runtime_error so callers and tests can recover.
+/// - Panic(...)  : internal invariant violation (a library bug); aborts.
+/// - Warn/Inform : status messages, never stop execution.
+///
+/// The global level filters Inform/Warn output; fatal/panic always act.
+
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace stemroot {
+
+/// Verbosity levels, increasing detail.
+enum class LogLevel { kSilent = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/// Set the process-global verbosity (default kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style status message at kInform level.
+void Inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style warning at kWarn level.
+void Warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style debug message at kDebug level.
+void Debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// User-caused error: format the message and throw std::runtime_error.
+[[noreturn]] void Fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Internal bug: print to stderr and abort().
+[[noreturn]] void Panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Format helper shared by the above (vsnprintf into a std::string).
+std::string VFormat(const char* fmt, va_list args);
+
+}  // namespace stemroot

@@ -1,0 +1,77 @@
+#include "common/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace stemroot {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = VFormat(fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' ||
+                   s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanCount(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  return Format("%.1f%s", v, suffix);
+}
+
+std::string HumanDuration(double microseconds) {
+  double v = microseconds;
+  if (v < 1e3) return Format("%.1fus", v);
+  v /= 1e3;
+  if (v < 1e3) return Format("%.1fms", v);
+  v /= 1e3;
+  if (v < 60) return Format("%.2fs", v);
+  v /= 60;
+  if (v < 60) return Format("%.1fmin", v);
+  v /= 60;
+  if (v < 48) return Format("%.1fh", v);
+  return Format("%.1fdays", v / 24);
+}
+
+}  // namespace stemroot

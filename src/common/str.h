@@ -1,0 +1,31 @@
+/// \file
+/// Small string helpers (formatting, splitting) shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stemroot {
+
+/// printf-style std::string formatting.
+std::string Format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; empty fields preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if s starts with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable quantity with k/M/G suffix (e.g. 11599870 -> "11.6M").
+std::string HumanCount(double v);
+
+/// Human-readable duration from microseconds (us/ms/s/min/h/days).
+std::string HumanDuration(double microseconds);
+
+}  // namespace stemroot

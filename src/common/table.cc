@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stemroot {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  if (std::isnan(v)) return "N/A";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size())
+        line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += render_row(headers_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace stemroot

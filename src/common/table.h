@@ -1,0 +1,39 @@
+/// \file
+/// Aligned plain-text tables for bench output.
+///
+/// Each bench binary prints the same rows the paper's tables report; this
+/// helper keeps that output aligned and diff-friendly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stemroot {
+
+/// Column-aligned text table with an optional title and header separator.
+class TextTable {
+ public:
+  /// Create with column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Optional title printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Add a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows: formats doubles with the given
+  /// precision. "nan" renders as "N/A".
+  static std::string Num(double v, int precision = 2);
+
+  /// Render with single-space-padded columns and a dashed header rule.
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stemroot

@@ -1,0 +1,64 @@
+#include "core/estimator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stemroot::core {
+
+namespace {
+
+/// Shared accumulator: sums of weight*value per metric plus total weight.
+MetricAggregate Accumulate(
+    std::span<const KernelMetrics> per_invocation,
+    const std::vector<SampleEntry>& entries) {
+  MetricAggregate agg;
+  double total_weight = 0.0;
+  for (const SampleEntry& e : entries) {
+    if (e.invocation >= per_invocation.size())
+      throw std::out_of_range("AggregateSampled: invocation out of range");
+    const KernelMetrics& m = per_invocation[e.invocation];
+    for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+      agg.values[i] += e.weight * m.Get(i);
+    total_weight += e.weight;
+  }
+  if (total_weight > 0.0) {
+    for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+      if (KernelMetrics::IsRate(i)) agg.values[i] /= total_weight;
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::array<double, KernelMetrics::kCount> MetricAggregate::RelativeError(
+    const MetricAggregate& estimate, const MetricAggregate& reference) {
+  std::array<double, KernelMetrics::kCount> err{};
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i) {
+    const double diff = std::abs(estimate.values[i] - reference.values[i]);
+    if (KernelMetrics::IsRate(i)) {
+      err[i] = diff;  // already in [0, 1]
+    } else {
+      err[i] = reference.values[i] != 0.0
+                   ? diff / std::abs(reference.values[i])
+                   : diff;
+    }
+  }
+  return err;
+}
+
+MetricAggregate AggregateSampled(
+    const SamplingPlan& plan,
+    std::span<const KernelMetrics> per_invocation) {
+  return Accumulate(per_invocation, plan.entries);
+}
+
+MetricAggregate AggregateFull(
+    std::span<const KernelMetrics> per_invocation) {
+  std::vector<SampleEntry> all;
+  all.reserve(per_invocation.size());
+  for (uint32_t i = 0; i < per_invocation.size(); ++i)
+    all.push_back({i, 1.0});
+  return Accumulate(per_invocation, all);
+}
+
+}  // namespace stemroot::core

@@ -1,0 +1,40 @@
+/// \file
+/// Weighted-sum extrapolation of sampled results (paper Sec. 3.1, 3.5 and
+/// the microarchitectural-metric validation of Sec. 5.5).
+///
+/// Count-like metrics (transactions, FP ops) extrapolate as weighted sums;
+/// rate-like metrics (hit rates, efficiencies, occupancy) extrapolate as
+/// weighted means. The same machinery computes the full-workload reference
+/// (every invocation, weight 1) for comparison.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/plan.h"
+#include "trace/kernel.h"
+
+namespace stemroot::core {
+
+/// Workload-level aggregate of the 13 microarchitectural metrics.
+struct MetricAggregate {
+  /// For count metrics: the extrapolated total. For rate metrics: the
+  /// weighted mean. Indexed like KernelMetrics::Get.
+  std::array<double, KernelMetrics::kCount> values{};
+
+  /// Relative difference |a - b| / |b| per metric (b = reference). Rate
+  /// metrics use absolute difference (they are already normalized).
+  static std::array<double, KernelMetrics::kCount> RelativeError(
+      const MetricAggregate& estimate, const MetricAggregate& reference);
+};
+
+/// Aggregate over a sampled plan: per_invocation[i] are the metrics of
+/// trace invocation i. Throws std::out_of_range on bad plan indices.
+MetricAggregate AggregateSampled(const SamplingPlan& plan,
+                                 std::span<const KernelMetrics> per_invocation);
+
+/// Aggregate over the full workload (weight 1 everywhere).
+MetricAggregate AggregateFull(std::span<const KernelMetrics> per_invocation);
+
+}  // namespace stemroot::core

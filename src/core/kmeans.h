@@ -1,0 +1,38 @@
+/// \file
+/// k-means clustering: a fast 1-D specialization (ROOT clusters on scalar
+/// execution times) and a general d-dimensional version (PKA clusters on
+/// 12-dimensional feature vectors).
+///
+/// Both use deterministic quantile/maximin seeding and Lloyd iterations,
+/// so results are reproducible without an RNG.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stemroot::core {
+
+/// Assignment + centers of one clustering.
+struct KmeansResult {
+  std::vector<uint32_t> assignment;  ///< per-point cluster index in [0, k)
+  std::vector<double> centers;       ///< 1-D: k centers; d-D: k*d row-major
+  uint32_t k = 0;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centers
+};
+
+/// 1-D k-means over scalar values. Deterministic: centers seeded at the
+/// (i + 0.5)/k quantiles. Empty clusters are re-seeded at the point
+/// farthest from its center. Throws for k == 0 or empty input; if the
+/// input has fewer distinct values than k the result may have empty
+/// clusters (callers must check).
+KmeansResult Kmeans1D(std::span<const double> values, uint32_t k,
+                      uint32_t max_iters = 50);
+
+/// General d-dimensional k-means (row-major points, n x d). Deterministic
+/// maximin ("farthest point") seeding from the data centroid.
+KmeansResult KmeansNd(std::span<const double> points, size_t dim, uint32_t k,
+                      uint32_t max_iters = 50);
+
+}  // namespace stemroot::core

@@ -1,0 +1,75 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stemroot::core {
+
+std::vector<uint32_t> SamplingPlan::DistinctInvocations() const {
+  std::vector<uint32_t> distinct;
+  distinct.reserve(entries.size());
+  for (const SampleEntry& e : entries) distinct.push_back(e.invocation);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  return distinct;
+}
+
+double SamplingPlan::EstimateTotalUs(
+    std::span<const double> durations_us) const {
+  double total = 0.0;
+  for (const SampleEntry& e : entries) {
+    if (e.invocation >= durations_us.size())
+      throw std::out_of_range("SamplingPlan: invocation index out of range");
+    total += e.weight * durations_us[e.invocation];
+  }
+  return total;
+}
+
+double SamplingPlan::EstimateTotalUs(const KernelTrace& trace) const {
+  double total = 0.0;
+  for (const SampleEntry& e : entries) {
+    if (e.invocation >= trace.NumInvocations())
+      throw std::out_of_range("SamplingPlan: invocation index out of range");
+    total += e.weight * trace.At(e.invocation).duration_us;
+  }
+  return total;
+}
+
+double SamplingPlan::SampledCostUs(
+    std::span<const double> durations_us) const {
+  double cost = 0.0;
+  for (uint32_t idx : DistinctInvocations()) {
+    if (idx >= durations_us.size())
+      throw std::out_of_range("SamplingPlan: invocation index out of range");
+    cost += durations_us[idx];
+  }
+  return cost;
+}
+
+double SamplingPlan::SampledCostUs(const KernelTrace& trace) const {
+  double cost = 0.0;
+  for (uint32_t idx : DistinctInvocations()) {
+    if (idx >= trace.NumInvocations())
+      throw std::out_of_range("SamplingPlan: invocation index out of range");
+    cost += trace.At(idx).duration_us;
+  }
+  return cost;
+}
+
+double SamplingPlan::TotalWeight() const {
+  double total = 0.0;
+  for (const SampleEntry& e : entries) total += e.weight;
+  return total;
+}
+
+void SamplingPlan::Validate(size_t num_invocations) const {
+  for (const SampleEntry& e : entries) {
+    if (e.invocation >= num_invocations)
+      throw std::out_of_range("SamplingPlan: invocation index out of range");
+    if (e.weight <= 0.0)
+      throw std::out_of_range("SamplingPlan: non-positive weight");
+  }
+}
+
+}  // namespace stemroot::core

@@ -1,0 +1,61 @@
+/// \file
+/// Sampling plans: the output every sampler produces and every evaluator
+/// consumes (paper Fig. 5's "sampling information").
+///
+/// A plan is a list of (invocation index, weight) entries. The weight is
+/// the number of workload invocations the sample represents; estimating
+/// any total quantity is then the weighted sum over entries (Sec. 3.1,
+/// 3.5). Sampling with replacement may repeat an index; the repeated entry
+/// carries its own weight, while simulation cost counts each distinct
+/// invocation once (a simulator caches repeated kernels).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace stemroot::core {
+
+/// One sampled invocation and the population mass it represents.
+struct SampleEntry {
+  uint32_t invocation = 0;  ///< index into the trace timeline
+  double weight = 1.0;      ///< invocations represented (N_i / m_i)
+};
+
+/// A complete sampling decision for one workload.
+struct SamplingPlan {
+  std::string method;                ///< sampler name, for reporting
+  std::vector<SampleEntry> entries;
+  /// Diagnostics filled by the sampler when available.
+  size_t num_clusters = 0;
+  double theoretical_error = 0.0;    ///< STEM bound; 0 if not applicable
+
+  size_t NumSamples() const { return entries.size(); }
+
+  /// Distinct invocation indices, sorted (simulation work list).
+  std::vector<uint32_t> DistinctInvocations() const;
+
+  /// Weighted-sum estimate of the total execution time given a duration
+  /// per invocation (microseconds). Throws if an entry is out of range.
+  double EstimateTotalUs(std::span<const double> durations_us) const;
+
+  /// Same, reading durations from the trace.
+  double EstimateTotalUs(const KernelTrace& trace) const;
+
+  /// Cost of the sampled simulation: sum of durations over *distinct*
+  /// sampled invocations (microseconds).
+  double SampledCostUs(std::span<const double> durations_us) const;
+  double SampledCostUs(const KernelTrace& trace) const;
+
+  /// Total represented mass (should approximate the workload size).
+  double TotalWeight() const;
+
+  /// Validate entries against a trace size; throws std::out_of_range.
+  void Validate(size_t num_invocations) const;
+};
+
+}  // namespace stemroot::core

@@ -1,0 +1,72 @@
+#include "core/sampler.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/kkt.h"
+
+namespace stemroot::core {
+
+StemRootSampler::StemRootSampler(StemRootConfig config)
+    : config_(std::move(config)) {
+  config_.root.Validate();
+}
+
+SamplingPlan StemRootSampler::BuildPlan(const KernelTrace& trace,
+                                        uint64_t seed) const {
+  if (trace.Empty())
+    throw std::invalid_argument("StemRootSampler: empty trace");
+
+  // Step 1+2: group by kernel name, ROOT-cluster each group.
+  std::vector<RootCluster> clusters;
+  for (const auto& group : trace.GroupByKernel()) {
+    if (group.empty()) continue;
+    std::vector<double> durations;
+    durations.reserve(group.size());
+    for (uint32_t idx : group) {
+      const double d = trace.At(idx).duration_us;
+      if (d <= 0.0)
+        throw std::invalid_argument(
+            "StemRootSampler: trace has unprofiled (non-positive) "
+            "durations");
+      durations.push_back(d);
+    }
+    auto kernel_clusters = RootCluster1D(durations, group, config_.root);
+    for (auto& c : kernel_clusters) clusters.push_back(std::move(c));
+  }
+
+  // Step 3: joint sample sizing across every final cluster (Eq. 6).
+  std::vector<ClusterStats> stats;
+  stats.reserve(clusters.size());
+  for (const RootCluster& c : clusters) stats.push_back(c.stats);
+  const KktSolution solution = SolveKkt(stats, config_.root.stem);
+
+  // Step 4: random sampling with replacement inside each cluster.
+  SamplingPlan plan;
+  plan.method = Name();
+  plan.num_clusters = clusters.size();
+  plan.theoretical_error = solution.theoretical_error;
+  Rng rng(DeriveSeed(seed, 0x57454D21ULL));
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const RootCluster& cluster = clusters[i];
+    const uint64_t m = solution.sample_sizes[i];
+    const uint64_t n = cluster.members.size();
+    if (m == 0 || n == 0) continue;
+    if (m >= n) {
+      // Exhaustive cluster: simulate every member with weight 1.
+      for (uint32_t idx : cluster.members)
+        plan.entries.push_back({idx, 1.0});
+      continue;
+    }
+    const double weight =
+        static_cast<double>(n) / static_cast<double>(m);
+    for (uint64_t draw = 0; draw < m; ++draw) {
+      const uint32_t idx =
+          cluster.members[rng.NextBounded(n)];
+      plan.entries.push_back({idx, weight});
+    }
+  }
+  return plan;
+}
+
+}  // namespace stemroot::core

@@ -1,0 +1,64 @@
+/// \file
+/// Sampler interface + the STEM+ROOT sampler (the paper's contribution).
+///
+/// Pipeline (paper Fig. 3/5): group invocations by kernel name -> ROOT
+/// hierarchically clusters each name's execution-time population -> STEM's
+/// joint KKT solver sizes samples across ALL final clusters at once
+/// (Sec. 3.3 optimizes across clusters from different kernels as well as
+/// peaks of the same kernel) -> random sampling with replacement inside
+/// each cluster (i.i.d. for the CLT, Sec. 3.5), weighting each draw by
+/// N_i / m_i.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/plan.h"
+#include "core/root.h"
+#include "trace/trace.h"
+
+namespace stemroot::core {
+
+/// Abstract kernel-level sampler. Implementations: StemRootSampler here,
+/// plus the baselines in src/baselines (PKA, Sieve, Photon, Random).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Display name used in reports ("STEM", "PKA", ...).
+  virtual std::string Name() const = 0;
+
+  /// True when BuildPlan ignores the seed (first-chronological selection);
+  /// evaluators then skip repeated runs.
+  virtual bool Deterministic() const { return false; }
+
+  /// Build a sampling plan for a profiled trace (durations must be
+  /// filled). `seed` feeds any randomized choices so repeated experiment
+  /// runs (the paper averages 10) differ.
+  virtual SamplingPlan BuildPlan(const KernelTrace& trace,
+                                 uint64_t seed) const = 0;
+};
+
+/// STEM+ROOT configuration.
+struct StemRootConfig {
+  RootConfig root;  ///< includes the StemConfig (epsilon, confidence)
+};
+
+/// The proposed sampler.
+class StemRootSampler : public Sampler {
+ public:
+  explicit StemRootSampler(StemRootConfig config = {});
+
+  std::string Name() const override { return "STEM"; }
+  SamplingPlan BuildPlan(const KernelTrace& trace,
+                         uint64_t seed) const override;
+
+  const StemRootConfig& Config() const { return config_; }
+
+ private:
+  StemRootConfig config_;
+};
+
+}  // namespace stemroot::core

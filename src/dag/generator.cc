@@ -1,0 +1,277 @@
+#include "dag/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "workloads/context_model.h"
+
+namespace stemroot::dag {
+
+void MultiGpuTrainingConfig::Validate() const {
+  if (devices == 0 || layers == 0 || microbatches == 0 || steps == 0)
+    throw std::invalid_argument("MultiGpuTrainingConfig: zero dimension");
+  if (work <= 0.0)
+    throw std::invalid_argument("MultiGpuTrainingConfig: work <= 0");
+  if (parallelism == Parallelism::kPipeline && layers < devices)
+    throw std::invalid_argument(
+        "MultiGpuTrainingConfig: pipeline needs layers >= devices");
+}
+
+namespace {
+
+/// Per-op behaviour archetypes with hidden contexts, shared with the
+/// single-GPU suites' phenomenology.
+struct OpTemplates {
+  // Forward layer: compute bound; two contexts (early / late layers
+  // differ in activation locality).
+  KernelBehavior fwd[2];
+  // Backward layer: ~2x forward work, same context structure.
+  KernelBehavior bwd[2];
+  // Optimizer: streaming memory bound, one context.
+  KernelBehavior opt;
+
+  static OpTemplates Make(double work) {
+    OpTemplates t;
+    t.fwd[0] = workloads::ComputeBoundBehavior(
+        static_cast<uint64_t>(1.1e9 * work), 24u << 20);
+    t.fwd[0].fp16_fraction = 0.6f;
+    t.fwd[0].fp32_fraction = 0.2f;
+    t.fwd[1] = t.fwd[0];
+    // Deeper layers: wider FFN (more work) on colder activations.
+    t.fwd[1].instructions = static_cast<uint64_t>(1.8e9 * work);
+    t.fwd[1].locality = 0.88f;
+    t.fwd[1].mem_fraction = 0.03f;
+    t.fwd[1].input_scale = 1.6f;
+
+    for (int c = 0; c < 2; ++c) {
+      t.bwd[c] = t.fwd[c];
+      t.bwd[c].instructions *= 2;
+    }
+    t.opt = workloads::MemoryBoundBehavior(
+        static_cast<uint64_t>(2.0e8 * work), 300u << 20);
+    t.opt.locality = 0.05f;
+    t.opt.coalescing = 0.98f;
+    t.opt.mem_fraction = 0.5f;
+    return t;
+  }
+};
+
+LaunchConfig TrainingLaunch() {
+  LaunchConfig launch;
+  launch.grid_x = 256;
+  launch.block_x = 256;
+  return launch;
+}
+
+/// Per-invocation jitter on a behaviour template (mirrors ContextSpec
+/// jitter in the single-GPU generator).
+KernelBehavior Jitter(const KernelBehavior& base, Rng& rng) {
+  KernelBehavior b = base;
+  const double scale = rng.NextLogNormal(-0.5 * 0.02 * 0.02, 0.02);
+  b.instructions = std::max<uint64_t>(
+      1024, static_cast<uint64_t>(std::llround(
+                static_cast<double>(base.instructions) * scale)));
+  b.input_scale = base.input_scale * static_cast<float>(scale);
+  return b;
+}
+
+DagWorkload DataParallel(const MultiGpuTrainingConfig& config,
+                         uint64_t seed) {
+  DagWorkload workload("dp_training", config.devices);
+  const OpTemplates templates = OpTemplates::Make(config.work);
+  Rng rng(DeriveSeed(seed, HashString("dp")));
+
+  const uint32_t fwd_id = workload.InternKernel("layer_forward");
+  const uint32_t bwd_id = workload.InternKernel("layer_backward");
+  const uint32_t allreduce_id = workload.InternKernel("grad_allreduce");
+  const uint32_t opt_id = workload.InternKernel("adam_update");
+
+  // Per device: the index of its most recent op in the current step.
+  std::vector<uint32_t> last_op(config.devices);
+  uint32_t last_allreduce = 0;
+  bool first_step = true;
+
+  for (uint32_t step = 0; step < config.steps; ++step) {
+    std::vector<uint32_t> device_tail(config.devices);
+    for (uint32_t device = 0; device < config.devices; ++device) {
+      uint32_t prev = first_step ? 0u : last_allreduce;
+      bool has_prev = !first_step;
+      // Forward then backward over the layer stack.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (uint32_t layer = 0; layer < config.layers; ++layer) {
+          DagOp op;
+          op.kind = OpKind::kCompute;
+          op.device = device;
+          const uint32_t ctx = layer < config.layers / 2 ? 0u : 1u;
+          op.context_id = ctx;
+          op.kernel_id = pass == 0 ? fwd_id : bwd_id;
+          op.behavior = Jitter(
+              pass == 0 ? templates.fwd[ctx] : templates.bwd[ctx], rng);
+          op.behavior.Validate();
+          if (has_prev) op.deps.push_back(prev);
+          prev = workload.Add(op);
+          has_prev = true;
+        }
+      }
+      device_tail[device] = prev;
+    }
+    // Gradient all-reduce: depends on every device's backward tail.
+    DagOp allreduce;
+    allreduce.kind = OpKind::kCollective;
+    allreduce.kernel_id = allreduce_id;
+    allreduce.comm_bytes = config.gradient_bytes;
+    allreduce.deps.assign(device_tail.begin(), device_tail.end());
+    last_allreduce = workload.Add(allreduce);
+
+    // Optimizer per device.
+    for (uint32_t device = 0; device < config.devices; ++device) {
+      DagOp op;
+      op.kind = OpKind::kCompute;
+      op.device = device;
+      op.kernel_id = opt_id;
+      op.behavior = Jitter(templates.opt, rng);
+      op.behavior.Validate();
+      op.deps.push_back(last_allreduce);
+      last_op[device] = workload.Add(op);
+    }
+    // Next step's forwards wait for this step's optimizer via the
+    // device-serialization resource; add the edge explicitly through the
+    // all-reduce dependency of the next iteration.
+    last_allreduce = last_op.back();
+    first_step = false;
+  }
+  return workload;
+}
+
+DagWorkload PipelineParallel(const MultiGpuTrainingConfig& config,
+                             uint64_t seed) {
+  DagWorkload workload("pp_training", config.devices);
+  const OpTemplates templates = OpTemplates::Make(config.work);
+  Rng rng(DeriveSeed(seed, HashString("pp")));
+
+  const uint32_t fwd_id = workload.InternKernel("stage_forward");
+  const uint32_t bwd_id = workload.InternKernel("stage_backward");
+  const uint32_t send_id = workload.InternKernel("activation_send");
+  const uint32_t opt_id = workload.InternKernel("adam_update");
+
+  const uint32_t stages = config.devices;
+  for (uint32_t step = 0; step < config.steps; ++step) {
+    // fwd_op[mb][stage] holds the forward op index of that cell.
+    std::vector<std::vector<uint32_t>> fwd_op(
+        config.microbatches, std::vector<uint32_t>(stages));
+    std::vector<std::vector<uint32_t>> bwd_op = fwd_op;
+
+    // Forward wavefront: microbatch mb at stage s depends on (mb, s-1)
+    // via a P2P send and on (mb-1, s) via device serialization.
+    for (uint32_t mb = 0; mb < config.microbatches; ++mb) {
+      for (uint32_t stage = 0; stage < stages; ++stage) {
+        uint32_t input_dep = UINT32_MAX;
+        if (stage > 0) {
+          DagOp send;
+          send.kind = OpKind::kPointToPoint;
+          send.device = stage - 1;
+          send.peer_device = stage;
+          send.kernel_id = send_id;
+          send.comm_bytes = config.activation_bytes;
+          send.deps.push_back(fwd_op[mb][stage - 1]);
+          input_dep = workload.Add(send);
+        }
+        DagOp op;
+        op.kind = OpKind::kCompute;
+        op.device = stage;
+        op.kernel_id = fwd_id;
+        const uint32_t ctx = stage < stages / 2 ? 0u : 1u;
+        op.context_id = ctx;
+        op.behavior = Jitter(templates.fwd[ctx], rng);
+        op.behavior.Validate();
+        if (input_dep != UINT32_MAX) op.deps.push_back(input_dep);
+        fwd_op[mb][stage] = workload.Add(op);
+      }
+    }
+    // Backward wavefront in reverse stage order.
+    for (uint32_t mb = 0; mb < config.microbatches; ++mb) {
+      for (uint32_t rstage = 0; rstage < stages; ++rstage) {
+        const uint32_t stage = stages - 1 - rstage;
+        DagOp op;
+        op.kind = OpKind::kCompute;
+        op.device = stage;
+        op.kernel_id = bwd_id;
+        const uint32_t ctx = stage < stages / 2 ? 0u : 1u;
+        op.context_id = ctx;
+        op.behavior = Jitter(templates.bwd[ctx], rng);
+        op.behavior.Validate();
+        op.deps.push_back(fwd_op[mb][stage]);
+        if (stage + 1 < stages) {
+          DagOp send;
+          send.kind = OpKind::kPointToPoint;
+          send.device = stage + 1;
+          send.peer_device = stage;
+          send.kernel_id = send_id;
+          send.comm_bytes = config.activation_bytes;
+          send.deps.push_back(bwd_op[mb][stage + 1]);
+          op.deps.push_back(workload.Add(send));
+        }
+        bwd_op[mb][stage] = workload.Add(op);
+      }
+    }
+    // Per-stage optimizer after the last microbatch's backward.
+    for (uint32_t stage = 0; stage < stages; ++stage) {
+      DagOp op;
+      op.kind = OpKind::kCompute;
+      op.device = stage;
+      op.kernel_id = opt_id;
+      op.behavior = Jitter(templates.opt, rng);
+      op.behavior.Validate();
+      op.deps.push_back(bwd_op[config.microbatches - 1][stage]);
+      workload.Add(op);
+    }
+  }
+  return workload;
+}
+
+}  // namespace
+
+DagWorkload MakeMultiGpuTraining(const MultiGpuTrainingConfig& config,
+                                 uint64_t seed) {
+  config.Validate();
+  return config.parallelism == Parallelism::kData
+             ? DataParallel(config, seed)
+             : PipelineParallel(config, seed);
+}
+
+void ProfileDag(DagWorkload& workload, const hw::HardwareModel& gpu,
+                const NetworkModel& network, uint64_t run_seed) {
+  network.Validate();
+  const LaunchConfig launch = TrainingLaunch();
+  for (uint32_t i = 0; i < workload.NumOps(); ++i) {
+    DagOp& op = workload.At(i);
+    Rng rng(DeriveSeed(run_seed, i));
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        KernelInvocation inv;
+        inv.behavior = op.behavior;
+        inv.launch = launch;
+        inv.seq = i;
+        op.duration_us = gpu.SampleTimeUs(inv, run_seed);
+        break;
+      }
+      case OpKind::kCollective:
+        op.duration_us =
+            network.CollectiveTimeUs(op.comm_bytes, workload.NumDevices()) *
+            rng.NextLogNormal(-0.5 * network.jitter_sigma *
+                                  network.jitter_sigma,
+                              network.jitter_sigma);
+        break;
+      case OpKind::kPointToPoint:
+        op.duration_us =
+            network.P2pTimeUs(op.comm_bytes) *
+            rng.NextLogNormal(-0.5 * network.jitter_sigma *
+                                  network.jitter_sigma,
+                              network.jitter_sigma);
+        break;
+    }
+  }
+}
+
+}  // namespace stemroot::dag

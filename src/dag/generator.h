@@ -1,0 +1,57 @@
+/// \file
+/// Multi-GPU training workload generator: emits Chakra-ET-style DAGs for
+/// data-parallel and pipeline-parallel LLM training, then profiles compute
+/// ops on a hardware model and communication ops on a network model.
+///
+/// Structure (per training step):
+///  - data parallel: every device runs fwd+bwd over all layers on its
+///    shard, then a gradient all-reduce synchronizes, then the optimizer
+///    step runs per device;
+///  - pipeline parallel: layers are partitioned into stages (one per
+///    device); microbatches flow through stages with P2P activations
+///    forward and gradients backward, then per-stage optimizer steps.
+///
+/// Compute ops reuse the single-GPU ML kernel vocabulary's behaviour
+/// archetypes, including multiple hidden contexts per kernel so STEM-DAG
+/// has real heterogeneity to discover.
+
+#pragma once
+
+#include <cstdint>
+
+#include "dag/dag.h"
+#include "dag/network.h"
+#include "hw/hardware_model.h"
+
+namespace stemroot::dag {
+
+/// Parallelism strategies.
+enum class Parallelism { kData, kPipeline };
+
+/// Generator knobs.
+struct MultiGpuTrainingConfig {
+  uint32_t devices = 4;
+  uint32_t layers = 16;
+  uint32_t microbatches = 8;
+  uint32_t steps = 30;
+  Parallelism parallelism = Parallelism::kData;
+  /// Per-device gradient payload for the all-reduce (data parallel).
+  uint64_t gradient_bytes = 700ull << 20;
+  /// Activation payload for inter-stage P2P (pipeline parallel).
+  uint64_t activation_bytes = 24ull << 20;
+  /// Scales per-op compute work.
+  double work = 1.0;
+
+  void Validate() const;
+};
+
+/// Build the DAG (durations unset).
+DagWorkload MakeMultiGpuTraining(const MultiGpuTrainingConfig& config,
+                                 uint64_t seed);
+
+/// Fill durations: compute ops on the hardware model (with its jitter),
+/// communication ops on the network model (with congestion jitter).
+void ProfileDag(DagWorkload& workload, const hw::HardwareModel& gpu,
+                const NetworkModel& network, uint64_t run_seed);
+
+}  // namespace stemroot::dag

@@ -1,0 +1,29 @@
+#include "dag/network.h"
+
+#include <stdexcept>
+
+namespace stemroot::dag {
+
+void NetworkModel::Validate() const {
+  if (link_gbps <= 0.0)
+    throw std::invalid_argument("NetworkModel: link_gbps <= 0");
+  if (latency_us < 0.0 || jitter_sigma < 0.0)
+    throw std::invalid_argument("NetworkModel: negative latency/jitter");
+}
+
+double NetworkModel::CollectiveTimeUs(uint64_t bytes,
+                                      uint32_t devices) const {
+  if (devices == 0)
+    throw std::invalid_argument("NetworkModel: zero devices");
+  if (devices == 1) return latency_us;
+  const double n = static_cast<double>(devices);
+  const double wire_bytes = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
+  // GB/s == bytes/us * 1e3.
+  return wire_bytes / (link_gbps * 1e3) + 2.0 * (n - 1.0) * latency_us;
+}
+
+double NetworkModel::P2pTimeUs(uint64_t bytes) const {
+  return static_cast<double>(bytes) / (link_gbps * 1e3) + latency_us;
+}
+
+}  // namespace stemroot::dag

@@ -1,0 +1,33 @@
+/// \file
+/// Interconnect timing model for multi-device workloads: ring all-reduce
+/// style collectives plus point-to-point transfers over NVLink-class
+/// links. Stands in for the network portion of the multi-GPU simulators
+/// the paper cites (ASTRA-sim / TrioSim).
+
+#pragma once
+
+#include <cstdint>
+
+namespace stemroot::dag {
+
+/// Link parameters.
+struct NetworkModel {
+  /// Per-direction link bandwidth, GB/s (NVLink 4 ~ 450 GB/s aggregate).
+  double link_gbps = 200.0;
+  /// Per-message latency (software + switch), microseconds.
+  double latency_us = 8.0;
+  /// Multiplicative jitter sigma for communication times (congestion).
+  double jitter_sigma = 0.08;
+
+  /// Ring all-reduce time across `devices` for `bytes` of gradients:
+  /// 2 (n-1)/n * bytes over the link, plus 2 (n-1) latency hops.
+  double CollectiveTimeUs(uint64_t bytes, uint32_t devices) const;
+
+  /// Point-to-point transfer time.
+  double P2pTimeUs(uint64_t bytes) const;
+
+  /// Validate; throws std::invalid_argument.
+  void Validate() const;
+};
+
+}  // namespace stemroot::dag

@@ -1,0 +1,122 @@
+#include "dag/sampler.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/kkt.h"
+
+namespace stemroot::dag {
+
+StemDagSampler::StemDagSampler(core::RootConfig config)
+    : config_(std::move(config)) {
+  config_.Validate();
+}
+
+DagSamplingPlan StemDagSampler::BuildPlan(const DagWorkload& workload,
+                                          uint64_t seed) const {
+  if (workload.NumOps() == 0)
+    throw std::invalid_argument("StemDagSampler: empty workload");
+
+  DagSamplingPlan plan;
+  plan.flat.method = "STEM-DAG";
+  plan.cluster_of_op.assign(workload.NumOps(), 0);
+
+  // Group by op type, ROOT-cluster each group's durations.
+  struct FinalCluster {
+    std::vector<uint32_t> members;
+    core::ClusterStats stats;
+  };
+  std::vector<FinalCluster> clusters;
+  for (const auto& group : workload.GroupByKernel()) {
+    if (group.empty()) continue;
+    std::vector<double> durations;
+    durations.reserve(group.size());
+    for (uint32_t idx : group) {
+      const double d = workload.At(idx).duration_us;
+      if (d <= 0.0)
+        throw std::invalid_argument("StemDagSampler: unprofiled op");
+      durations.push_back(d);
+    }
+    for (auto& c : core::RootCluster1D(durations, group, config_)) {
+      FinalCluster cluster;
+      cluster.members = std::move(c.members);
+      cluster.stats = c.stats;
+      clusters.push_back(std::move(cluster));
+    }
+  }
+  plan.num_clusters = clusters.size();
+
+  // Joint KKT sizing across every cluster.
+  std::vector<core::ClusterStats> stats;
+  stats.reserve(clusters.size());
+  for (const FinalCluster& c : clusters) stats.push_back(c.stats);
+  const core::KktSolution solution = core::SolveKkt(stats, config_.stem);
+  plan.flat.theoretical_error = solution.theoretical_error;
+  plan.flat.num_clusters = clusters.size();
+
+  // Random sampling with replacement inside each cluster; record the
+  // per-cluster sampled mean for the plug-in makespan estimator.
+  plan.cluster_mean_us.assign(clusters.size(), 0.0);
+  Rng rng(DeriveSeed(seed, 0xDA65A4ULL));
+  for (uint32_t c = 0; c < clusters.size(); ++c) {
+    const FinalCluster& cluster = clusters[c];
+    for (uint32_t idx : cluster.members) plan.cluster_of_op[idx] = c;
+
+    const uint64_t n = cluster.members.size();
+    const uint64_t m = solution.sample_sizes[c];
+    if (m == 0 || n == 0) continue;
+    double sum = 0.0;
+    if (m >= n) {
+      for (uint32_t idx : cluster.members) {
+        plan.flat.entries.push_back({idx, 1.0});
+        sum += workload.At(idx).duration_us;
+      }
+      plan.cluster_mean_us[c] = sum / static_cast<double>(n);
+      continue;
+    }
+    const double weight = static_cast<double>(n) / static_cast<double>(m);
+    for (uint64_t draw = 0; draw < m; ++draw) {
+      const uint32_t idx = cluster.members[rng.NextBounded(n)];
+      plan.flat.entries.push_back({idx, weight});
+      sum += workload.At(idx).duration_us;
+    }
+    plan.cluster_mean_us[c] = sum / static_cast<double>(m);
+  }
+  return plan;
+}
+
+double EstimateTotalUs(const DagSamplingPlan& plan,
+                       const DagWorkload& workload) {
+  double total = 0.0;
+  for (const core::SampleEntry& entry : plan.flat.entries) {
+    if (entry.invocation >= workload.NumOps())
+      throw std::out_of_range("EstimateTotalUs: op index");
+    total += entry.weight * workload.At(entry.invocation).duration_us;
+  }
+  return total;
+}
+
+double EstimateMakespanUs(const DagSamplingPlan& plan,
+                          const DagWorkload& workload) {
+  if (plan.cluster_of_op.size() != workload.NumOps())
+    throw std::invalid_argument("EstimateMakespanUs: plan/workload mismatch");
+  std::vector<double> durations(workload.NumOps());
+  for (uint32_t i = 0; i < workload.NumOps(); ++i) {
+    const double mean = plan.cluster_mean_us[plan.cluster_of_op[i]];
+    if (mean <= 0.0)
+      throw std::invalid_argument(
+          "EstimateMakespanUs: cluster without samples");
+    durations[i] = mean;
+  }
+  return ScheduleDagWith(workload, durations).makespan_us;
+}
+
+double SampledCostUs(const DagSamplingPlan& plan,
+                     const DagWorkload& workload) {
+  double cost = 0.0;
+  for (uint32_t idx : plan.flat.DistinctInvocations())
+    cost += workload.At(idx).duration_us;
+  return cost;
+}
+
+}  // namespace stemroot::dag

@@ -1,0 +1,66 @@
+/// \file
+/// STEM-DAG: node sampling on DAG execution traces (the Sec. 6.2 starting
+/// point, implemented).
+///
+/// Node sampling groups ops by type, ROOT-clusters each group's duration
+/// population, and sizes samples with the joint KKT solver -- exactly the
+/// single-GPU pipeline, applied to DAG nodes. Estimation then has two
+/// levels:
+///  - total resource time: the usual weighted sum (Eq. of Sec. 3.1);
+///  - makespan: a plug-in estimate -- every op's duration is replaced by
+///    its cluster's sampled mean and the full DAG is re-scheduled (the
+///    schedule replay is O(V+E), so this costs no simulation; only the
+///    sampled ops ever need cycle-accurate simulation).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/root.h"
+#include "dag/dag.h"
+
+namespace stemroot::dag {
+
+/// A node-sampling decision over a DAG workload.
+struct DagSamplingPlan {
+  /// Sampled (op index, weight) entries -- weights extrapolate totals.
+  core::SamplingPlan flat;
+  /// Cluster id per op (every op belongs to exactly one final cluster).
+  std::vector<uint32_t> cluster_of_op;
+  /// Sampled mean duration per cluster (plug-in values).
+  std::vector<double> cluster_mean_us;
+  size_t num_clusters = 0;
+};
+
+/// STEM+ROOT node sampler for DAG workloads.
+class StemDagSampler {
+ public:
+  explicit StemDagSampler(core::RootConfig config = {});
+
+  /// Build a plan from a profiled DAG. Throws on unprofiled ops.
+  DagSamplingPlan BuildPlan(const DagWorkload& workload,
+                            uint64_t seed) const;
+
+  const core::RootConfig& Config() const { return config_; }
+
+ private:
+  core::RootConfig config_;
+};
+
+/// Weighted-sum estimate of the total resource time (microseconds).
+double EstimateTotalUs(const DagSamplingPlan& plan,
+                       const DagWorkload& workload);
+
+/// Plug-in makespan estimate: schedule the DAG with per-cluster sampled
+/// means substituted for every duration.
+double EstimateMakespanUs(const DagSamplingPlan& plan,
+                          const DagWorkload& workload);
+
+/// Cost actually paid by the sampled simulation: durations of distinct
+/// sampled ops (microseconds).
+double SampledCostUs(const DagSamplingPlan& plan,
+                     const DagWorkload& workload);
+
+}  // namespace stemroot::dag

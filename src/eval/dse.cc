@@ -1,0 +1,42 @@
+#include "eval/dse.h"
+
+namespace stemroot::eval {
+
+std::vector<DseVariant> StandardDseVariants(const hw::GpuSpec& base) {
+  return {
+      {"Baseline", base},
+      {"Cache x2", base.WithCacheScale(2.0)},
+      {"Cache x1/2", base.WithCacheScale(0.5)},
+      {"#SM x2", base.WithSmScale(2.0)},
+      {"#SM x1/2", base.WithSmScale(0.5)},
+  };
+}
+
+std::vector<double> RetimeTrace(const KernelTrace& trace,
+                                const TimingFn& fn) {
+  std::vector<double> durations;
+  durations.reserve(trace.NumInvocations());
+  for (const KernelInvocation& inv : trace.Invocations())
+    durations.push_back(fn(inv));
+  return durations;
+}
+
+TimingFn AnalyticTiming(const hw::HardwareModel& gpu, uint64_t run_seed) {
+  return [&gpu, run_seed](const KernelInvocation& inv) {
+    return gpu.SampleTimeUs(inv, run_seed);
+  };
+}
+
+std::vector<EvalResult> EvaluatePlansOnVariant(
+    std::span<const core::SamplingPlan> plans,
+    std::span<const double> variant_durations_us,
+    const std::string& workload) {
+  std::vector<EvalResult> results;
+  results.reserve(plans.size());
+  for (const core::SamplingPlan& plan : plans)
+    results.push_back(
+        EvaluatePlanOnDurations(plan, variant_durations_us, workload));
+  return results;
+}
+
+}  // namespace stemroot::eval

@@ -1,0 +1,50 @@
+/// \file
+/// Design-space exploration and cross-GPU evaluation (paper Sec. 5.4,
+/// Table 4, Figs. 12-13).
+///
+/// The crucial property being tested: sampling plans are built from the
+/// *baseline* hardware's profile, then judged against ground truth on a
+/// *different* timing substrate (modified caches / SM counts, or a newer
+/// GPU). A TimingFn abstracts that substrate so the same harness drives
+/// both the analytic hardware model and the cycle-level simulator.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "hw/hardware_model.h"
+
+namespace stemroot::eval {
+
+/// Microseconds for one invocation on some timing substrate.
+using TimingFn =
+    std::function<double(const KernelInvocation& inv)>;
+
+/// A named hardware variant.
+struct DseVariant {
+  std::string name;
+  hw::GpuSpec spec;
+};
+
+/// The Table 4 variant set: baseline, cache x2, cache x1/2, #SM x2,
+/// #SM x1/2.
+std::vector<DseVariant> StandardDseVariants(const hw::GpuSpec& base);
+
+/// Per-invocation durations of a trace on a timing substrate.
+std::vector<double> RetimeTrace(const KernelTrace& trace, const TimingFn& fn);
+
+/// TimingFn from an analytic hardware model (fixed run seed for
+/// reproducible jitter).
+TimingFn AnalyticTiming(const hw::HardwareModel& gpu, uint64_t run_seed);
+
+/// Evaluate pre-built plans (from the baseline profile) on a variant's
+/// durations. Returns one EvalResult per plan.
+std::vector<EvalResult> EvaluatePlansOnVariant(
+    std::span<const core::SamplingPlan> plans,
+    std::span<const double> variant_durations_us,
+    const std::string& workload);
+
+}  // namespace stemroot::eval

@@ -1,0 +1,103 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace stemroot::eval {
+
+EvalResult EvaluatePlan(const KernelTrace& trace,
+                        const core::SamplingPlan& plan) {
+  plan.Validate(trace.NumInvocations());
+  EvalResult result;
+  result.method = plan.method;
+  result.workload = trace.WorkloadName();
+  result.true_total_us = trace.TotalDurationUs();
+  result.estimated_total_us = plan.EstimateTotalUs(trace);
+  if (result.true_total_us <= 0.0)
+    throw std::invalid_argument("EvaluatePlan: unprofiled trace");
+  result.error_pct = std::abs(result.estimated_total_us -
+                              result.true_total_us) /
+                     result.true_total_us * 100.0;
+  const double sampled_cost = plan.SampledCostUs(trace);
+  result.speedup =
+      sampled_cost > 0.0 ? result.true_total_us / sampled_cost : 0.0;
+  result.theoretical_error_pct = plan.theoretical_error * 100.0;
+  result.num_samples = plan.NumSamples();
+  result.num_clusters = plan.num_clusters;
+  return result;
+}
+
+EvalResult EvaluatePlanOnDurations(const core::SamplingPlan& plan,
+                                   std::span<const double> durations_us,
+                                   const std::string& workload) {
+  plan.Validate(durations_us.size());
+  EvalResult result;
+  result.method = plan.method;
+  result.workload = workload;
+  double total = 0.0;
+  for (double d : durations_us) {
+    if (d <= 0.0)
+      throw std::invalid_argument(
+          "EvaluatePlanOnDurations: non-positive duration");
+    total += d;
+  }
+  result.true_total_us = total;
+  result.estimated_total_us = plan.EstimateTotalUs(durations_us);
+  result.error_pct =
+      std::abs(result.estimated_total_us - total) / total * 100.0;
+  const double sampled_cost = plan.SampledCostUs(durations_us);
+  result.speedup = sampled_cost > 0.0 ? total / sampled_cost : 0.0;
+  result.theoretical_error_pct = plan.theoretical_error * 100.0;
+  result.num_samples = plan.NumSamples();
+  result.num_clusters = plan.num_clusters;
+  return result;
+}
+
+EvalResult EvaluateRepeated(const core::Sampler& sampler,
+                            const KernelTrace& trace, uint32_t reps,
+                            uint64_t base_seed) {
+  if (reps == 0) throw std::invalid_argument("EvaluateRepeated: reps == 0");
+  const uint32_t runs = sampler.Deterministic() ? 1 : reps;
+
+  std::vector<double> speedups;
+  std::vector<double> errors;
+  EvalResult first;
+  for (uint32_t r = 0; r < runs; ++r) {
+    const core::SamplingPlan plan =
+        sampler.BuildPlan(trace, base_seed + r);
+    const EvalResult one = EvaluatePlan(trace, plan);
+    if (r == 0) first = one;
+    speedups.push_back(one.speedup);
+    errors.push_back(one.error_pct);
+  }
+  EvalResult avg = first;
+  avg.speedup = HarmonicMean(speedups);
+  avg.error_pct = Mean(errors);
+  return avg;
+}
+
+EvalResult AggregateSuite(std::span<const EvalResult> rows,
+                          const std::string& method) {
+  std::vector<double> speedups;
+  std::vector<double> errors;
+  EvalResult agg;
+  agg.method = method;
+  agg.workload = "average";
+  for (const EvalResult& row : rows) {
+    if (row.method != method) continue;
+    speedups.push_back(row.speedup);
+    errors.push_back(row.error_pct);
+    agg.num_samples += row.num_samples;
+    agg.num_clusters += row.num_clusters;
+  }
+  if (speedups.empty())
+    throw std::invalid_argument("AggregateSuite: no rows for method " +
+                                method);
+  agg.speedup = HarmonicMean(speedups);
+  agg.error_pct = Mean(errors);
+  return agg;
+}
+
+}  // namespace stemroot::eval

@@ -1,0 +1,64 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace stemroot::eval {
+
+std::vector<EvalResult> SuiteResults::ForWorkload(
+    const std::string& workload) const {
+  std::vector<EvalResult> out;
+  for (const EvalResult& row : rows)
+    if (row.workload == workload) out.push_back(row);
+  return out;
+}
+
+EvalResult SuiteResults::Aggregate(const std::string& method) const {
+  return AggregateSuite(rows, method);
+}
+
+std::vector<std::string> SuiteResults::Methods() const {
+  std::vector<std::string> methods;
+  for (const EvalResult& row : rows)
+    if (std::find(methods.begin(), methods.end(), row.method) ==
+        methods.end())
+      methods.push_back(row.method);
+  return methods;
+}
+
+KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
+                                 const std::string& name,
+                                 const hw::HardwareModel& gpu, uint64_t seed,
+                                 double size_scale) {
+  KernelTrace trace = workloads::MakeWorkload(
+      suite, name, DeriveSeed(seed, HashString(name)), size_scale);
+  gpu.ProfileTrace(trace, DeriveSeed(seed, 0x50524F46ULL));
+  return trace;
+}
+
+SuiteResults RunSuite(const SuiteRunConfig& config,
+                      const hw::HardwareModel& gpu,
+                      std::span<const core::Sampler* const> samplers) {
+  SuiteResults results;
+  for (const std::string& name : workloads::SuiteWorkloads(config.suite)) {
+    if (!config.only_workloads.empty() &&
+        std::find(config.only_workloads.begin(),
+                  config.only_workloads.end(),
+                  name) == config.only_workloads.end())
+      continue;
+    Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
+           name.c_str());
+    const KernelTrace trace = MakeProfiledWorkload(
+        config.suite, name, gpu, config.seed, config.size_scale);
+    for (const core::Sampler* sampler : samplers) {
+      results.rows.push_back(EvaluateRepeated(
+          *sampler, trace, config.reps,
+          DeriveSeed(config.seed, HashString(sampler->Name()))));
+    }
+  }
+  return results;
+}
+
+}  // namespace stemroot::eval

@@ -1,0 +1,58 @@
+/// \file
+/// Suite runners: generate -> profile -> sample -> evaluate, for a list of
+/// samplers over all workloads of one suite. This is the engine behind the
+/// Table 3 / Fig. 7-9 benches.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "hw/hardware_model.h"
+#include "workloads/suite.h"
+
+namespace stemroot::eval {
+
+/// Options for one suite sweep.
+struct SuiteRunConfig {
+  workloads::SuiteId suite = workloads::SuiteId::kCasio;
+  /// Workload size scale passed to the generators.
+  double size_scale = 1.0;
+  /// Sampling repetitions per (workload, sampler); paper uses 10.
+  uint32_t reps = 10;
+  /// Master seed: workload generation, profiling, and sampling all derive
+  /// from it.
+  uint64_t seed = 42;
+  /// Restrict to these workload names (empty = whole suite).
+  std::vector<std::string> only_workloads;
+};
+
+/// All per-(workload, method) averaged results for one suite.
+struct SuiteResults {
+  std::vector<EvalResult> rows;
+
+  /// Rows of one workload.
+  std::vector<EvalResult> ForWorkload(const std::string& workload) const;
+  /// Suite-level aggregate of one method.
+  EvalResult Aggregate(const std::string& method) const;
+  /// Distinct method names in first-seen order.
+  std::vector<std::string> Methods() const;
+};
+
+/// Run every sampler over every workload of the suite on the given GPU.
+/// `samplers` entries must outlive the call. Traces are generated,
+/// profiled, evaluated, and discarded one at a time (memory-bounded even
+/// for the HuggingFace suite).
+SuiteResults RunSuite(const SuiteRunConfig& config,
+                      const hw::HardwareModel& gpu,
+                      std::span<const core::Sampler* const> samplers);
+
+/// Convenience: generate + profile one workload (shared by benches).
+KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
+                                 const std::string& name,
+                                 const hw::HardwareModel& gpu, uint64_t seed,
+                                 double size_scale = 1.0);
+
+}  // namespace stemroot::eval

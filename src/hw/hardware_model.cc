@@ -1,0 +1,211 @@
+#include "hw/hardware_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace stemroot::hw {
+
+HardwareModel::HardwareModel(GpuSpec spec, TimingParams params)
+    : spec_(std::move(spec)), params_(params) {
+  spec_.Validate();
+}
+
+double HardwareModel::Occupancy(const LaunchConfig& launch) const {
+  const double capacity =
+      static_cast<double>(spec_.num_sms) * spec_.max_warps_per_sm;
+  const double warps = static_cast<double>(launch.TotalWarps());
+  return std::min(1.0, warps / capacity);
+}
+
+double HardwareModel::CoalescingFactor(const KernelBehavior& b) const {
+  // Geometric interpolation between perfectly coalesced (1 transaction per
+  // warp access) and fully scattered (one per lane), driven by the
+  // coalescing field. Geometric (not linear) because transactions-per-
+  // request spans 1..32 multiplicatively.
+  const double ratio = params_.coalesce_worst / params_.coalesce_best;
+  return params_.coalesce_best *
+         std::pow(ratio, 1.0 - static_cast<double>(b.coalescing));
+}
+
+namespace {
+/// Characteristic reuse distance in bytes: geometric blend between the
+/// full footprint (locality 0: every access streams over the whole working
+/// set before returning) and a tight tile (~16 KB, locality 1: blocked
+/// kernels keep reuse distances short regardless of footprint).
+double ReuseDistanceBytes(const KernelBehavior& b) {
+  constexpr double kTileBytes = 16.0 * 1024.0;
+  const double footprint =
+      std::max(kTileBytes, static_cast<double>(b.footprint_bytes));
+  const double loc = static_cast<double>(b.locality);
+  return std::exp((1.0 - loc) * std::log(footprint) +
+                  loc * std::log(kTileBytes));
+}
+}  // namespace
+
+double HardwareModel::L1HitRate(const KernelBehavior& b) const {
+  // A reference survives in L1 when its reuse distance fits the cache.
+  // Intrinsic reuse bounds the achievable hit rate; the capacity term
+  // compares the reuse distance against the (private, per-SM) L1.
+  const double rd = ReuseDistanceBytes(b);
+  const double capacity_term =
+      static_cast<double>(spec_.l1_bytes) /
+      (static_cast<double>(spec_.l1_bytes) + rd);
+  return static_cast<double>(b.locality) * capacity_term;
+}
+
+double HardwareModel::L2HitRate(const KernelBehavior& b) const {
+  // The shared L2 sees the union of all SM streams, so its capacity term
+  // compares against the full footprint; sqrt(locality) gives L2 a flatter
+  // reuse curve than L1 (L1 misses still enjoy reuse at L2).
+  const double l2 = static_cast<double>(spec_.l2_bytes);
+  const double capacity_term =
+      l2 / (l2 + 0.5 * static_cast<double>(b.footprint_bytes));
+  return std::sqrt(static_cast<double>(b.locality)) * capacity_term;
+}
+
+double HardwareModel::ComputeTimeUs(const KernelBehavior& b,
+                                    const LaunchConfig& launch) const {
+  const double compute_instrs =
+      static_cast<double>(b.ComputeInstructions()) +
+      static_cast<double>(b.SharedMemInstructions());
+  if (compute_instrs <= 0.0) return 0.0;
+
+  // Per-SM sustained IPC: issue width derated by ILP (short dependency
+  // chains stall issue slots), divergence (inactive lanes), and the FP16
+  // throughput bonus.
+  const double ilp_term =
+      std::min(1.0, static_cast<double>(b.ilp) / spec_.issue_width);
+  const double divergence_term =
+      1.0 - 0.5 * static_cast<double>(b.branch_divergence);
+  const double fp16_term =
+      1.0 + (spec_.fp16_speedup - 1.0) * static_cast<double>(b.fp16_fraction);
+  const double ipc_per_sm =
+      spec_.issue_width * ilp_term * divergence_term * fp16_term;
+
+  // Warp-instruction granularity: `instructions` counts thread-level
+  // instructions; an SM issues one warp instruction for warp_size threads.
+  const double warp_instrs = compute_instrs / spec_.warp_size;
+
+  // Utilization: a launch with few warps cannot fill all SMs.
+  const double occupancy = Occupancy(launch);
+  const double min_util = 1.0 / (spec_.num_sms * 2.0);
+  const double util = std::max(occupancy, min_util);
+
+  const double instrs_per_us =
+      spec_.num_sms * util * ipc_per_sm * spec_.clock_ghz * 1e3;
+  return warp_instrs / instrs_per_us;
+}
+
+double HardwareModel::MemoryTimeUs(const KernelBehavior& b,
+                                   const LaunchConfig& launch) const {
+  const double mem_instrs = static_cast<double>(b.GlobalMemInstructions());
+  if (mem_instrs <= 0.0) return 0.0;
+
+  const double warp_mem_instrs = mem_instrs / spec_.warp_size;
+  const double transactions = warp_mem_instrs * CoalescingFactor(b);
+
+  const double l1_hit = L1HitRate(b);
+  const double l2_hit = L2HitRate(b);
+  const double l2_accesses = transactions * (1.0 - l1_hit);
+  const double dram_accesses = l2_accesses * (1.0 - l2_hit);
+
+  // Bandwidth-limited component: bytes over the DRAM pins.
+  const double dram_bytes = dram_accesses * spec_.line_bytes;
+  const double bw_time_us = dram_bytes / (spec_.dram_bw_gbps * 1e3);
+
+  // Latency-limited component: with many warps in flight latency is hidden;
+  // the division by concurrent warps models memory-level parallelism.
+  const double inflight =
+      std::max(1.0, static_cast<double>(std::min<uint64_t>(
+                        launch.TotalWarps(),
+                        static_cast<uint64_t>(spec_.num_sms) *
+                            spec_.max_warps_per_sm)));
+  const double lat_time_us =
+      (l2_accesses * spec_.l2_latency_ns + dram_accesses *
+       spec_.dram_latency_ns) * 1e-3 / inflight;
+
+  return std::max(bw_time_us, lat_time_us);
+}
+
+double HardwareModel::ExpectedTimeUs(const KernelBehavior& b,
+                                     const LaunchConfig& launch) const {
+  const double tc = ComputeTimeUs(b, launch);
+  const double tm = MemoryTimeUs(b, launch);
+  const double longest = std::max(tc, tm);
+  const double shortest = std::min(tc, tm);
+  return spec_.launch_overhead_us + longest +
+         params_.overlap_slack * shortest;
+}
+
+double HardwareModel::MemBoundedness(const KernelBehavior& b,
+                                     const LaunchConfig& launch) const {
+  const double tc = ComputeTimeUs(b, launch);
+  const double tm = MemoryTimeUs(b, launch);
+  const double total = tc + tm;
+  return total > 0.0 ? tm / total : 0.0;
+}
+
+double HardwareModel::SampleTimeUs(const KernelInvocation& inv,
+                                   uint64_t run_seed) const {
+  const double expected = ExpectedTimeUs(inv.behavior, inv.launch);
+  const double boundedness = MemBoundedness(inv.behavior, inv.launch);
+  const double sigma =
+      params_.jitter_base + params_.jitter_mem_scale * boundedness;
+  Rng rng(DeriveSeed(run_seed, inv.seq));
+  // Centered log-normal: mean of exp(N(-s^2/2, s)) is exactly 1, so jitter
+  // does not bias the population mean that STEM estimates.
+  const double jitter = rng.NextLogNormal(-0.5 * sigma * sigma, sigma);
+  return expected * jitter;
+}
+
+KernelMetrics HardwareModel::Metrics(const KernelInvocation& inv,
+                                     uint64_t run_seed) const {
+  const KernelBehavior& b = inv.behavior;
+  KernelMetrics m;
+
+  const double warp_mem_instrs =
+      static_cast<double>(b.GlobalMemInstructions()) / spec_.warp_size;
+  const double transactions = warp_mem_instrs * CoalescingFactor(b);
+  const double stores = static_cast<double>(b.store_fraction);
+  m.global_load_transactions = transactions * (1.0 - stores);
+  m.global_store_transactions = transactions * stores;
+
+  const double warp_shared_instrs =
+      static_cast<double>(b.SharedMemInstructions()) / spec_.warp_size;
+  m.shared_load_transactions = warp_shared_instrs * 0.6;
+  m.shared_store_transactions = warp_shared_instrs * 0.4;
+
+  m.l1_hit_rate = L1HitRate(b);
+  const double l2_accesses = transactions * (1.0 - m.l1_hit_rate);
+  m.l2_read_transactions = l2_accesses * (1.0 - stores);
+  m.l2_write_transactions = l2_accesses * stores;
+  m.l2_read_hit_rate = L2HitRate(b);
+
+  const double compute = static_cast<double>(b.ComputeInstructions());
+  m.fp16_ops = compute * static_cast<double>(b.fp16_fraction);
+  m.fp32_ops = compute * static_cast<double>(b.fp32_fraction);
+
+  m.branch_efficiency = 1.0 - 0.9 * static_cast<double>(b.branch_divergence);
+  m.warp_execution_efficiency =
+      1.0 - 0.5 * static_cast<double>(b.branch_divergence);
+  m.achieved_occupancy = Occupancy(inv.launch);
+
+  // Mild multiplicative measurement noise on count-like metrics
+  // (profilers replay kernels; counters are not perfectly stable).
+  Rng rng(DeriveSeed(run_seed ^ 0x4D455452494353ULL, inv.seq));
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i) {
+    if (KernelMetrics::IsRate(i)) continue;
+    const double noisy = m.Get(i) * (1.0 + 0.01 * rng.NextGaussian());
+    m.Set(i, std::max(0.0, noisy));
+  }
+  return m;
+}
+
+void HardwareModel::ProfileTrace(KernelTrace& trace, uint64_t run_seed) const {
+  for (KernelInvocation& inv : trace.MutableInvocations())
+    inv.duration_us = SampleTimeUs(inv, run_seed);
+}
+
+}  // namespace stemroot::hw

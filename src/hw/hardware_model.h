@@ -1,0 +1,99 @@
+/// \file
+/// Analytic GPU hardware timing model — the stand-in for the "real" GPUs
+/// the paper profiles on (RTX 2080 / H100 / H200).
+///
+/// The model composes a roofline-style execution time from a
+/// KernelBehavior: a compute phase limited by issue throughput, ILP,
+/// divergence and occupancy, overlapped with a memory phase limited by the
+/// cache hierarchy and DRAM bandwidth/latency. On top of the deterministic
+/// expected time it applies multiplicative log-normal jitter whose sigma
+/// grows with the kernel's memory-boundedness — this reproduces the paper's
+/// core observation (Sec. 2.2) that memory-bound kernels exhibit wide
+/// execution-time distributions while compute-bound kernels are narrow.
+///
+/// The model also produces the 13 ground-truth microarchitectural metrics
+/// (KernelMetrics) that (a) the NCU-like profiler reports to PKA and (b) the
+/// Fig. 14 validation compares between full and sampled workloads.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gpu_spec.h"
+#include "trace/trace.h"
+
+namespace stemroot::hw {
+
+/// Tunable constants of the analytic model. Defaults are calibrated so the
+/// suite generators reproduce the paper's distribution shapes; tests pin
+/// the qualitative properties (monotonicity, jitter scaling), not the
+/// constants.
+struct TimingParams {
+  /// Log-normal jitter sigma for a purely compute-bound kernel.
+  double jitter_base = 0.010;
+  /// Additional jitter sigma at full memory-boundedness.
+  double jitter_mem_scale = 0.18;
+  /// Fraction of the shorter phase that does NOT overlap with the longer
+  /// phase (0 = perfect overlap, 1 = fully serial).
+  double overlap_slack = 0.25;
+  /// Coalescing: average global transactions per warp-level memory
+  /// instruction at locality 1 (perfectly coalesced) ...
+  double coalesce_best = 1.0;
+  /// ... and at locality 0 (fully scattered: one transaction per lane).
+  double coalesce_worst = 32.0;
+};
+
+/// Roofline + jitter timing model over a GpuSpec.
+class HardwareModel {
+ public:
+  explicit HardwareModel(GpuSpec spec, TimingParams params = {});
+
+  const GpuSpec& Spec() const { return spec_; }
+  const TimingParams& Params() const { return params_; }
+
+  /// Deterministic expected execution time in microseconds (no jitter).
+  double ExpectedTimeUs(const KernelBehavior& behavior,
+                        const LaunchConfig& launch) const;
+
+  /// Fraction of the (un-overlapped) critical path attributable to memory,
+  /// in [0, 1]. Drives jitter magnitude and DSE sensitivity.
+  double MemBoundedness(const KernelBehavior& behavior,
+                        const LaunchConfig& launch) const;
+
+  /// Execution time with per-invocation jitter; deterministic given
+  /// (invocation.seq, run_seed).
+  double SampleTimeUs(const KernelInvocation& inv, uint64_t run_seed) const;
+
+  /// Ground-truth microarchitectural metrics for one invocation, with mild
+  /// measurement jitter (deterministic given run_seed).
+  KernelMetrics Metrics(const KernelInvocation& inv,
+                        uint64_t run_seed) const;
+
+  /// Achieved occupancy in [0, 1] for a launch on this GPU.
+  double Occupancy(const LaunchConfig& launch) const;
+
+  /// L1 hit rate implied by behaviour (locality vs. footprint vs. L1 size).
+  double L1HitRate(const KernelBehavior& behavior) const;
+
+  /// L2 hit rate for L1 misses.
+  double L2HitRate(const KernelBehavior& behavior) const;
+
+  /// Fill duration_us for every invocation of the trace, as one profiling
+  /// run would. run_seed distinguishes repeated profiling runs.
+  void ProfileTrace(KernelTrace& trace, uint64_t run_seed) const;
+
+ private:
+  /// Compute-phase time in microseconds.
+  double ComputeTimeUs(const KernelBehavior& behavior,
+                       const LaunchConfig& launch) const;
+  /// Memory-phase time in microseconds.
+  double MemoryTimeUs(const KernelBehavior& behavior,
+                      const LaunchConfig& launch) const;
+  /// Average global-memory transactions per warp memory instruction.
+  double CoalescingFactor(const KernelBehavior& behavior) const;
+
+  GpuSpec spec_;
+  TimingParams params_;
+};
+
+}  // namespace stemroot::hw

@@ -1,0 +1,57 @@
+#include "hw/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stemroot::hw {
+
+Histogram KernelProfile::MakeHistogram(size_t bins) const {
+  return Histogram::FromData(durations_us, bins);
+}
+
+size_t KernelProfile::CountPeaks(size_t bins) const {
+  if (durations_us.empty()) return 0;
+  return MakeHistogram(bins).CountPeaks();
+}
+
+WorkloadProfile WorkloadProfile::FromTrace(const KernelTrace& trace) {
+  WorkloadProfile profile;
+  profile.workload_name = trace.WorkloadName();
+  profile.total_invocations = trace.NumInvocations();
+
+  const auto groups = trace.GroupByKernel();
+  profile.kernels.reserve(groups.size());
+  for (uint32_t k = 0; k < groups.size(); ++k) {
+    if (groups[k].empty()) continue;
+    KernelProfile kp;
+    kp.name = trace.Type(k).name;
+    kp.kernel_id = k;
+    kp.invocations = groups[k];
+    kp.durations_us.reserve(groups[k].size());
+    for (uint32_t idx : groups[k]) {
+      const double d = trace.At(idx).duration_us;
+      if (d <= 0.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: trace has non-positive durations; run "
+            "HardwareModel::ProfileTrace first");
+      kp.durations_us.push_back(d);
+      profile.total_duration_us += d;
+    }
+    kp.stats = SummaryStats::Of(kp.durations_us);
+    profile.kernels.push_back(std::move(kp));
+  }
+  return profile;
+}
+
+std::vector<const KernelProfile*> WorkloadProfile::ByTotalTime() const {
+  std::vector<const KernelProfile*> order;
+  order.reserve(kernels.size());
+  for (const auto& kp : kernels) order.push_back(&kp);
+  std::sort(order.begin(), order.end(),
+            [](const KernelProfile* a, const KernelProfile* b) {
+              return a->stats.sum > b->stats.sum;
+            });
+  return order;
+}
+
+}  // namespace stemroot::hw

@@ -1,0 +1,51 @@
+/// \file
+/// Workload profile summaries derived from a profiled trace.
+///
+/// A WorkloadProfile is what the NSYS-like timeline profiler hands to
+/// STEM+ROOT: per-kernel-name execution-time populations plus summary
+/// statistics (count, mean, CoV, peak count). It is also the unit the
+/// fig01 bench renders.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "trace/trace.h"
+
+namespace stemroot::hw {
+
+/// Execution-time population of one kernel name within a workload.
+struct KernelProfile {
+  std::string name;
+  uint32_t kernel_id = 0;
+  /// Invocation indices into the source trace, timeline order.
+  std::vector<uint32_t> invocations;
+  /// Durations (microseconds), index-aligned with `invocations`.
+  std::vector<double> durations_us;
+  SummaryStats stats;
+
+  /// Histogram of the duration population.
+  Histogram MakeHistogram(size_t bins = 40) const;
+  /// Number of distinct performance peaks (paper Fig. 1 diagnostic).
+  size_t CountPeaks(size_t bins = 40) const;
+};
+
+/// Per-workload profile: one KernelProfile per kernel name, plus totals.
+struct WorkloadProfile {
+  std::string workload_name;
+  std::vector<KernelProfile> kernels;
+  double total_duration_us = 0.0;
+  size_t total_invocations = 0;
+
+  /// Build from a trace whose duration_us fields are filled.
+  /// Throws std::invalid_argument if any duration is non-positive.
+  static WorkloadProfile FromTrace(const KernelTrace& trace);
+
+  /// Kernel profiles sorted by descending total time contribution.
+  std::vector<const KernelProfile*> ByTotalTime() const;
+};
+
+}  // namespace stemroot::hw

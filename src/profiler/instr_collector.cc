@@ -1,0 +1,25 @@
+#include "profiler/instr_collector.h"
+
+namespace stemroot::profiler {
+
+InstrRecord InstrCountCollector::Extract(const KernelInvocation& inv) {
+  InstrRecord record;
+  record.instructions = inv.behavior.instructions;
+  record.instr_per_warp =
+      static_cast<double>(inv.behavior.instructions) /
+      static_cast<double>(std::max<uint64_t>(1, inv.launch.TotalWarps()));
+  record.cta_size = inv.launch.ThreadsPerCta();
+  record.num_ctas = inv.launch.NumCtas();
+  return record;
+}
+
+std::vector<InstrRecord> InstrCountCollector::ExtractAll(
+    const KernelTrace& trace) {
+  std::vector<InstrRecord> records;
+  records.reserve(trace.NumInvocations());
+  for (const KernelInvocation& inv : trace.Invocations())
+    records.push_back(Extract(inv));
+  return records;
+}
+
+}  // namespace stemroot::profiler

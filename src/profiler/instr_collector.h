@@ -1,0 +1,29 @@
+/// \file
+/// NVBit-like dynamic instruction-count collector: Sieve's input signature
+/// (paper Table 1: "kernel name & num. of instrs", per warp).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace stemroot::profiler {
+
+/// Per-invocation instruction-count record as Sieve consumes it.
+struct InstrRecord {
+  uint64_t instructions = 0;       ///< total dynamic instructions
+  double instr_per_warp = 0.0;     ///< instructions / launched warps
+  uint32_t cta_size = 0;           ///< threads per CTA
+  uint64_t num_ctas = 0;
+};
+
+/// Collect instruction counts for every invocation.
+class InstrCountCollector {
+ public:
+  static InstrRecord Extract(const KernelInvocation& inv);
+  static std::vector<InstrRecord> ExtractAll(const KernelTrace& trace);
+};
+
+}  // namespace stemroot::profiler

@@ -1,0 +1,44 @@
+/// \file
+/// NCU-like per-kernel metric profiler: the 12 instruction-level features
+/// PKA clusters on (paper Table 1: "12 instr. level metrics").
+///
+/// The features are deliberately *static/instruction-level*: dynamic
+/// instruction counts, mix fractions, launch geometry, divergence. They see
+/// nothing of cache locality or runtime memory behaviour -- which is
+/// exactly the blind spot the paper's Fig. 10 demonstrates: contexts of the
+/// same kernel that differ only in data placement produce identical
+/// features here but very different execution times.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace stemroot::profiler {
+
+/// PKA feature vector: 12 instruction-level metrics.
+struct PkaFeatures {
+  static constexpr size_t kDim = 12;
+  std::array<double, kDim> values{};
+
+  /// Metric names, index-aligned.
+  static const char* Name(size_t i);
+};
+
+/// Extract PKA features for every invocation of a trace. Deterministic:
+/// NCU replays kernels until counters are stable, so (unlike timing)
+/// features carry no run-to-run noise.
+class MetricProfiler {
+ public:
+  /// Features of a single invocation.
+  static PkaFeatures Extract(const KernelTrace& trace,
+                             const KernelInvocation& inv);
+
+  /// Features for the whole trace, invocation order.
+  static std::vector<PkaFeatures> ExtractAll(const KernelTrace& trace);
+};
+
+}  // namespace stemroot::profiler

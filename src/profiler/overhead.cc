@@ -1,0 +1,65 @@
+#include "profiler/overhead.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stemroot::profiler {
+
+const char* ProfilerKindName(ProfilerKind kind) {
+  switch (kind) {
+    case ProfilerKind::kNsysTimeline: return "NSYS";
+    case ProfilerKind::kNcuMetrics: return "NCU";
+    case ProfilerKind::kNvbitInstr: return "NVBit-instr";
+    case ProfilerKind::kNvbitBbv: return "NVBit-BBV";
+  }
+  throw std::invalid_argument("ProfilerKindName: bad kind");
+}
+
+TraceCost TraceCost::Of(const KernelTrace& trace) {
+  TraceCost cost;
+  cost.kernels = trace.NumInvocations();
+  double bbv_dims = 0.0;
+  for (const KernelInvocation& inv : trace.Invocations()) {
+    cost.total_instructions +=
+        static_cast<double>(inv.behavior.instructions);
+    cost.base_wall_us += inv.duration_us;
+    bbv_dims += trace.TypeOf(inv).num_basic_blocks;
+  }
+  cost.mean_bbv_dim =
+      cost.kernels ? bbv_dims / static_cast<double>(cost.kernels) : 0.0;
+  return cost;
+}
+
+double ProfilingWallUs(ProfilerKind kind, const TraceCost& cost,
+                       const OverheadParams& params) {
+  const double kernels = static_cast<double>(cost.kernels);
+  switch (kind) {
+    case ProfilerKind::kNcuMetrics:
+      return cost.base_wall_us + kernels * params.ncu_per_kernel_us +
+             cost.total_instructions * params.ncu_per_instr_us;
+    case ProfilerKind::kNvbitInstr:
+      return cost.base_wall_us + kernels * params.nvbit_per_kernel_us +
+             cost.total_instructions * params.nvbit_instr_per_instr_us;
+    case ProfilerKind::kNvbitBbv: {
+      const double pairs =
+          kernels * std::min(kernels,
+                             static_cast<double>(params.bbv_reservoir));
+      return cost.base_wall_us +
+             cost.total_instructions * params.nvbit_bbv_per_instr_us +
+             pairs * cost.mean_bbv_dim * params.bbv_compare_pair_us;
+    }
+    case ProfilerKind::kNsysTimeline:
+      return cost.base_wall_us * params.nsys_slowdown +
+             kernels * params.nsys_per_kernel_us;
+  }
+  throw std::invalid_argument("ProfilingWallUs: bad kind");
+}
+
+double OverheadRatio(ProfilerKind kind, const TraceCost& cost,
+                     const OverheadParams& params) {
+  if (cost.base_wall_us <= 0.0)
+    throw std::invalid_argument("OverheadRatio: base wall time <= 0");
+  return ProfilingWallUs(kind, cost, params) / cost.base_wall_us;
+}
+
+}  // namespace stemroot::profiler

@@ -1,0 +1,11 @@
+#include "profiler/timeline_profiler.h"
+
+namespace stemroot::profiler {
+
+hw::WorkloadProfile TimelineProfiler::Profile(KernelTrace& trace,
+                                              uint64_t run_seed) const {
+  gpu_.ProfileTrace(trace, run_seed);
+  return hw::WorkloadProfile::FromTrace(trace);
+}
+
+}  // namespace stemroot::profiler

@@ -1,0 +1,32 @@
+/// \file
+/// NSYS-like kernel timeline profiler.
+///
+/// This is STEM's only profiling dependency (paper Fig. 5): a lightweight
+/// timeline pass that records one execution time per kernel launch. It
+/// wraps hw::HardwareModel::ProfileTrace and produces the WorkloadProfile
+/// STEM+ROOT consumes, plus the modelled instrumentation overhead used by
+/// the Table 5 bench.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/hardware_model.h"
+#include "hw/profile.h"
+
+namespace stemroot::profiler {
+
+/// Timeline profiler over a hardware model.
+class TimelineProfiler {
+ public:
+  explicit TimelineProfiler(const hw::HardwareModel& gpu) : gpu_(gpu) {}
+
+  /// Run one profiling pass: fills trace durations and returns the
+  /// per-kernel profile. run_seed distinguishes repeated runs.
+  hw::WorkloadProfile Profile(KernelTrace& trace, uint64_t run_seed) const;
+
+ private:
+  const hw::HardwareModel& gpu_;
+};
+
+}  // namespace stemroot::profiler

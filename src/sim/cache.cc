@@ -1,0 +1,72 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stemroot::sim {
+
+Cache::Cache(uint64_t size_bytes, uint32_t associativity,
+             uint32_t line_bytes)
+    : size_bytes_(size_bytes), assoc_(associativity),
+      line_bytes_(line_bytes) {
+  if (size_bytes == 0 || associativity == 0)
+    throw std::invalid_argument("Cache: zero size or associativity");
+  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+    throw std::invalid_argument("Cache: line size not a power of two");
+  const uint64_t num_lines = size_bytes / line_bytes;
+  if (num_lines == 0 || num_lines % associativity != 0)
+    throw std::invalid_argument(
+        "Cache: size/line/assoc combination leaves no whole sets");
+  num_sets_ = static_cast<uint32_t>(num_lines / associativity);
+  line_shift_ = static_cast<uint32_t>(std::countr_zero(line_bytes));
+  lines_.resize(num_lines);
+}
+
+bool Cache::Access(uint64_t addr) {
+  const uint64_t line_addr = addr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line_addr % num_sets_);
+  const uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<size_t>(set) * assoc_];
+  ++clock_;
+
+  Line* victim = base;
+  for (uint32_t way = 0; way < assoc_; ++way) {
+    Line& line = base[way];
+    if (line.valid && line.tag == tag) {
+      line.lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+bool Cache::Contains(uint64_t addr) const {
+  const uint64_t line_addr = addr >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line_addr % num_sets_);
+  const uint64_t tag = line_addr / num_sets_;
+  const Line* base = &lines_[static_cast<size_t>(set) * assoc_];
+  for (uint32_t way = 0; way < assoc_; ++way)
+    if (base[way].valid && base[way].tag == tag) return true;
+  return false;
+}
+
+void Cache::Flush() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+void Cache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace stemroot::sim

@@ -1,0 +1,57 @@
+/// \file
+/// Set-associative LRU cache model shared by the simulator's L1 and L2
+/// levels.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stemroot::sim {
+
+/// Classic set-associative cache with true-LRU replacement. Tracks hits
+/// and misses; allocate-on-miss for both reads and writes (GPU L2s are
+/// write-allocate; Sec. 5.5 notes writes always hit L2 under the paper's
+/// policy assumption).
+class Cache {
+ public:
+  /// Throws std::invalid_argument on non-power-of-two line size, zero
+  /// sizes, or associativity that does not divide the line count.
+  Cache(uint64_t size_bytes, uint32_t associativity, uint32_t line_bytes);
+
+  /// Access one byte address; returns true on hit. Misses allocate.
+  bool Access(uint64_t addr);
+
+  /// Probe without state change; returns true if resident.
+  bool Contains(uint64_t addr) const;
+
+  /// Invalidate everything (the ablation_warmup bench's L2 flush).
+  void Flush();
+
+  uint64_t Hits() const { return hits_; }
+  uint64_t Misses() const { return misses_; }
+  void ResetStats();
+
+  uint32_t NumSets() const { return num_sets_; }
+  uint32_t Associativity() const { return assoc_; }
+  uint64_t SizeBytes() const { return size_bytes_; }
+
+ private:
+  struct Line {
+    uint64_t tag = ~0ULL;
+    uint64_t lru = 0;  ///< global access counter at last touch
+    bool valid = false;
+  };
+
+  uint64_t size_bytes_;
+  uint32_t assoc_;
+  uint32_t line_bytes_;
+  uint32_t num_sets_;
+  uint32_t line_shift_;
+  std::vector<Line> lines_;  ///< num_sets_ * assoc_, set-major
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace stemroot::sim

@@ -1,0 +1,28 @@
+#include "sim/coalescer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stemroot::sim {
+
+void CoalesceLaneAddresses(std::span<const uint64_t> lane_addresses,
+                           uint32_t line_bytes, std::vector<uint64_t>& out) {
+  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+    throw std::invalid_argument(
+        "CoalesceLaneAddresses: line size not a power of two");
+  const uint64_t mask = ~static_cast<uint64_t>(line_bytes - 1);
+  out.clear();
+  out.reserve(lane_addresses.size());
+  for (uint64_t addr : lane_addresses) out.push_back(addr & mask);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<uint64_t> CoalesceLaneAddresses(
+    std::span<const uint64_t> lane_addresses, uint32_t line_bytes) {
+  std::vector<uint64_t> out;
+  CoalesceLaneAddresses(lane_addresses, line_bytes, out);
+  return out;
+}
+
+}  // namespace stemroot::sim

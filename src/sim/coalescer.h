@@ -1,0 +1,24 @@
+/// \file
+/// Memory coalescer: collapses the per-lane addresses of one warp memory
+/// access into the set of distinct cache-line requests, as GPU LD/ST units
+/// do.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stemroot::sim {
+
+/// Deduplicate lane addresses to distinct line addresses (sorted). The
+/// returned addresses are line-aligned. Throws std::invalid_argument when
+/// line_bytes is not a power of two.
+std::vector<uint64_t> CoalesceLaneAddresses(
+    std::span<const uint64_t> lane_addresses, uint32_t line_bytes);
+
+/// In-place variant reusing the output vector (hot path).
+void CoalesceLaneAddresses(std::span<const uint64_t> lane_addresses,
+                           uint32_t line_bytes, std::vector<uint64_t>& out);
+
+}  // namespace stemroot::sim

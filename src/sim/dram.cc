@@ -1,0 +1,27 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stemroot::sim {
+
+DramModel::DramModel(double bytes_per_cycle, uint32_t latency_cycles)
+    : bytes_per_cycle_(bytes_per_cycle), latency_cycles_(latency_cycles) {
+  if (bytes_per_cycle <= 0.0)
+    throw std::invalid_argument("DramModel: bytes_per_cycle <= 0");
+}
+
+double DramModel::Request(double now, uint32_t bytes) {
+  const double start = std::max(now, bus_free_);
+  const double transfer = static_cast<double>(bytes) / bytes_per_cycle_;
+  bus_free_ = start + transfer;
+  bytes_transferred_ += bytes;
+  return bus_free_ + static_cast<double>(latency_cycles_);
+}
+
+void DramModel::Reset() {
+  bus_free_ = 0.0;
+  bytes_transferred_ = 0;
+}
+
+}  // namespace stemroot::sim

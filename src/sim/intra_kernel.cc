@@ -1,0 +1,125 @@
+#include "sim/intra_kernel.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stemroot::sim {
+
+void IntraKernelOptions::Validate() const {
+  if (sample_waves == 0)
+    throw std::invalid_argument("IntraKernelOptions: sample_waves == 0");
+  if (min_waves_to_sample <= warmup_waves + sample_waves)
+    throw std::invalid_argument(
+        "IntraKernelOptions: min_waves_to_sample must exceed "
+        "warmup_waves + sample_waves");
+}
+
+IntraKernelResult SimulateKernelIntra(Simulator& simulator,
+                                      const KernelInvocation& inv,
+                                      uint64_t seed,
+                                      const IntraKernelOptions& options) {
+  options.Validate();
+  const double overhead_cycles =
+      3.0 * simulator.Config().clock_ghz * 1e3;
+
+  IntraKernelResult result;
+  // The wave count is known from the launch geometry alone -- decide
+  // whether to sample before simulating anything.
+  result.total_waves =
+      PlanWaves(inv.launch, simulator.Config()).wave_warps.size();
+  const uint64_t prefix = options.warmup_waves + options.sample_waves;
+
+  if (result.total_waves <= options.min_waves_to_sample) {
+    // Short kernel: no gain from wave sampling, simulate fully.
+    const WaveSimResult waves = simulator.SimulateKernelWaves(inv, seed, 0);
+    for (double c : waves.wave_cycles) result.simulated_cycles += c;
+    result.estimated_cycles = result.simulated_cycles + overhead_cycles;
+    result.waves_simulated = waves.wave_cycles.size();
+    result.sampled = false;
+    return result;
+  }
+
+  const WaveSimResult waves =
+      simulator.SimulateKernelWaves(inv, seed, prefix);
+  result.waves_simulated = waves.wave_cycles.size();
+  for (double c : waves.wave_cycles) result.simulated_cycles += c;
+
+  // Extrapolate: warmup waves count at face value, the measured waves'
+  // mean covers every remaining wave.
+  double warmup_cycles = 0.0;
+  for (uint64_t w = 0; w < options.warmup_waves; ++w)
+    warmup_cycles += waves.wave_cycles[w];
+  double measured = 0.0;
+  for (uint64_t w = options.warmup_waves; w < prefix; ++w)
+    measured += waves.wave_cycles[w];
+  const double mean_wave =
+      measured / static_cast<double>(options.sample_waves);
+  const double remaining =
+      static_cast<double>(waves.total_waves - options.warmup_waves);
+  result.estimated_cycles =
+      warmup_cycles + mean_wave * remaining + overhead_cycles;
+  result.sampled = true;
+  return result;
+}
+
+CombinedSimResult SimulateSampledIntra(
+    const KernelTrace& trace, const core::SamplingPlan& plan,
+    const SimConfig& config, const TraceSimOptions& trace_options,
+    const IntraKernelOptions& intra_options) {
+  plan.Validate(trace.NumInvocations());
+  intra_options.Validate();
+  Simulator simulator(config);
+
+  // Previous same-kernel invocation (see SimulateSampled).
+  std::vector<int64_t> prev_same_kernel(trace.NumInvocations(), -1);
+  {
+    std::unordered_map<uint32_t, uint32_t> last_of_kernel;
+    for (uint32_t i = 0; i < trace.NumInvocations(); ++i) {
+      const uint32_t kernel_id = trace.At(i).kernel_id;
+      auto it = last_of_kernel.find(kernel_id);
+      if (it != last_of_kernel.end()) prev_same_kernel[i] = it->second;
+      last_of_kernel[kernel_id] = i;
+    }
+  }
+
+  std::unordered_map<uint32_t, double> cycles_by_invocation;
+  CombinedSimResult result;
+  for (uint32_t idx : plan.DistinctInvocations()) {
+    if (trace_options.flush_l2_between_kernels) {
+      simulator.FlushL2();
+    } else {
+      const int64_t same = prev_same_kernel[idx];
+      const bool warm_same =
+          trace_options.warmup == WarmupPolicy::kSameKernel ||
+          trace_options.warmup ==
+              WarmupPolicy::kSameKernelThenPredecessor;
+      const bool warm_pred =
+          trace_options.warmup == WarmupPolicy::kPredecessor ||
+          trace_options.warmup ==
+              WarmupPolicy::kSameKernelThenPredecessor;
+      // Warmups are themselves wave-sampled: a prefix suffices to warm
+      // the L2 region, and the point of intra sampling is to avoid
+      // full-kernel costs everywhere.
+      if (warm_same && same >= 0)
+        (void)SimulateKernelIntra(simulator,
+                                  trace.At(static_cast<uint32_t>(same)),
+                                  trace_options.seed, intra_options);
+      if (warm_pred && idx > 0 && static_cast<int64_t>(idx) - 1 != same)
+        (void)SimulateKernelIntra(simulator, trace.At(idx - 1),
+                                  trace_options.seed, intra_options);
+    }
+    const IntraKernelResult one = SimulateKernelIntra(
+        simulator, trace.At(idx), trace_options.seed, intra_options);
+    cycles_by_invocation.emplace(idx, one.estimated_cycles);
+    result.simulated_cost_cycles += one.simulated_cycles;
+    ++result.kernels_simulated;
+    if (one.sampled) ++result.kernels_wave_sampled;
+  }
+
+  for (const core::SampleEntry& entry : plan.entries)
+    result.estimated_total_cycles +=
+        entry.weight * cycles_by_invocation.at(entry.invocation);
+  return result;
+}
+
+}  // namespace stemroot::sim

@@ -1,0 +1,75 @@
+/// \file
+/// Intra-kernel (wave-level) sampling — the orthogonal technique of the
+/// paper's Sec. 7.3 ("kernel-level sampling is orthogonal to warp- or
+/// BB-level sampling, our method can be combined with cases of few kernel
+/// calls or long-running kernels"), implemented at CTA-wave granularity.
+///
+/// A long kernel executes many occupancy-limited waves of CTAs that behave
+/// near-identically once the caches warm up. Intra-kernel sampling
+/// simulates a warmup prefix plus a few measured waves and extrapolates
+/// the rest:
+///
+///   cycles ~ simulated_prefix + mean(measured waves) * remaining_waves
+///
+/// Combining this with kernel-level STEM+ROOT multiplies the speedups:
+/// kernel sampling prunes the launch list, wave sampling prunes each
+/// surviving launch.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/plan.h"
+#include "sim/sampled_sim.h"
+#include "sim/simulator.h"
+
+namespace stemroot::sim {
+
+/// Wave-sampling knobs.
+struct IntraKernelOptions {
+  /// Waves simulated but not used for the per-wave estimate (cache
+  /// warmup inside the kernel).
+  uint64_t warmup_waves = 1;
+  /// Waves measured for the extrapolation basis.
+  uint64_t sample_waves = 2;
+  /// Kernels with at most this many waves are simulated fully (no gain).
+  uint64_t min_waves_to_sample = 6;
+
+  void Validate() const;
+};
+
+/// Result of one intra-sampled kernel simulation.
+struct IntraKernelResult {
+  /// Estimated total cycles of the launch (incl. launch overhead).
+  double estimated_cycles = 0.0;
+  /// Cycles actually simulated (prefix only).
+  double simulated_cycles = 0.0;
+  uint64_t waves_simulated = 0;
+  uint64_t total_waves = 0;
+  bool sampled = false;  ///< false when the kernel was simulated fully
+};
+
+/// Simulate one kernel with wave-level sampling on an existing Simulator
+/// (so L2 state behaves exactly as in SimulateKernel).
+IntraKernelResult SimulateKernelIntra(Simulator& simulator,
+                                      const KernelInvocation& inv,
+                                      uint64_t seed,
+                                      const IntraKernelOptions& options = {});
+
+/// Combined result over a kernel-level plan.
+struct CombinedSimResult {
+  double estimated_total_cycles = 0.0;  ///< weighted extrapolation
+  double simulated_cost_cycles = 0.0;   ///< prefix cycles actually run
+  size_t kernels_simulated = 0;
+  size_t kernels_wave_sampled = 0;  ///< how many used the intra path
+};
+
+/// Kernel-level plan + intra-kernel wave sampling on every selected
+/// kernel (the Sec. 7.3 combination). Warmup policy follows `trace_options`
+/// exactly as SimulateSampled does.
+CombinedSimResult SimulateSampledIntra(
+    const KernelTrace& trace, const core::SamplingPlan& plan,
+    const SimConfig& config, const TraceSimOptions& trace_options = {},
+    const IntraKernelOptions& intra_options = {});
+
+}  // namespace stemroot::sim

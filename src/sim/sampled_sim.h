@@ -1,0 +1,76 @@
+/// \file
+/// Full vs. sampled trace simulation drivers (paper Sec. 3.5 / Fig. 5 and
+/// the Table 4 / Fig. 12 DSE experiments).
+///
+/// Full simulation runs every invocation in timeline order on one
+/// Simulator instance (L2 stays warm across kernels). Sampled simulation
+/// runs only the plan's distinct invocations and extrapolates the total
+/// with the plan weights -- exactly what a sampling-aware simulator does
+/// with the embedded sampling information.
+
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+#include "sim/simulator.h"
+
+namespace stemroot::sim {
+
+/// How the sampled simulation warms microarchitectural state before
+/// timing each selected kernel. Warmup of sampled GPU simulations is the
+/// open problem of the paper's Sec. 6.2 ("lightweight warmup strategies,
+/// such as inserting warmup instructions or short warmup kernels, may
+/// offer practical benefits"); these policies implement that spectrum.
+enum class WarmupPolicy {
+  /// No warmup: every sampled kernel starts from whatever L2 state the
+  /// previously sampled kernel left (biased cold for sparse plans).
+  kNone,
+  /// Replay the timeline predecessor untimed: reproduces the pollution
+  /// the measured kernel inherits.
+  kPredecessor,
+  /// Replay the previous invocation of the same kernel untimed: warms the
+  /// kernel's own data region.
+  kSameKernel,
+  /// Both (default): previous same-kernel launch, then the immediate
+  /// predecessor -- region warmth plus realistic pollution.
+  kSameKernelThenPredecessor,
+};
+
+/// Options shared by full and sampled runs.
+struct TraceSimOptions {
+  uint64_t seed = 1;  ///< instruction-stream seed (shared full/sampled)
+  /// Flush the L2 slice before every kernel (the Sec. 6.2 extreme-case
+  /// warmup experiment). Overrides the warmup policy.
+  bool flush_l2_between_kernels = false;
+  /// Warmup strategy for sampled simulation (ignored by full simulation,
+  /// which is always naturally warm).
+  WarmupPolicy warmup = WarmupPolicy::kSameKernelThenPredecessor;
+};
+
+/// Full-simulation result.
+struct TraceSimResult {
+  double total_cycles = 0.0;
+  std::vector<double> per_invocation_cycles;  ///< timeline order
+  SmStats stats;
+};
+
+/// Simulate every invocation of the trace.
+TraceSimResult SimulateTraceFull(const KernelTrace& trace,
+                                 const SimConfig& config,
+                                 const TraceSimOptions& options = {});
+
+/// Sampled-simulation result.
+struct SampledSimResult {
+  double estimated_total_cycles = 0.0;  ///< weighted extrapolation
+  double simulated_cost_cycles = 0.0;   ///< cycles actually simulated
+  size_t kernels_simulated = 0;
+};
+
+/// Simulate only the plan's distinct invocations and extrapolate.
+SampledSimResult SimulateSampled(const KernelTrace& trace,
+                                 const core::SamplingPlan& plan,
+                                 const SimConfig& config,
+                                 const TraceSimOptions& options = {});
+
+}  // namespace stemroot::sim

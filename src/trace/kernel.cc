@@ -1,0 +1,124 @@
+#include "trace/kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace stemroot {
+
+uint64_t KernelBehavior::ComputeInstructions() const {
+  const double mem = static_cast<double>(mem_fraction) +
+                     static_cast<double>(shared_fraction);
+  const double compute = std::max(0.0, 1.0 - mem);
+  return static_cast<uint64_t>(std::llround(
+      static_cast<double>(instructions) * compute));
+}
+
+uint64_t KernelBehavior::GlobalMemInstructions() const {
+  return static_cast<uint64_t>(std::llround(
+      static_cast<double>(instructions) * mem_fraction));
+}
+
+uint64_t KernelBehavior::SharedMemInstructions() const {
+  return static_cast<uint64_t>(std::llround(
+      static_cast<double>(instructions) * shared_fraction));
+}
+
+void KernelBehavior::Validate() const {
+  auto in01 = [](float v) { return v >= 0.0f && v <= 1.0f; };
+  if (!in01(mem_fraction) || !in01(shared_fraction) || !in01(locality) ||
+      !in01(coalescing) || !in01(branch_divergence) || !in01(fp16_fraction) ||
+      !in01(fp32_fraction) || !in01(store_fraction))
+    throw std::invalid_argument("KernelBehavior: fraction outside [0, 1]");
+  if (mem_fraction + shared_fraction > 1.0f)
+    throw std::invalid_argument(
+        "KernelBehavior: mem_fraction + shared_fraction > 1");
+  if (fp16_fraction + fp32_fraction > 1.0f)
+    throw std::invalid_argument(
+        "KernelBehavior: fp16_fraction + fp32_fraction > 1");
+  if (ilp < 1.0f) throw std::invalid_argument("KernelBehavior: ilp < 1");
+  if (input_scale <= 0.0f)
+    throw std::invalid_argument("KernelBehavior: input_scale <= 0");
+}
+
+const char* KernelMetrics::Name(size_t i) {
+  static const char* kNames[kCount] = {
+      "shared_load_transactions", "shared_store_transactions",
+      "global_load_transactions", "global_store_transactions",
+      "l1_hit_rate",              "l2_read_transactions",
+      "l2_read_hit_rate",         "l2_write_transactions",
+      "fp16_ops",                 "fp32_ops",
+      "warp_execution_efficiency", "branch_efficiency",
+      "achieved_occupancy"};
+  if (i >= kCount) throw std::out_of_range("KernelMetrics::Name");
+  return kNames[i];
+}
+
+double KernelMetrics::Get(size_t i) const {
+  switch (i) {
+    case 0: return shared_load_transactions;
+    case 1: return shared_store_transactions;
+    case 2: return global_load_transactions;
+    case 3: return global_store_transactions;
+    case 4: return l1_hit_rate;
+    case 5: return l2_read_transactions;
+    case 6: return l2_read_hit_rate;
+    case 7: return l2_write_transactions;
+    case 8: return fp16_ops;
+    case 9: return fp32_ops;
+    case 10: return warp_execution_efficiency;
+    case 11: return branch_efficiency;
+    case 12: return achieved_occupancy;
+    default: throw std::out_of_range("KernelMetrics::Get");
+  }
+}
+
+void KernelMetrics::Set(size_t i, double v) {
+  switch (i) {
+    case 0: shared_load_transactions = v; break;
+    case 1: shared_store_transactions = v; break;
+    case 2: global_load_transactions = v; break;
+    case 3: global_store_transactions = v; break;
+    case 4: l1_hit_rate = v; break;
+    case 5: l2_read_transactions = v; break;
+    case 6: l2_read_hit_rate = v; break;
+    case 7: l2_write_transactions = v; break;
+    case 8: fp16_ops = v; break;
+    case 9: fp32_ops = v; break;
+    case 10: warp_execution_efficiency = v; break;
+    case 11: branch_efficiency = v; break;
+    case 12: achieved_occupancy = v; break;
+    default: throw std::out_of_range("KernelMetrics::Set");
+  }
+}
+
+bool KernelMetrics::IsRate(size_t i) {
+  // l1_hit_rate, l2_read_hit_rate, warp_execution_efficiency,
+  // branch_efficiency, achieved_occupancy are rates; the rest are counts.
+  return i == 4 || i == 6 || i == 10 || i == 11 || i == 12;
+}
+
+KernelType KernelType::Synthesize(const std::string& name,
+                                  uint32_t num_basic_blocks) {
+  if (num_basic_blocks == 0)
+    throw std::invalid_argument("KernelType: num_basic_blocks == 0");
+  KernelType type;
+  type.name = name;
+  type.num_basic_blocks = num_basic_blocks;
+  type.block_weights.resize(num_basic_blocks);
+
+  // Deterministic per-name CFG: weights follow a skewed distribution so a
+  // few "hot loop" blocks dominate, like real GPU kernels.
+  Rng rng(DeriveSeed(HashString(name), 0xB10C5));
+  double total = 0.0;
+  for (auto& w : type.block_weights) {
+    w = static_cast<float>(std::pow(rng.NextDouble(0.02, 1.0), 3.0));
+    total += w;
+  }
+  for (auto& w : type.block_weights)
+    w = static_cast<float>(w / total);
+  return type;
+}
+
+}  // namespace stemroot

@@ -1,0 +1,150 @@
+/// \file
+/// Kernel-level workload representation.
+///
+/// A GPU workload is modelled exactly the way kernel-level samplers see it
+/// (paper Sec. 3.1): an ordered sequence of kernel *invocations*, each an
+/// instance of a named kernel *type* with a launch configuration and a
+/// hardware-independent behaviour descriptor. The descriptor captures the
+/// "input characteristics and memory locality" the paper identifies as the
+/// hidden sources of runtime heterogeneity (Sec. 2.1): the same kernel type
+/// invoked in different *contexts* carries different descriptors even though
+/// its code (instruction mix, CFG) is unchanged.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stemroot {
+
+/// CUDA-style launch geometry.
+struct LaunchConfig {
+  uint32_t grid_x = 1, grid_y = 1, grid_z = 1;
+  uint32_t block_x = 32, block_y = 1, block_z = 1;
+
+  uint64_t NumCtas() const {
+    return static_cast<uint64_t>(grid_x) * grid_y * grid_z;
+  }
+  uint32_t ThreadsPerCta() const { return block_x * block_y * block_z; }
+  uint64_t TotalThreads() const { return NumCtas() * ThreadsPerCta(); }
+  /// Warps per CTA, rounded up to whole warps of 32 threads.
+  uint32_t WarpsPerCta() const { return (ThreadsPerCta() + 31) / 32; }
+  uint64_t TotalWarps() const { return NumCtas() * WarpsPerCta(); }
+
+  bool operator==(const LaunchConfig&) const = default;
+};
+
+/// Hardware-independent description of what one kernel invocation does.
+///
+/// Both the analytic hardware model (src/hw) and the cycle-level simulator
+/// (src/sim) consume this structure; neither ever sees the generator's
+/// hidden context id, so timing differences between contexts arise only
+/// through these observable fields (plus modelled jitter).
+struct KernelBehavior {
+  /// Total dynamic instructions across all threads.
+  uint64_t instructions = 0;
+  /// Working-set size touched in global memory.
+  uint64_t footprint_bytes = 0;
+  /// Fraction of instructions that are global loads/stores.
+  float mem_fraction = 0.0f;
+  /// Fraction of instructions that are shared-memory accesses.
+  float shared_fraction = 0.0f;
+  /// Temporal reuse in [0, 1]; drives cache hit rates (1 = tight blocking
+  /// with short reuse distances). This is the field that differs across
+  /// contexts with identical code -- the paper's "input sparsity, tensor
+  /// layout, memory alignment, and cache locality".
+  float locality = 0.5f;
+  /// Spatial contiguity of simultaneous accesses within a warp, in [0, 1];
+  /// 1 = perfectly coalesced (1 transaction per warp access), 0 = fully
+  /// scattered (32 transactions). Orthogonal to temporal reuse: streaming
+  /// kernels are coalesced but reuse nothing; gathers are neither.
+  float coalescing = 0.9f;
+  /// Branch divergence in [0, 1]; 0 = fully converged warps.
+  float branch_divergence = 0.0f;
+  /// Of compute instructions, fraction executed at FP16 precision.
+  float fp16_fraction = 0.0f;
+  /// Of compute instructions, fraction executed at FP32 precision.
+  float fp32_fraction = 0.7f;
+  /// Instruction-level parallelism: mean independent-chain width (>= 1).
+  float ilp = 2.0f;
+  /// Multiplier on the kernel type's loop trip counts; input-size dependent
+  /// and therefore visible in BBVs (this is what lets Photon do better than
+  /// instruction-count-only signatures).
+  float input_scale = 1.0f;
+  /// Store-to-load ratio among global memory ops, in [0, 1] = stores/(all).
+  float store_fraction = 0.3f;
+
+  /// Number of compute (non-memory) instructions.
+  uint64_t ComputeInstructions() const;
+  /// Number of global memory instructions.
+  uint64_t GlobalMemInstructions() const;
+  /// Number of shared memory instructions.
+  uint64_t SharedMemInstructions() const;
+
+  /// Validate ranges; throws std::invalid_argument on violation.
+  void Validate() const;
+};
+
+/// The 13 microarchitectural metrics validated in the paper's Fig. 14,
+/// spanning the four categories of Sec. 5.5: (1) shared/global memory
+/// access, (2) L1/L2 cache, (3) FP16/FP32 operation counts, (4) warp
+/// execution / branch efficiency.
+struct KernelMetrics {
+  double shared_load_transactions = 0;
+  double shared_store_transactions = 0;
+  double global_load_transactions = 0;
+  double global_store_transactions = 0;
+  double l1_hit_rate = 0;        ///< [0, 1]
+  double l2_read_transactions = 0;
+  double l2_read_hit_rate = 0;   ///< [0, 1]; writes always hit (Sec. 5.5)
+  double l2_write_transactions = 0;
+  double fp16_ops = 0;
+  double fp32_ops = 0;
+  double warp_execution_efficiency = 0;  ///< [0, 1]
+  double branch_efficiency = 0;          ///< [0, 1]
+  double achieved_occupancy = 0;         ///< [0, 1]
+
+  /// Number of metric fields (for iteration in validators/benches).
+  static constexpr size_t kCount = 13;
+  /// Human-readable metric names, index-aligned with Get().
+  static const char* Name(size_t i);
+  /// Access by index in declaration order.
+  double Get(size_t i) const;
+  /// Mutate by index.
+  void Set(size_t i, double v);
+  /// True for rate-like metrics in [0,1] (averaged, not summed, when
+  /// extrapolating a sampled workload).
+  static bool IsRate(size_t i);
+};
+
+/// Static (code-level) identity of a kernel: what NVBit/NCU-style tools can
+/// see without running it. Shared by all invocations of the same name.
+struct KernelType {
+  std::string name;
+  /// Number of static basic blocks in the (synthetic) CFG; BBVs have this
+  /// dimensionality.
+  uint32_t num_basic_blocks = 8;
+  /// Per-block relative weight of the static code (sums to ~1); contexts
+  /// modulate these through KernelBehavior::input_scale.
+  std::vector<float> block_weights;
+
+  /// Build a type with a deterministic pseudo-random CFG derived from the
+  /// name, with the given number of blocks.
+  static KernelType Synthesize(const std::string& name,
+                               uint32_t num_basic_blocks);
+};
+
+/// One kernel launch in the workload timeline.
+struct KernelInvocation {
+  uint32_t kernel_id = 0;    ///< index into the trace's kernel-type table
+  uint32_t context_id = 0;   ///< hidden ground-truth context (validation only)
+  uint64_t seq = 0;          ///< position in the workload timeline
+  LaunchConfig launch;
+  KernelBehavior behavior;
+  /// Execution time measured by the profiling pass on the "real" GPU, in
+  /// microseconds. Filled by hw::HardwareModel::ProfileTrace.
+  double duration_us = 0.0;
+};
+
+}  // namespace stemroot

@@ -1,0 +1,130 @@
+#include "trace/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "common/str.h"
+
+namespace stemroot {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'T', 'R'};
+constexpr uint32_t kVersion = 2;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::ifstream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("LoadTraceBinary: truncated file");
+  return value;
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::ifstream& in) {
+  const uint32_t len = ReadPod<uint32_t>(in);
+  if (len > (1u << 20))
+    throw std::runtime_error("LoadTraceBinary: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("LoadTraceBinary: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void SaveTraceBinary(const KernelTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("SaveTraceBinary: cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WriteString(out, trace.WorkloadName());
+
+  WritePod<uint32_t>(out, static_cast<uint32_t>(trace.NumKernelTypes()));
+  for (uint32_t k = 0; k < trace.NumKernelTypes(); ++k) {
+    const KernelType& type = trace.Type(k);
+    WriteString(out, type.name);
+    WritePod(out, type.num_basic_blocks);
+    WritePod<uint32_t>(out, static_cast<uint32_t>(type.block_weights.size()));
+    for (float w : type.block_weights) WritePod(out, w);
+  }
+
+  WritePod<uint64_t>(out, trace.NumInvocations());
+  for (const KernelInvocation& inv : trace.Invocations()) {
+    WritePod(out, inv.kernel_id);
+    WritePod(out, inv.context_id);
+    WritePod(out, inv.launch);
+    WritePod(out, inv.behavior);
+    WritePod(out, inv.duration_us);
+  }
+  if (!out) throw std::runtime_error("SaveTraceBinary: write failed");
+}
+
+KernelTrace LoadTraceBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LoadTraceBinary: cannot open " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("LoadTraceBinary: bad magic");
+  const uint32_t version = ReadPod<uint32_t>(in);
+  if (version != kVersion)
+    throw std::runtime_error("LoadTraceBinary: unsupported version");
+
+  KernelTrace trace(ReadString(in));
+
+  const uint32_t num_types = ReadPod<uint32_t>(in);
+  for (uint32_t k = 0; k < num_types; ++k) {
+    KernelType type;
+    type.name = ReadString(in);
+    type.num_basic_blocks = ReadPod<uint32_t>(in);
+    const uint32_t weights = ReadPod<uint32_t>(in);
+    type.block_weights.resize(weights);
+    for (auto& w : type.block_weights) w = ReadPod<float>(in);
+    trace.AddKernelType(std::move(type));
+  }
+
+  const uint64_t num_invocations = ReadPod<uint64_t>(in);
+  trace.Reserve(num_invocations);
+  for (uint64_t i = 0; i < num_invocations; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = ReadPod<uint32_t>(in);
+    inv.context_id = ReadPod<uint32_t>(in);
+    inv.launch = ReadPod<LaunchConfig>(in);
+    inv.behavior = ReadPod<KernelBehavior>(in);
+    inv.duration_us = ReadPod<double>(in);
+    trace.Add(inv);
+  }
+  return trace;
+}
+
+void ExportTimelineCsv(const KernelTrace& trace, const std::string& path) {
+  CsvWriter csv(path);
+  csv.WriteHeader({"kernel", "seq", "duration_us", "grid", "block",
+                   "instructions"});
+  for (const KernelInvocation& inv : trace.Invocations()) {
+    csv.WriteRow({trace.NameOf(inv), std::to_string(inv.seq),
+                  Format("%.4f", inv.duration_us),
+                  Format("%ux%ux%u", inv.launch.grid_x, inv.launch.grid_y,
+                         inv.launch.grid_z),
+                  Format("%ux%ux%u", inv.launch.block_x, inv.launch.block_y,
+                         inv.launch.block_z),
+                  std::to_string(inv.behavior.instructions)});
+  }
+  csv.Flush();
+}
+
+}  // namespace stemroot

@@ -1,0 +1,31 @@
+/// \file
+/// Trace (de)serialization.
+///
+/// Two formats:
+///  - a compact binary format ("SRTR") for round-tripping full traces, so
+///    expensive generated workloads can be cached on disk;
+///  - a CSV export of the profiled timeline (name, seq, duration, launch
+///    geometry), mirroring what an Nsight Systems export looks like and
+///    feeding external plotting.
+
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace stemroot {
+
+/// Write a full trace to a binary file. Throws std::runtime_error on I/O
+/// failure.
+void SaveTraceBinary(const KernelTrace& trace, const std::string& path);
+
+/// Read a trace previously written by SaveTraceBinary. Throws
+/// std::runtime_error on I/O failure or format violation.
+KernelTrace LoadTraceBinary(const std::string& path);
+
+/// Export the profiled timeline as CSV (header: kernel,seq,duration_us,
+/// grid,block,instructions). Throws std::runtime_error on I/O failure.
+void ExportTimelineCsv(const KernelTrace& trace, const std::string& path);
+
+}  // namespace stemroot

@@ -1,0 +1,48 @@
+#include "trace/trace.h"
+
+#include <stdexcept>
+
+namespace stemroot {
+
+uint32_t KernelTrace::AddKernelType(KernelType type) {
+  auto it = name_to_id_.find(type.name);
+  if (it != name_to_id_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(types_.size());
+  name_to_id_.emplace(type.name, id);
+  types_.push_back(std::move(type));
+  return id;
+}
+
+uint32_t KernelTrace::InternKernel(const std::string& name,
+                                   uint32_t num_basic_blocks) {
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  return AddKernelType(KernelType::Synthesize(name, num_basic_blocks));
+}
+
+void KernelTrace::Add(KernelInvocation inv) {
+  if (inv.kernel_id >= types_.size())
+    throw std::invalid_argument("KernelTrace::Add: unregistered kernel_id");
+  inv.seq = invocations_.size();
+  invocations_.push_back(inv);
+}
+
+int64_t KernelTrace::FindKernel(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  return it == name_to_id_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+double KernelTrace::TotalDurationUs() const {
+  double total = 0.0;
+  for (const auto& inv : invocations_) total += inv.duration_us;
+  return total;
+}
+
+std::vector<std::vector<uint32_t>> KernelTrace::GroupByKernel() const {
+  std::vector<std::vector<uint32_t>> groups(types_.size());
+  for (size_t i = 0; i < invocations_.size(); ++i)
+    groups[invocations_[i].kernel_id].push_back(static_cast<uint32_t>(i));
+  return groups;
+}
+
+}  // namespace stemroot

@@ -1,0 +1,238 @@
+#include "workloads/casio.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workloads/ml_builder.h"
+
+namespace stemroot::workloads {
+
+namespace {
+
+uint64_t Iters(uint64_t base, double s) {
+  return std::max<uint64_t>(
+      4, static_cast<uint64_t>(std::llround(static_cast<double>(base) * s)));
+}
+
+/// Transformer encoder stack shared by bert_infer / bert_train.
+WorkloadSpec Bert(double s, bool train) {
+  MlWorkloadBuilder b(train ? "bert_train" : "bert_infer");
+  const uint32_t gemm = b.AddKernel(MakeGemm("sgemm_128x64_nn", 1.0, 3));
+  const uint32_t softmax = b.AddKernel(MakeSoftmax("softmax_fw", 1.0));
+  const uint32_t ln = b.AddKernel(MakeLayerNorm("layernorm_fw", 1.0));
+  const uint32_t gelu = b.AddKernel(MakeElementwise("gelu_fw", 1.0));
+  const uint32_t add = b.AddKernel(MakeElementwise("elementwise_add", 1.0));
+  uint32_t dgemm = 0, opt = 0, dropout = 0;
+  if (train) {
+    dgemm = b.AddKernel(MakeGemm("sgemm_128x64_tn", 1.1, 3));
+    opt = b.AddKernel(MakeOptimizerStep("adam_update", 1.0));
+    dropout = b.AddKernel(MakeElementwise("dropout_fw", 1.0));
+  }
+
+  const int layers = 12;
+  for (int layer = 0; layer < layers; ++layer) {
+    b.Op(ln, 0);
+    b.Op(gemm, 0, 3);  // Q, K, V projections
+    b.Op(softmax, 0);
+    b.Op(gemm, 1);     // attention output projection
+    b.Op(add, 0);
+    b.Op(ln, 1);       // same code, colder cache (pre-FFN context)
+    b.Op(gemm, 2);     // FFN up (4x hidden)
+    b.Op(gelu, 0);
+    b.Op(gemm, 1);     // FFN down
+    b.Op(add, 0);
+    if (train) {
+      b.Op(dropout, 0, 2);
+      b.Op(dgemm, 2);  // FFN weight grads
+      b.Op(dgemm, 1, 2);
+      b.Op(dgemm, 0, 3);
+    }
+  }
+  b.Op(gemm, 1);  // pooler / classifier head
+  if (train) b.Op(opt, 0);
+  return std::move(b).Build(Iters(train ? 300 : 470, s));
+}
+
+/// DLRM: embedding-dominated recommendation model (paper Fig. 10 subject).
+WorkloadSpec Dlrm(double s, bool train) {
+  MlWorkloadBuilder b(train ? "dlrm_train" : "dlrm_infer");
+  const uint32_t emb =
+      b.AddKernel(MakeEmbeddingLookup("embedding_lookup", 1.0));
+  const uint32_t bot = b.AddKernel(MakeGemm("sgemm_32x32_sliced", 0.05, 2));
+  const uint32_t top = b.AddKernel(MakeGemm("sgemm_64x32_sliced", 0.12, 2));
+  const uint32_t inter = b.AddKernel(MakeElementwise("interact_features", 0.4));
+  const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", 0.3));
+  uint32_t opt = 0, grad = 0;
+  if (train) {
+    grad = b.AddKernel(MakeEmbeddingLookup("embedding_grad", 1.3));
+    opt = b.AddKernel(MakeOptimizerStep("sgd_update", 0.5));
+  }
+
+  b.Op(emb, 0, 26);  // 26 sparse features
+  b.Op(bot, 0).Op(relu, 0).Op(bot, 1).Op(relu, 0);
+  b.Op(inter, 0);
+  b.Op(top, 0).Op(relu, 0).Op(top, 1).Op(relu, 0).Op(top, 1);
+  if (train) {
+    b.Op(grad, 0, 8);
+    b.Op(opt, 0);
+  }
+  return std::move(b).Build(Iters(train ? 1400 : 1800, s));
+}
+
+/// GNMT-style recurrent seq2seq: per-timestep LSTM gate GEMMs.
+WorkloadSpec GnmtInfer(double s) {
+  MlWorkloadBuilder b("gnmt_infer");
+  const uint32_t gemm = b.AddKernel(MakeGemm("lstm_gemm_128x64", 0.4, 2));
+  const uint32_t gates = b.AddKernel(MakeElementwise("lstm_pointwise", 0.6));
+  const uint32_t softmax = b.AddKernel(MakeSoftmax("softmax_fw", 1.4));
+  const uint32_t attn = b.AddKernel(MakeElementwise("attention_score", 0.8));
+
+  const int timesteps = 40;
+  for (int t = 0; t < timesteps; ++t) {
+    b.Op(gemm, 0).Op(gemm, 1);   // input + recurrent projections
+    b.Op(gates, 0);
+    b.Op(attn, 0);
+    b.Op(softmax, t % 2 == 0 ? 0u : 1u);
+  }
+  return std::move(b).Build(Iters(310, s));
+}
+
+/// NCF: tiny MLP + two embedding gathers per step.
+WorkloadSpec NcfInfer(double s) {
+  MlWorkloadBuilder b("ncf_infer");
+  const uint32_t emb = b.AddKernel(MakeEmbeddingLookup("embedding_lookup", 0.4));
+  const uint32_t mlp = b.AddKernel(MakeGemm("sgemm_32x32_sliced", 0.03, 2));
+  const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", 0.15));
+  const uint32_t sig = b.AddKernel(MakeElementwise("sigmoid_fw", 0.05));
+
+  b.Op(emb, 0, 2);
+  b.Op(mlp, 0).Op(relu, 0).Op(mlp, 1).Op(relu, 0).Op(mlp, 1).Op(sig, 0);
+  return std::move(b).Build(Iters(7800, s));
+}
+
+/// ResNet-50 style CNN.
+WorkloadSpec Resnet50(double s, bool train) {
+  MlWorkloadBuilder b(train ? "resnet50_train" : "resnet50_infer");
+  const uint32_t conv =
+      b.AddKernel(MakeWinogradConv("volta_scudnn_winograd_128x128", 1.0));
+  const uint32_t bn = b.AddKernel(MakeBatchnorm("bn_fw_inf", 1.0));
+  const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", 0.6));
+  const uint32_t pool = b.AddKernel(MakeMaxPool("max_pool_fw", 1.0));
+  const uint32_t fc = b.AddKernel(MakeGemm("sgemm_128x64_nn", 0.4, 1));
+  const uint32_t add = b.AddKernel(MakeElementwise("elementwise_add", 0.6));
+  uint32_t wgrad = 0, opt = 0;
+  if (train) {
+    wgrad = b.AddKernel(MakeWinogradConv("volta_scudnn_wgrad_128x128", 1.2));
+    opt = b.AddKernel(MakeOptimizerStep("sgd_momentum_update", 0.8));
+  }
+
+  // Stage structure: early stages use the wide-context conv, late stages
+  // the deep-context conv; bn context follows depth (its 3 shapes).
+  b.Op(conv, 0).Op(bn, 0).Op(relu, 0).Op(pool, 0);
+  for (int block = 0; block < 6; ++block) {  // stages 1-2
+    b.Op(conv, 0, 3).Op(bn, 0, 3).Op(relu, 0, 3).Op(add, 0);
+  }
+  for (int block = 0; block < 6; ++block) {  // stage 3
+    b.Op(conv, 1, 3).Op(bn, 1, 3).Op(relu, 0, 3).Op(add, 0);
+  }
+  for (int block = 0; block < 4; ++block) {  // stage 4
+    b.Op(conv, 1, 3).Op(bn, 2, 3).Op(relu, 0, 3).Op(add, 0);
+  }
+  b.Op(pool, 0).Op(fc, 0);
+  if (train) {
+    b.Op(wgrad, 0, 8).Op(wgrad, 1, 8);
+    b.Op(opt, 0);
+  }
+  return std::move(b).Build(Iters(train ? 280 : 380, s));
+}
+
+/// SSD-ResNet34 detector.
+WorkloadSpec SsdRn34Infer(double s) {
+  MlWorkloadBuilder b("ssdrn34_infer");
+  const uint32_t conv =
+      b.AddKernel(MakeWinogradConv("volta_scudnn_winograd_128x128", 0.8));
+  const uint32_t bn = b.AddKernel(MakeBatchnorm("bn_fw_inf", 0.8));
+  const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", 0.5));
+  const uint32_t head = b.AddKernel(MakeGemm("detection_head_gemm", 0.25, 2));
+  const uint32_t nms = b.AddKernel(MakeEmbeddingLookup("nms_gather", 0.15));
+  const uint32_t softmax = b.AddKernel(MakeSoftmax("softmax_fw", 0.8));
+
+  for (int block = 0; block < 10; ++block) {
+    b.Op(conv, block < 6 ? 0u : 1u, 3);
+    b.Op(bn, block < 4 ? 0u : (block < 8 ? 1u : 2u), 3);
+    b.Op(relu, 0, 3);
+  }
+  b.Op(head, 0, 3).Op(head, 1, 3);
+  b.Op(softmax, 0).Op(nms, 0);
+  return std::move(b).Build(Iters(760, s));
+}
+
+/// UNet encoder/decoder.
+WorkloadSpec Unet(double s, bool train) {
+  MlWorkloadBuilder b(train ? "unet_train" : "unet_infer");
+  const uint32_t conv =
+      b.AddKernel(MakeWinogradConv("volta_scudnn_winograd_128x128", 1.3));
+  const uint32_t bn = b.AddKernel(MakeBatchnorm("bn_fw_inf", 1.2));
+  const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", 0.9));
+  const uint32_t pool = b.AddKernel(MakeMaxPool("max_pool_fw", 1.3));
+  const uint32_t up = b.AddKernel(MakeElementwise("upsample_nearest", 1.1));
+  const uint32_t cat = b.AddKernel(MakeElementwise("concat_channels", 1.0));
+  uint32_t wgrad = 0, opt = 0;
+  if (train) {
+    wgrad = b.AddKernel(MakeWinogradConv("volta_scudnn_wgrad_128x128", 1.5));
+    opt = b.AddKernel(MakeOptimizerStep("adam_update", 1.1));
+  }
+
+  for (int level = 0; level < 4; ++level) {  // encoder
+    b.Op(conv, level < 2 ? 0u : 1u, 2);
+    b.Op(bn, level < 2 ? 0u : 2u, 2);
+    b.Op(relu, 0, 2);
+    b.Op(pool, 0);
+  }
+  b.Op(conv, 1, 2).Op(bn, 2, 2).Op(relu, 0, 2);  // bottleneck
+  for (int level = 0; level < 4; ++level) {  // decoder
+    b.Op(up, 0).Op(cat, 0);
+    b.Op(conv, level < 2 ? 1u : 0u, 2);
+    b.Op(bn, level < 2 ? 2u : 0u, 2);
+    b.Op(relu, 0, 2);
+  }
+  if (train) {
+    b.Op(wgrad, 0, 6).Op(wgrad, 1, 6);
+    b.Op(opt, 0);
+  }
+  return std::move(b).Build(Iters(train ? 700 : 900, s));
+}
+
+}  // namespace
+
+const std::vector<std::string>& CasioNames() {
+  static const std::vector<std::string> kNames = {
+      "bert_infer",     "bert_train",     "dlrm_infer",  "dlrm_train",
+      "gnmt_infer",     "ncf_infer",      "resnet50_infer",
+      "resnet50_train", "ssdrn34_infer",  "unet_infer",  "unet_train"};
+  return kNames;
+}
+
+WorkloadSpec CasioSpec(const std::string& name, double size_scale) {
+  if (size_scale <= 0.0)
+    throw std::invalid_argument("CasioSpec: size_scale <= 0");
+  if (name == "bert_infer") return Bert(size_scale, false);
+  if (name == "bert_train") return Bert(size_scale, true);
+  if (name == "dlrm_infer") return Dlrm(size_scale, false);
+  if (name == "dlrm_train") return Dlrm(size_scale, true);
+  if (name == "gnmt_infer") return GnmtInfer(size_scale);
+  if (name == "ncf_infer") return NcfInfer(size_scale);
+  if (name == "resnet50_infer") return Resnet50(size_scale, false);
+  if (name == "resnet50_train") return Resnet50(size_scale, true);
+  if (name == "ssdrn34_infer") return SsdRn34Infer(size_scale);
+  if (name == "unet_infer") return Unet(size_scale, false);
+  if (name == "unet_train") return Unet(size_scale, true);
+  throw std::invalid_argument("CasioSpec: unknown workload '" + name + "'");
+}
+
+KernelTrace MakeCasio(const std::string& name, uint64_t seed,
+                      double size_scale) {
+  return GenerateWorkload(CasioSpec(name, size_scale), seed);
+}
+
+}  // namespace stemroot::workloads

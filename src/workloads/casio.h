@@ -1,0 +1,32 @@
+/// \file
+/// CASIO-like ML benchmark suite generators (11 workloads, Table 2).
+///
+/// Each workload lowers a model's compute graph into a repeated kernel
+/// sequence over the shared ML kernel vocabulary (ml_builder.h), averaging
+/// ~64k kernel invocations per workload as in the paper's Table 2. The
+/// suite exhibits the Fig. 1 phenomenology: GEMMs with multiple narrow
+/// peaks, batchnorm with three separated peaks, wide memory-bound pooling
+/// and embedding kernels.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/context_model.h"
+
+namespace stemroot::workloads {
+
+/// Names of the 11 CASIO-like workloads.
+const std::vector<std::string>& CasioNames();
+
+/// Build the generative spec for one workload. size_scale scales the
+/// number of graph iterations (batches). Throws for unknown names.
+WorkloadSpec CasioSpec(const std::string& name, double size_scale = 1.0);
+
+/// Generate a trace (durations unset; profile with hw::HardwareModel).
+KernelTrace MakeCasio(const std::string& name, uint64_t seed,
+                      double size_scale = 1.0);
+
+}  // namespace stemroot::workloads

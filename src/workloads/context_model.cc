@@ -1,0 +1,220 @@
+#include "workloads/context_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace stemroot::workloads {
+
+uint64_t WorkloadSpec::TotalInvocations() const {
+  if (schedule == ScheduleKind::kRandomMix) return random_invocations;
+  uint64_t per_iteration = 0;
+  for (const GraphOp& op : graph) per_iteration += op.repeat;
+  return per_iteration * iterations;
+}
+
+void WorkloadSpec::Validate() const {
+  if (kernels.empty())
+    throw std::invalid_argument("WorkloadSpec: no kernels");
+  for (const KernelSpec& k : kernels) {
+    if (k.contexts.empty())
+      throw std::invalid_argument("WorkloadSpec: kernel '" + k.name +
+                                  "' has no contexts");
+    for (const ContextSpec& c : k.contexts) c.base.Validate();
+  }
+  if (schedule == ScheduleKind::kGraphLoop) {
+    if (graph.empty())
+      throw std::invalid_argument("WorkloadSpec: empty graph");
+    for (const GraphOp& op : graph) {
+      if (op.kernel >= kernels.size())
+        throw std::invalid_argument("WorkloadSpec: graph op kernel index");
+      if (op.context >= kernels[op.kernel].contexts.size())
+        throw std::invalid_argument("WorkloadSpec: graph op context index");
+      if (op.repeat == 0)
+        throw std::invalid_argument("WorkloadSpec: graph op repeat == 0");
+    }
+  } else {
+    size_t pairs = 0;
+    for (const KernelSpec& k : kernels) pairs += k.contexts.size();
+    if (mix_weights.size() != pairs)
+      throw std::invalid_argument(
+          "WorkloadSpec: mix_weights arity != total (kernel, context) pairs");
+    const double sum =
+        std::accumulate(mix_weights.begin(), mix_weights.end(), 0.0);
+    if (sum <= 0.0)
+      throw std::invalid_argument("WorkloadSpec: mix_weights sum <= 0");
+    if (random_invocations == 0)
+      throw std::invalid_argument("WorkloadSpec: random_invocations == 0");
+  }
+}
+
+namespace {
+
+/// Draw one invocation of (kernel k, context c) with per-invocation jitter.
+KernelInvocation DrawInvocation(const KernelSpec& kernel_spec,
+                                uint32_t kernel_id, uint32_t context_id,
+                                Rng& rng) {
+  const ContextSpec& ctx = kernel_spec.contexts[context_id];
+  KernelInvocation inv;
+  inv.kernel_id = kernel_id;
+  inv.context_id = context_id;
+  inv.launch = ctx.launch;
+  inv.behavior = ctx.base;
+
+  if (ctx.instr_sigma > 0.0) {
+    const double scale = rng.NextLogNormal(
+        -0.5 * ctx.instr_sigma * ctx.instr_sigma, ctx.instr_sigma);
+    inv.behavior.instructions = std::max<uint64_t>(
+        32, static_cast<uint64_t>(std::llround(
+                static_cast<double>(ctx.base.instructions) * scale)));
+    // Input-size-dependent loop trips scale with dynamic instructions, so
+    // BBVs see this jitter too.
+    inv.behavior.input_scale =
+        ctx.base.input_scale * static_cast<float>(scale);
+  }
+  if (ctx.footprint_sigma > 0.0) {
+    const double scale = rng.NextLogNormal(
+        -0.5 * ctx.footprint_sigma * ctx.footprint_sigma,
+        ctx.footprint_sigma);
+    inv.behavior.footprint_bytes = std::max<uint64_t>(
+        1024, static_cast<uint64_t>(std::llround(
+                  static_cast<double>(ctx.base.footprint_bytes) * scale)));
+  }
+  if (ctx.locality_sigma > 0.0) {
+    const double loc = static_cast<double>(ctx.base.locality) +
+                       rng.NextGaussian(0.0, ctx.locality_sigma);
+    inv.behavior.locality =
+        static_cast<float>(std::clamp(loc, 0.0, 1.0));
+  }
+  return inv;
+}
+
+}  // namespace
+
+KernelTrace GenerateWorkload(const WorkloadSpec& spec, uint64_t seed) {
+  spec.Validate();
+
+  KernelTrace trace(spec.name);
+  std::vector<uint32_t> kernel_ids;
+  kernel_ids.reserve(spec.kernels.size());
+  for (const KernelSpec& k : spec.kernels)
+    kernel_ids.push_back(
+        trace.AddKernelType(KernelType::Synthesize(k.name,
+                                                   k.num_basic_blocks)));
+
+  Rng rng(DeriveSeed(seed, HashString(spec.name)));
+  const uint64_t total = spec.TotalInvocations();
+  trace.Reserve(total);
+
+  auto emit = [&](uint32_t kernel, uint32_t context, uint64_t index) {
+    KernelInvocation inv =
+        DrawInvocation(spec.kernels[kernel], kernel_ids[kernel], context,
+                       rng);
+    if (spec.mutator) spec.mutator(index, total, inv);
+    inv.behavior.Validate();
+    trace.Add(inv);
+  };
+
+  if (spec.schedule == ScheduleKind::kGraphLoop) {
+    uint64_t index = 0;
+    for (uint64_t it = 0; it < spec.iterations; ++it)
+      for (const GraphOp& op : spec.graph)
+        for (uint32_t r = 0; r < op.repeat; ++r)
+          emit(op.kernel, op.context, index++);
+  } else {
+    // Flatten (kernel, context) pair table and build a cumulative weight
+    // vector for O(log P) sampling.
+    std::vector<std::pair<uint32_t, uint32_t>> pairs;
+    for (uint32_t k = 0; k < spec.kernels.size(); ++k)
+      for (uint32_t c = 0; c < spec.kernels[k].contexts.size(); ++c)
+        pairs.emplace_back(k, c);
+    std::vector<double> cumulative(pairs.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      acc += spec.mix_weights[i];
+      cumulative[i] = acc;
+    }
+    for (uint64_t i = 0; i < spec.random_invocations; ++i) {
+      const double u = rng.NextDouble() * acc;
+      const size_t pick = static_cast<size_t>(
+          std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+          cumulative.begin());
+      const auto [k, c] = pairs[std::min(pick, pairs.size() - 1)];
+      emit(k, c, i);
+    }
+  }
+  return trace;
+}
+
+void ScaleSpecWork(WorkloadSpec& spec, double factor) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("ScaleSpecWork: factor <= 0");
+  for (KernelSpec& kernel : spec.kernels) {
+    for (ContextSpec& ctx : kernel.contexts) {
+      ctx.base.instructions = std::max<uint64_t>(
+          1024, static_cast<uint64_t>(std::llround(
+                    static_cast<double>(ctx.base.instructions) * factor)));
+      ctx.base.footprint_bytes = std::max<uint64_t>(
+          16 * 1024,
+          static_cast<uint64_t>(std::llround(
+              static_cast<double>(ctx.base.footprint_bytes) *
+              std::pow(factor, 0.7))));
+      ctx.launch.grid_x = std::max<uint32_t>(
+          2, static_cast<uint32_t>(std::llround(ctx.launch.grid_x *
+                                                factor)));
+    }
+  }
+}
+
+KernelBehavior ComputeBoundBehavior(uint64_t instructions,
+                                    uint64_t footprint_bytes) {
+  KernelBehavior b;
+  b.instructions = instructions;
+  b.footprint_bytes = footprint_bytes;
+  b.mem_fraction = 0.01f;
+  b.shared_fraction = 0.15f;
+  b.locality = 0.97f;
+  b.coalescing = 0.95f;
+  b.branch_divergence = 0.02f;
+  b.fp16_fraction = 0.0f;
+  b.fp32_fraction = 0.85f;
+  b.ilp = 3.5f;
+  return b;
+}
+
+KernelBehavior MemoryBoundBehavior(uint64_t instructions,
+                                   uint64_t footprint_bytes) {
+  KernelBehavior b;
+  b.instructions = instructions;
+  b.footprint_bytes = footprint_bytes;
+  b.mem_fraction = 0.25f;
+  b.shared_fraction = 0.02f;
+  b.locality = 0.35f;
+  b.coalescing = 0.92f;
+  b.branch_divergence = 0.05f;
+  b.fp16_fraction = 0.0f;
+  b.fp32_fraction = 0.4f;
+  b.ilp = 2.0f;
+  return b;
+}
+
+KernelBehavior IrregularBehavior(uint64_t instructions,
+                                 uint64_t footprint_bytes) {
+  KernelBehavior b;
+  b.instructions = instructions;
+  b.footprint_bytes = footprint_bytes;
+  b.mem_fraction = 0.45f;
+  b.shared_fraction = 0.0f;
+  b.locality = 0.08f;
+  b.coalescing = 0.15f;
+  b.branch_divergence = 0.35f;
+  b.fp16_fraction = 0.0f;
+  b.fp32_fraction = 0.3f;
+  b.ilp = 1.5f;
+  return b;
+}
+
+}  // namespace stemroot::workloads

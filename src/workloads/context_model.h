@@ -1,0 +1,122 @@
+/// \file
+/// Generative workload model: kernels, contexts, and schedules.
+///
+/// The paper's key observation (Sec. 2.1) is that large GPU workloads
+/// invoke a small set of kernel *types* a huge number of times, and each
+/// type is used in a handful of runtime *contexts* (operating on different
+/// tensors / memory regions / input shapes). We model a workload as:
+///
+///   - KernelSpec: a named kernel with a static CFG and a list of contexts;
+///   - ContextSpec: a KernelBehavior template plus per-invocation jitter
+///     knobs (instruction-count/footprint log-normal sigma, locality
+///     Gaussian sigma);
+///   - a schedule: either a repeated compute graph (how ML frameworks
+///     launch kernels — paper Sec. 2.1 "fixed compute graph") or a random
+///     mixture (irregular GPGPU workloads);
+///   - an optional per-invocation mutator for irregular trends (e.g.
+///     Rodinia gaussian's linearly shrinking kernels, heartwall's
+///     1500x-short first call — paper Sec. 5.1).
+///
+/// Contexts are ground truth: invocations carry a context_id so validation
+/// code can measure clustering quality, but samplers never read it.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace stemroot::workloads {
+
+/// One runtime context of a kernel: a behaviour template + jitter knobs.
+struct ContextSpec {
+  KernelBehavior base;
+  LaunchConfig launch;
+  /// Log-normal sigma applied to instruction count per invocation.
+  double instr_sigma = 0.02;
+  /// Log-normal sigma applied to memory footprint per invocation.
+  double footprint_sigma = 0.02;
+  /// Gaussian sigma applied to locality per invocation (clamped to [0,1]).
+  double locality_sigma = 0.01;
+};
+
+/// A named kernel and all of its runtime contexts.
+struct KernelSpec {
+  std::string name;
+  uint32_t num_basic_blocks = 8;
+  std::vector<ContextSpec> contexts;
+};
+
+/// One step of a compute graph: launch kernel `kernel` in context
+/// `context`, `repeat` times in a row.
+struct GraphOp {
+  uint32_t kernel = 0;
+  uint32_t context = 0;
+  uint32_t repeat = 1;
+};
+
+/// How invocations are ordered.
+enum class ScheduleKind {
+  /// Repeat the `graph` sequence `iterations` times (ML compute graph).
+  kGraphLoop,
+  /// Draw (kernel, context) pairs i.i.d. by `mix_weights` (irregular code).
+  kRandomMix,
+};
+
+/// Full generative description of one workload.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<KernelSpec> kernels;
+
+  ScheduleKind schedule = ScheduleKind::kGraphLoop;
+
+  /// kGraphLoop: one iteration of the compute graph, repeated.
+  std::vector<GraphOp> graph;
+  uint64_t iterations = 1;
+
+  /// kRandomMix: number of invocations and flattened (kernel, context)
+  /// weights in kernel-major order. Weights need not be normalized.
+  uint64_t random_invocations = 0;
+  std::vector<double> mix_weights;
+
+  /// Optional hook mutating each invocation after context sampling;
+  /// receives (index, total, invocation). Used for irregular trends.
+  std::function<void(uint64_t, uint64_t, KernelInvocation&)> mutator;
+
+  /// Total invocations this spec will generate.
+  uint64_t TotalInvocations() const;
+
+  /// Sanity-check indices and weights; throws std::invalid_argument.
+  void Validate() const;
+};
+
+/// Materialize a trace from a spec. Deterministic given (spec, seed). The
+/// returned trace has durations unset; run hw::HardwareModel::ProfileTrace
+/// to "profile" it on a GPU.
+KernelTrace GenerateWorkload(const WorkloadSpec& spec, uint64_t seed);
+
+/// Scale every context's per-kernel work by `factor`: instructions and
+/// grid size linearly (constant per-thread work), footprint sub-linearly.
+/// Used to shrink workloads until full cycle-level simulation is feasible,
+/// mirroring the paper's Sec. 5.4 ("reduced their sizes to run a full
+/// simulation within a few days"). Throws for factor <= 0.
+void ScaleSpecWork(WorkloadSpec& spec, double factor);
+
+/// Convenience builders for common behaviour archetypes. All values can be
+/// overridden on the returned struct.
+/// Compute-bound dense math (GEMM-like): low mem fraction, high locality.
+KernelBehavior ComputeBoundBehavior(uint64_t instructions,
+                                    uint64_t footprint_bytes);
+/// Memory-bound streaming (pooling / elementwise): high mem fraction,
+/// moderate locality.
+KernelBehavior MemoryBoundBehavior(uint64_t instructions,
+                                   uint64_t footprint_bytes);
+/// Irregular gather/scatter (embedding lookup / graph traversal): high mem
+/// fraction, very low locality.
+KernelBehavior IrregularBehavior(uint64_t instructions,
+                                 uint64_t footprint_bytes);
+
+}  // namespace stemroot::workloads

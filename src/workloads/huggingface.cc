@@ -1,0 +1,123 @@
+#include "workloads/huggingface.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workloads/ml_builder.h"
+
+namespace stemroot::workloads {
+
+namespace {
+
+uint64_t Iters(uint64_t base, double s) {
+  return std::max<uint64_t>(
+      2, static_cast<uint64_t>(std::llround(static_cast<double>(base) * s)));
+}
+
+/// Decoder-only LLM serving: one prefill pass then a decode loop, repeated
+/// per generated sentence. `work` scales per-kernel cost with model size.
+WorkloadSpec LlmServing(const std::string& name, double work, int layers,
+                        int decode_tokens, uint64_t sentences, double s) {
+  MlWorkloadBuilder b(name);
+  const uint32_t attn = b.AddKernel(MakeAttention("fmha_cutlass_fwd", work));
+  const uint32_t gemm =
+      b.AddKernel(MakeGemm("ampere_fp16_gemm_256x128", work, 3));
+  const uint32_t ln = b.AddKernel(MakeLayerNorm("layernorm_fw", work * 0.4));
+  const uint32_t act = b.AddKernel(MakeElementwise("gelu_fw", work * 0.4));
+  const uint32_t add =
+      b.AddKernel(MakeElementwise("elementwise_add", work * 0.4));
+  const uint32_t embed =
+      b.AddKernel(MakeEmbeddingLookup("token_embedding", work * 0.15));
+  const uint32_t sample = b.AddKernel(MakeSoftmax("sampling_softmax", work));
+
+  // Prefill: context 0 of attention/GEMMs (large shapes).
+  b.Op(embed, 0);
+  for (int layer = 0; layer < layers; ++layer) {
+    b.Op(ln, 0).Op(gemm, 2).Op(attn, 0).Op(gemm, 1).Op(add, 0);
+    b.Op(ln, 1).Op(gemm, 2).Op(act, 0).Op(gemm, 1).Op(add, 0);
+  }
+  // Decode: context 1 (single-token shapes; memory-bound KV-cache reads).
+  for (int token = 0; token < decode_tokens; ++token) {
+    b.Op(embed, 0);
+    for (int layer = 0; layer < layers; ++layer) {
+      b.Op(ln, 0).Op(gemm, 0).Op(attn, 1).Op(gemm, 0).Op(add, 0);
+      b.Op(ln, 1).Op(gemm, 0).Op(act, 0).Op(gemm, 0).Op(add, 0);
+    }
+    b.Op(sample, 1);
+  }
+  return std::move(b).Build(Iters(sentences, s));
+}
+
+/// Vision model classifying a stream of images.
+WorkloadSpec VisionServing(const std::string& name, bool transformer,
+                           double work, uint64_t images, double s) {
+  MlWorkloadBuilder b(name);
+  if (transformer) {
+    // DeiT: ViT encoder.
+    const uint32_t gemm =
+        b.AddKernel(MakeGemm("ampere_fp16_gemm_128x64", work, 3));
+    const uint32_t attn = b.AddKernel(MakeAttention("fmha_cutlass_fwd", work));
+    const uint32_t ln = b.AddKernel(MakeLayerNorm("layernorm_fw", work * 0.5));
+    const uint32_t act = b.AddKernel(MakeElementwise("gelu_fw", work * 0.5));
+    const uint32_t patch =
+        b.AddKernel(MakeWinogradConv("patch_embed_conv", work * 0.6));
+    b.Op(patch, 0);
+    for (int layer = 0; layer < 12; ++layer) {
+      b.Op(ln, 0).Op(gemm, 0, 3).Op(attn, 0).Op(gemm, 1);
+      b.Op(ln, 1).Op(gemm, 2).Op(act, 0).Op(gemm, 1);
+    }
+    b.Op(gemm, 1);  // classifier
+  } else {
+    // ResNet-50 serving.
+    const uint32_t conv =
+        b.AddKernel(MakeWinogradConv("volta_scudnn_winograd_128x128", work));
+    const uint32_t bn = b.AddKernel(MakeBatchnorm("bn_fw_inf", work));
+    const uint32_t relu = b.AddKernel(MakeElementwise("relu_fw", work * 0.5));
+    const uint32_t pool = b.AddKernel(MakeMaxPool("max_pool_fw", work));
+    const uint32_t fc = b.AddKernel(MakeGemm("sgemm_128x64_nn", work * 0.4, 1));
+    b.Op(conv, 0).Op(bn, 0).Op(relu, 0).Op(pool, 0);
+    for (int block = 0; block < 16; ++block) {
+      b.Op(conv, block < 8 ? 0u : 1u, 3);
+      b.Op(bn, block < 5 ? 0u : (block < 11 ? 1u : 2u), 3);
+      b.Op(relu, 0, 3);
+    }
+    b.Op(pool, 0).Op(fc, 0);
+  }
+  return std::move(b).Build(Iters(images, s));
+}
+
+}  // namespace
+
+const std::vector<std::string>& HuggingfaceNames() {
+  static const std::vector<std::string> kNames = {"bert",  "bloom",
+                                                  "deit",  "gemma",
+                                                  "gpt2",  "resnet50"};
+  return kNames;
+}
+
+WorkloadSpec HuggingfaceSpec(const std::string& name, double size_scale) {
+  if (size_scale <= 0.0)
+    throw std::invalid_argument("HuggingfaceSpec: size_scale <= 0");
+  // Sentence/image counts are 1:10 of the paper's scale (1000+ sentences /
+  // 7000+ images) so a full-suite run fits this machine.
+  if (name == "bert")
+    // Encoder; "generation" here is masked-LM scoring of sentences.
+    return LlmServing("bert", 0.35, 12, 24, 260, size_scale);
+  if (name == "bloom") return LlmServing("bloom", 1.6, 30, 56, 36, size_scale);
+  if (name == "deit")
+    return VisionServing("deit", true, 0.5, 1400, size_scale);
+  if (name == "gemma")
+    return LlmServing("gemma", 1.2, 26, 64, 48, size_scale);
+  if (name == "gpt2") return LlmServing("gpt2", 0.5, 12, 80, 110, size_scale);
+  if (name == "resnet50")
+    return VisionServing("resnet50", false, 0.6, 1800, size_scale);
+  throw std::invalid_argument("HuggingfaceSpec: unknown workload '" + name +
+                              "'");
+}
+
+KernelTrace MakeHuggingface(const std::string& name, uint64_t seed,
+                            double size_scale) {
+  return GenerateWorkload(HuggingfaceSpec(name, size_scale), seed);
+}
+
+}  // namespace stemroot::workloads

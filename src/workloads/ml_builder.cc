@@ -1,0 +1,240 @@
+#include "workloads/ml_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stemroot::workloads {
+
+MlWorkloadBuilder::MlWorkloadBuilder(std::string name) {
+  spec_.name = std::move(name);
+  spec_.schedule = ScheduleKind::kGraphLoop;
+}
+
+uint32_t MlWorkloadBuilder::AddKernel(KernelSpec kernel) {
+  if (kernel.contexts.empty())
+    throw std::invalid_argument("MlWorkloadBuilder: kernel without contexts");
+  spec_.kernels.push_back(std::move(kernel));
+  return static_cast<uint32_t>(spec_.kernels.size() - 1);
+}
+
+MlWorkloadBuilder& MlWorkloadBuilder::Op(uint32_t kernel, uint32_t context,
+                                         uint32_t repeat) {
+  if (kernel >= spec_.kernels.size())
+    throw std::invalid_argument("MlWorkloadBuilder::Op: bad kernel index");
+  if (context >= spec_.kernels[kernel].contexts.size())
+    throw std::invalid_argument("MlWorkloadBuilder::Op: bad context index");
+  spec_.graph.push_back({kernel, context, repeat});
+  return *this;
+}
+
+WorkloadSpec MlWorkloadBuilder::Build(uint64_t iterations) && {
+  if (iterations == 0)
+    throw std::invalid_argument("MlWorkloadBuilder::Build: iterations == 0");
+  spec_.iterations = iterations;
+  spec_.Validate();
+  return std::move(spec_);
+}
+
+namespace {
+
+uint64_t Work(double base, double work) {
+  return std::max<uint64_t>(
+      1024, static_cast<uint64_t>(std::llround(base * work)));
+}
+
+LaunchConfig Grid(uint32_t blocks, uint32_t threads) {
+  LaunchConfig launch;
+  launch.grid_x = blocks;
+  launch.block_x = threads;
+  return launch;
+}
+
+}  // namespace
+
+KernelSpec MakeGemm(const std::string& name, double work, int contexts) {
+  if (contexts < 1 || contexts > 4)
+    throw std::invalid_argument("MakeGemm: contexts must be 1..4");
+  KernelSpec kernel{name, 12, {}};
+  // Context k scales work by ~2.2^k and shifts locality: the same GEMM code
+  // applied to different operand shapes/placements. Narrow per-context
+  // jitter => distinct peaks (Fig. 1).
+  static constexpr float kLocality[4] = {0.97f, 0.93f, 0.88f, 0.95f};
+  for (int c = 0; c < contexts; ++c) {
+    ContextSpec ctx;
+    const double scale = std::pow(2.2, c);
+    ctx.base = ComputeBoundBehavior(Work(9.0e8 * scale, work),
+                                    Work(6.0e6 * scale, work));
+    ctx.base.locality = kLocality[c];
+    ctx.base.input_scale = static_cast<float>(scale);
+    // Identical launch parameters across contexts: the paper's observed
+    // heterogeneity arises with "consistent parameters (grid size, block
+    // size, instruction count)" (Sec. 2.1).
+    ctx.launch = Grid(128, 256);
+    ctx.instr_sigma = 0.012;
+    ctx.locality_sigma = 0.004;
+    kernel.contexts.push_back(ctx);
+  }
+  return kernel;
+}
+
+KernelSpec MakeWinogradConv(const std::string& name, double work) {
+  KernelSpec kernel{name, 14, {}};
+  // Early layers: large spatial extent, fewer channels; late layers: the
+  // reverse. Same code, ~3x work ratio, different locality.
+  ContextSpec early;
+  early.base = ComputeBoundBehavior(Work(1.5e9, work), Work(2.4e7, work));
+  early.base.shared_fraction = 0.22f;
+  early.base.mem_fraction = 0.012f;
+  early.base.locality = 0.95f;
+  early.launch = Grid(256, 256);
+  early.instr_sigma = 0.015;
+  kernel.contexts.push_back(early);
+
+  ContextSpec late;
+  late.base = ComputeBoundBehavior(Work(5.0e8, work), Work(1.0e7, work));
+  late.base.shared_fraction = 0.22f;
+  late.base.mem_fraction = 0.012f;
+  late.base.locality = 0.90f;
+  late.base.input_scale = 0.33f;
+  late.launch = Grid(256, 256);
+  late.instr_sigma = 0.015;
+  kernel.contexts.push_back(late);
+  return kernel;
+}
+
+KernelSpec MakeBatchnorm(const std::string& name, double work) {
+  KernelSpec kernel{name, 6, {}};
+  // Three tensor shapes across the network depth -> three separated peaks.
+  // Same instruction count per element; footprint and locality differ.
+  static constexpr double kShape[3] = {1.0, 0.38, 0.10};
+  static constexpr float kLoc[3] = {0.62f, 0.70f, 0.78f};
+  for (int c = 0; c < 3; ++c) {
+    ContextSpec ctx;
+    ctx.base = MemoryBoundBehavior(Work(2.4e7 * kShape[c], work),
+                                   Work(2.4e7 * kShape[c], work));
+    ctx.base.locality = kLoc[c];
+    ctx.base.input_scale = static_cast<float>(kShape[c]);
+    ctx.launch = Grid(264, 256);
+    ctx.instr_sigma = 0.02;
+    ctx.locality_sigma = 0.012;
+    kernel.contexts.push_back(ctx);
+  }
+  return kernel;
+}
+
+KernelSpec MakeMaxPool(const std::string& name, double work) {
+  KernelSpec kernel{name, 4, {}};
+  ContextSpec ctx;
+  ctx.base = MemoryBoundBehavior(Work(2.0e7, work), Work(3.0e7, work));
+  ctx.base.locality = 0.40f;
+  ctx.base.mem_fraction = 0.35f;
+  ctx.launch = Grid(512, 256);
+  // Wide single-mode distribution: large locality jitter (cache-line
+  // alignment of the sliding window varies per batch).
+  ctx.instr_sigma = 0.03;
+  ctx.locality_sigma = 0.05;
+  kernel.contexts.push_back(ctx);
+  return kernel;
+}
+
+KernelSpec MakeElementwise(const std::string& name, double work) {
+  KernelSpec kernel{name, 3, {}};
+  ContextSpec ctx;
+  ctx.base = MemoryBoundBehavior(Work(1.0e7, work), Work(1.0e7, work));
+  ctx.base.locality = 0.45f;
+  ctx.launch = Grid(640, 256);
+  ctx.instr_sigma = 0.025;
+  ctx.locality_sigma = 0.02;
+  kernel.contexts.push_back(ctx);
+  return kernel;
+}
+
+KernelSpec MakeSoftmax(const std::string& name, double work) {
+  KernelSpec kernel{name, 5, {}};
+  ContextSpec big;
+  big.base = MemoryBoundBehavior(Work(1.6e7, work), Work(1.2e7, work));
+  big.base.locality = 0.5f;
+  big.launch = Grid(384, 256);
+  big.instr_sigma = 0.025;
+  kernel.contexts.push_back(big);
+
+  ContextSpec small = big;
+  small.base = MemoryBoundBehavior(Work(5.0e6, work), Work(4.0e6, work));
+  small.base.locality = 0.55f;
+  small.base.input_scale = 0.3f;
+  small.launch = Grid(384, 256);
+  kernel.contexts.push_back(small);
+  return kernel;
+}
+
+KernelSpec MakeLayerNorm(const std::string& name, double work) {
+  KernelSpec kernel{name, 4, {}};
+  ContextSpec pre_attn;
+  pre_attn.base = MemoryBoundBehavior(Work(1.2e7, work), Work(1.0e7, work));
+  pre_attn.base.locality = 0.75f;
+  pre_attn.launch = Grid(256, 256);
+  pre_attn.instr_sigma = 0.02;
+  kernel.contexts.push_back(pre_attn);
+
+  ContextSpec pre_ffn = pre_attn;
+  // Same shape and instruction count; the input tensor lives cold in L2
+  // after the FFN GEMMs evicted it -> lower locality, same static
+  // signature. Only execution time can tell these apart (Sec. 5.2).
+  pre_ffn.base.locality = 0.25f;
+  kernel.contexts.push_back(pre_ffn);
+  return kernel;
+}
+
+KernelSpec MakeEmbeddingLookup(const std::string& name, double work) {
+  KernelSpec kernel{name, 7, {}};
+  ContextSpec ctx;
+  ctx.base = IrregularBehavior(Work(3.0e6, work), Work(6.0e8, work));
+  ctx.base.locality = 0.10f;
+  ctx.launch = Grid(256, 256);
+  // Extremely wide: random gather across a huge table.
+  ctx.instr_sigma = 0.05;
+  ctx.locality_sigma = 0.04;
+  kernel.contexts.push_back(ctx);
+  return kernel;
+}
+
+KernelSpec MakeOptimizerStep(const std::string& name, double work) {
+  KernelSpec kernel{name, 3, {}};
+  ContextSpec ctx;
+  ctx.base = MemoryBoundBehavior(Work(2.0e8, work), Work(3.0e8, work));
+  ctx.base.locality = 0.05f;  // pure streaming: no reuse at all
+  ctx.base.coalescing = 0.98f;
+  ctx.base.mem_fraction = 0.5f;
+  ctx.launch = Grid(4096, 256);
+  ctx.instr_sigma = 0.015;
+  kernel.contexts.push_back(ctx);
+  return kernel;
+}
+
+KernelSpec MakeAttention(const std::string& name, double work) {
+  KernelSpec kernel{name, 10, {}};
+  ContextSpec prefill;
+  prefill.base = ComputeBoundBehavior(Work(2.0e9, work), Work(3.2e7, work));
+  prefill.base.fp16_fraction = 0.75f;
+  prefill.base.fp32_fraction = 0.1f;
+  prefill.base.shared_fraction = 0.2f;
+  prefill.base.locality = 0.9f;
+  prefill.launch = Grid(512, 256);
+  prefill.instr_sigma = 0.015;
+  kernel.contexts.push_back(prefill);
+
+  ContextSpec decode;
+  decode.base = MemoryBoundBehavior(Work(4.0e7, work), Work(4.0e7, work));
+  decode.base.fp16_fraction = 0.6f;
+  decode.base.fp32_fraction = 0.1f;
+  decode.base.mem_fraction = 0.3f;
+  decode.base.locality = 0.3f;
+  decode.base.input_scale = 0.05f;
+  decode.launch = Grid(512, 256);
+  decode.instr_sigma = 0.03;
+  decode.locality_sigma = 0.03;
+  kernel.contexts.push_back(decode);
+  return kernel;
+}
+
+}  // namespace stemroot::workloads

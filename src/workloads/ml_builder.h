@@ -1,0 +1,82 @@
+/// \file
+/// Builder for ML-style workloads (CASIO / HuggingFace suites).
+///
+/// ML frameworks lower a fixed compute graph into a long sequence of
+/// launches drawn from a small kernel vocabulary (paper Sec. 2.1). The
+/// builder assembles such graphs: register kernels (with one ContextSpec
+/// per usage context), append graph ops, and set the iteration (batch)
+/// count. It also carries the shared kernel vocabulary both ML suites use
+/// (GEMM, winograd conv, batchnorm, pooling, elementwise, softmax,
+/// layernorm, embedding lookup, optimizer update, attention).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/context_model.h"
+
+namespace stemroot::workloads {
+
+/// Incremental WorkloadSpec assembly for graph-loop workloads.
+class MlWorkloadBuilder {
+ public:
+  explicit MlWorkloadBuilder(std::string name);
+
+  /// Register a kernel; returns its index for Op().
+  uint32_t AddKernel(KernelSpec kernel);
+
+  /// Append `repeat` launches of (kernel, context) to the graph iteration.
+  MlWorkloadBuilder& Op(uint32_t kernel, uint32_t context,
+                        uint32_t repeat = 1);
+
+  /// Finish with the given number of graph iterations (batches).
+  WorkloadSpec Build(uint64_t iterations) &&;
+
+ private:
+  WorkloadSpec spec_;
+};
+
+/// Shared vocabulary of ML kernels. `work` scales instruction counts and
+/// footprints; every factory returns a kernel with the listed contexts.
+
+/// Dense GEMM with `contexts` distinct usage contexts. Contexts differ in
+/// input scale (tile count) AND cache locality, producing the multiple
+/// narrow peaks of Fig. 1's sgemm_128x64. Compute-bound: narrow jitter.
+KernelSpec MakeGemm(const std::string& name, double work, int contexts);
+
+/// Winograd convolution, 2 contexts (early wide layers / late deep layers).
+KernelSpec MakeWinogradConv(const std::string& name, double work);
+
+/// Batchnorm inference kernel with 3 contexts (Fig. 1's bn_fw_inf shows 3
+/// clearly separated peaks). Memory-bound: moderate width per peak.
+KernelSpec MakeBatchnorm(const std::string& name, double work);
+
+/// Max-pooling: single context, memory-bound, wide distribution (Fig. 1's
+/// max_pool shows significant runtime jitter).
+KernelSpec MakeMaxPool(const std::string& name, double work);
+
+/// Light elementwise op (ReLU / add / dropout): memory-bound streaming.
+KernelSpec MakeElementwise(const std::string& name, double work);
+
+/// Softmax over attention logits: memory-bound, 2 contexts.
+KernelSpec MakeSoftmax(const std::string& name, double work);
+
+/// LayerNorm: memory-bound, 2 contexts (pre-attention / pre-FFN).
+KernelSpec MakeLayerNorm(const std::string& name, double work);
+
+/// Embedding-table gather: irregular, very wide distribution. The DLRM
+/// workload's dominant kernel (paper Sec. 5.4: "memory-intensive behaviour
+/// and random access patterns due to large embedding tables").
+KernelSpec MakeEmbeddingLookup(const std::string& name, double work);
+
+/// Optimizer step (Adam/SGD): training-only; one context, heavy streaming
+/// over all parameters -- the rare, long kernel that fattens the workload's
+/// per-invocation duration tail.
+KernelSpec MakeOptimizerStep(const std::string& name, double work);
+
+/// Fused attention kernel (FP16 tensor-core path), 2 contexts
+/// (prefill / decode shapes for LLM workloads).
+KernelSpec MakeAttention(const std::string& name, double work);
+
+}  // namespace stemroot::workloads

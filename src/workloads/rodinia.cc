@@ -1,0 +1,436 @@
+#include "workloads/rodinia.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stemroot::workloads {
+
+namespace {
+
+/// Scale a count by a factor with a floor.
+uint64_t ScaleN(uint64_t v, double s, uint64_t lo = 1) {
+  const double scaled = static_cast<double>(v) * s;
+  return std::max<uint64_t>(lo, static_cast<uint64_t>(std::llround(scaled)));
+}
+
+/// Scale invocation work (instructions + footprint) in a mutator.
+void ScaleWork(KernelInvocation& inv, double factor,
+               double footprint_exponent = 0.7) {
+  inv.behavior.instructions =
+      std::max<uint64_t>(64, static_cast<uint64_t>(std::llround(
+                                 static_cast<double>(
+                                     inv.behavior.instructions) * factor)));
+  inv.behavior.footprint_bytes = std::max<uint64_t>(
+      2048, static_cast<uint64_t>(std::llround(
+                static_cast<double>(inv.behavior.footprint_bytes) *
+                std::pow(factor, footprint_exponent))));
+  inv.behavior.input_scale = std::max(
+      1e-4f, inv.behavior.input_scale * static_cast<float>(factor));
+}
+
+LaunchConfig Grid(uint32_t blocks, uint32_t threads) {
+  LaunchConfig launch;
+  launch.grid_x = blocks;
+  launch.block_x = threads;
+  return launch;
+}
+
+WorkloadSpec Backprop(double s) {
+  WorkloadSpec spec;
+  spec.name = "backprop";
+  KernelSpec forward{"bpnn_layerforward", 10, {}};
+  ContextSpec fwd;
+  fwd.base = ComputeBoundBehavior(ScaleN(240'000'000, s, 4096),
+                                  ScaleN(8u << 20, s, 4096));
+  fwd.base.shared_fraction = 0.25f;
+  fwd.launch = Grid(static_cast<uint32_t>(ScaleN(4096, s, 4)), 256);
+  fwd.instr_sigma = 0.03;
+  forward.contexts.push_back(fwd);
+
+  KernelSpec adjust{"bpnn_adjust_weights", 6, {}};
+  ContextSpec adj;
+  adj.base = MemoryBoundBehavior(ScaleN(90'000'000, s, 4096),
+                                 ScaleN(24u << 20, s, 4096));
+  adj.launch = Grid(static_cast<uint32_t>(ScaleN(4096, s, 4)), 256);
+  adj.instr_sigma = 0.03;
+  adjust.contexts.push_back(adj);
+
+  spec.kernels = {forward, adjust};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}};
+  spec.iterations = ScaleN(200, std::sqrt(s), 8);
+  return spec;
+}
+
+WorkloadSpec Bfs(double s) {
+  WorkloadSpec spec;
+  spec.name = "bfs";
+  KernelSpec k1{"bfs_kernel", 12, {}};
+  ContextSpec c1;
+  c1.base = IrregularBehavior(ScaleN(60'000'000, s, 4096),
+                              ScaleN(48u << 20, s, 8192));
+  c1.launch = Grid(static_cast<uint32_t>(ScaleN(2048, s, 4)), 512);
+  c1.instr_sigma = 0.10;
+  c1.locality_sigma = 0.03;
+  k1.contexts.push_back(c1);
+
+  KernelSpec k2{"bfs_kernel2", 4, {}};
+  ContextSpec c2;
+  c2.base = MemoryBoundBehavior(ScaleN(8'000'000, s, 2048),
+                                ScaleN(16u << 20, s, 8192));
+  c2.launch = Grid(static_cast<uint32_t>(ScaleN(2048, s, 4)), 512);
+  c2.instr_sigma = 0.08;
+  k2.contexts.push_back(c2);
+
+  spec.kernels = {k1, k2};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}};
+  spec.iterations = ScaleN(600, std::sqrt(s), 12);
+  // Frontier size follows a bell across BFS levels: tiny at the source,
+  // peaking mid-traversal, shrinking to the fringe. This yields the
+  // "kernel execution times vary widely" behaviour of Sec. 5.1.
+  spec.mutator = [](uint64_t i, uint64_t total, KernelInvocation& inv) {
+    const double progress = static_cast<double>(i) /
+                            static_cast<double>(std::max<uint64_t>(1, total));
+    const double bell =
+        std::exp(-std::pow(progress - 0.5, 2) / (2 * 0.18 * 0.18));
+    ScaleWork(inv, std::max(0.01, bell));
+  };
+  return spec;
+}
+
+WorkloadSpec Btree(double s) {
+  WorkloadSpec spec;
+  spec.name = "b+tree";
+  KernelSpec find_k{"findK", 9, {}};
+  ContextSpec fk;
+  fk.base = IrregularBehavior(ScaleN(30'000'000, s, 2048),
+                              ScaleN(96u << 20, s, 8192));
+  fk.base.locality = 0.25f;
+  fk.launch = Grid(static_cast<uint32_t>(ScaleN(6000, s, 4)), 256);
+  fk.instr_sigma = 0.06;
+  find_k.contexts.push_back(fk);
+
+  KernelSpec find_range{"findRangeK", 11, {}};
+  ContextSpec fr;
+  fr.base = IrregularBehavior(ScaleN(45'000'000, s, 2048),
+                              ScaleN(96u << 20, s, 8192));
+  fr.base.locality = 0.22f;
+  fr.launch = Grid(static_cast<uint32_t>(ScaleN(6000, s, 4)), 256);
+  fr.instr_sigma = 0.07;
+  find_range.contexts.push_back(fr);
+
+  spec.kernels = {find_k, find_range};
+  spec.schedule = ScheduleKind::kRandomMix;
+  spec.random_invocations = ScaleN(200, std::sqrt(s), 16);
+  spec.mix_weights = {1.0, 1.0};
+  return spec;
+}
+
+WorkloadSpec Cfd(double s) {
+  WorkloadSpec spec;
+  spec.name = "cfd";
+  KernelSpec step_factor{"compute_step_factor", 5, {}};
+  ContextSpec sf;
+  sf.base = MemoryBoundBehavior(ScaleN(24'000'000, s, 2048),
+                                ScaleN(20u << 20, s, 8192));
+  sf.launch = Grid(static_cast<uint32_t>(ScaleN(1212, s, 4)), 192);
+  step_factor.contexts.push_back(sf);
+
+  KernelSpec flux{"compute_flux", 14, {}};
+  ContextSpec fx;
+  fx.base = ComputeBoundBehavior(ScaleN(420'000'000, s, 4096),
+                                 ScaleN(40u << 20, s, 8192));
+  fx.base.mem_fraction = 0.06f;
+  fx.base.locality = 0.85f;
+  fx.launch = Grid(static_cast<uint32_t>(ScaleN(1212, s, 4)), 192);
+  fx.instr_sigma = 0.025;
+  flux.contexts.push_back(fx);
+
+  KernelSpec time_step{"time_step", 4, {}};
+  ContextSpec ts;
+  ts.base = MemoryBoundBehavior(ScaleN(16'000'000, s, 2048),
+                                ScaleN(20u << 20, s, 8192));
+  ts.launch = Grid(static_cast<uint32_t>(ScaleN(1212, s, 4)), 192);
+  time_step.contexts.push_back(ts);
+
+  spec.kernels = {step_factor, flux, time_step};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}, {2, 0, 1}};
+  spec.iterations = ScaleN(2000, std::sqrt(s), 20);
+  return spec;
+}
+
+WorkloadSpec Gaussian(double s) {
+  WorkloadSpec spec;
+  spec.name = "gaussian";
+  KernelSpec fan1{"Fan1", 3, {}};
+  ContextSpec f1;
+  f1.base = MemoryBoundBehavior(ScaleN(2'000'000, s, 1024),
+                                ScaleN(4u << 20, s, 4096));
+  f1.launch = Grid(static_cast<uint32_t>(ScaleN(4, s, 4)), 512);
+  fan1.contexts.push_back(f1);
+
+  KernelSpec fan2{"Fan2", 5, {}};
+  ContextSpec f2;
+  f2.base = ComputeBoundBehavior(ScaleN(160'000'000, s, 2048),
+                                 ScaleN(16u << 20, s, 4096));
+  f2.base.mem_fraction = 0.06f;
+  f2.base.locality = 0.8f;
+  f2.launch = Grid(static_cast<uint32_t>(ScaleN(256, s, 4)), 512);
+  fan2.contexts.push_back(f2);
+
+  spec.kernels = {fan1, fan2};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}};
+  spec.iterations = ScaleN(1023, std::sqrt(s), 32);
+  // Work on the remaining submatrix shrinks quadratically toward zero as
+  // elimination proceeds (Sec. 5.1: "the number of executed instructions
+  // decreases steadily, approaching zero in later iterations").
+  spec.mutator = [](uint64_t i, uint64_t total, KernelInvocation& inv) {
+    const double progress = static_cast<double>(i) /
+                            static_cast<double>(std::max<uint64_t>(1, total));
+    const double remaining = 1.0 - progress;
+    ScaleWork(inv, std::max(1e-4, remaining * remaining));
+  };
+  return spec;
+}
+
+WorkloadSpec Heartwall(double s) {
+  WorkloadSpec spec;
+  spec.name = "heartwall";
+  KernelSpec kernel{"heartwall_kernel", 16, {}};
+  ContextSpec ctx;
+  ctx.base = ComputeBoundBehavior(ScaleN(1'500'000'000, s, 1'500'000),
+                                  ScaleN(64u << 20, s, 65536));
+  ctx.base.mem_fraction = 0.012f;
+  ctx.base.locality = 0.93f;
+  ctx.launch = Grid(static_cast<uint32_t>(ScaleN(51, s, 4)), 512);
+  ctx.instr_sigma = 0.02;
+  kernel.contexts.push_back(ctx);
+
+  spec.kernels = {kernel};
+  spec.graph = {{0, 0, 1}};
+  spec.iterations = 104;  // frames; fixed regardless of scale
+  // The first frame only sets up tracking state: ~1500x fewer instructions
+  // than the steady-state frames (Sec. 5.1).
+  spec.mutator = [](uint64_t i, uint64_t, KernelInvocation& inv) {
+    if (i == 0) ScaleWork(inv, 1.0 / 1500.0);
+  };
+  return spec;
+}
+
+WorkloadSpec Hotspot(double s) {
+  WorkloadSpec spec;
+  spec.name = "hotspot";
+  KernelSpec kernel{"calculate_temp", 7, {}};
+  ContextSpec ctx;
+  ctx.base = ComputeBoundBehavior(ScaleN(110'000'000, s, 2048),
+                                  ScaleN(12u << 20, s, 8192));
+  ctx.base.shared_fraction = 0.3f;
+  ctx.base.mem_fraction = 0.02f;
+  ctx.launch = Grid(static_cast<uint32_t>(ScaleN(1849, s, 4)), 256);
+  ctx.instr_sigma = 0.015;
+  kernel.contexts.push_back(ctx);
+
+  spec.kernels = {kernel};
+  spec.graph = {{0, 0, 1}};
+  spec.iterations = ScaleN(1000, std::sqrt(s), 16);
+  return spec;
+}
+
+WorkloadSpec Kmeans(double s) {
+  WorkloadSpec spec;
+  spec.name = "kmeans";
+  KernelSpec point{"kmeansPoint", 8, {}};
+  ContextSpec kp;
+  kp.base = ComputeBoundBehavior(ScaleN(300'000'000, s, 4096),
+                                 ScaleN(32u << 20, s, 8192));
+  kp.base.mem_fraction = 0.05f;
+  kp.base.locality = 0.8f;
+  kp.launch = Grid(static_cast<uint32_t>(ScaleN(1936, s, 4)), 256);
+  kp.instr_sigma = 0.03;
+  point.contexts.push_back(kp);
+
+  KernelSpec invert{"invert_mapping", 3, {}};
+  ContextSpec im;
+  im.base = MemoryBoundBehavior(ScaleN(40'000'000, s, 2048),
+                                ScaleN(32u << 20, s, 8192));
+  im.launch = Grid(static_cast<uint32_t>(ScaleN(1936, s, 4)), 256);
+  invert.contexts.push_back(im);
+
+  spec.kernels = {point, invert};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}};
+  spec.iterations = ScaleN(300, std::sqrt(s), 10);
+  return spec;
+}
+
+WorkloadSpec Lavamd(double s) {
+  WorkloadSpec spec;
+  spec.name = "lavaMD";
+  KernelSpec kernel{"kernel_gpu_cuda", 10, {}};
+  ContextSpec ctx;
+  ctx.base = ComputeBoundBehavior(ScaleN(2'400'000'000, s, 8192),
+                                  ScaleN(20u << 20, s, 8192));
+  ctx.base.shared_fraction = 0.2f;
+  ctx.launch = Grid(static_cast<uint32_t>(ScaleN(1000, s, 4)), 128);
+  ctx.instr_sigma = 0.015;
+  kernel.contexts.push_back(ctx);
+
+  spec.kernels = {kernel};
+  spec.graph = {{0, 0, 1}};
+  spec.iterations = ScaleN(100, std::sqrt(s), 8);
+  return spec;
+}
+
+WorkloadSpec Lud(double s) {
+  WorkloadSpec spec;
+  spec.name = "lud";
+  KernelSpec diagonal{"lud_diagonal", 6, {}};
+  ContextSpec dg;
+  dg.base = ComputeBoundBehavior(ScaleN(1'500'000, s, 1024),
+                                 ScaleN(1u << 20, s, 4096));
+  dg.launch = Grid(1, 256);
+  diagonal.contexts.push_back(dg);
+
+  KernelSpec perimeter{"lud_perimeter", 8, {}};
+  ContextSpec pm;
+  pm.base = ComputeBoundBehavior(ScaleN(40'000'000, s, 1024),
+                                 ScaleN(8u << 20, s, 4096));
+  pm.launch = Grid(static_cast<uint32_t>(ScaleN(128, s, 4)), 256);
+  perimeter.contexts.push_back(pm);
+
+  KernelSpec internal{"lud_internal", 7, {}};
+  ContextSpec in;
+  in.base = ComputeBoundBehavior(ScaleN(220'000'000, s, 2048),
+                                 ScaleN(16u << 20, s, 4096));
+  in.launch = Grid(static_cast<uint32_t>(ScaleN(4096, s, 4)), 256);
+  internal.contexts.push_back(in);
+
+  spec.kernels = {diagonal, perimeter, internal};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}, {2, 0, 1}};
+  spec.iterations = ScaleN(300, std::sqrt(s), 12);
+  // The trailing submatrix shrinks each step; perimeter/internal work
+  // decays quadratically while the diagonal factor stays constant.
+  spec.mutator = [](uint64_t i, uint64_t total, KernelInvocation& inv) {
+    const double progress = static_cast<double>(i) /
+                            static_cast<double>(std::max<uint64_t>(1, total));
+    const double remaining = 1.0 - progress;
+    if (inv.kernel_id != 0)  // diagonal kernel is constant-size
+      ScaleWork(inv, std::max(1e-3, remaining * remaining));
+  };
+  return spec;
+}
+
+WorkloadSpec Nw(double s) {
+  WorkloadSpec spec;
+  spec.name = "nw";
+  KernelSpec k1{"needle_cuda_shared_1", 5, {}};
+  ContextSpec c1;
+  c1.base = ComputeBoundBehavior(ScaleN(50'000'000, s, 1024),
+                                 ScaleN(24u << 20, s, 4096));
+  c1.base.shared_fraction = 0.35f;
+  c1.base.mem_fraction = 0.03f;
+  c1.launch = Grid(static_cast<uint32_t>(ScaleN(128, s, 4)), 256);
+  k1.contexts.push_back(c1);
+
+  KernelSpec k2{"needle_cuda_shared_2", 5, {}};
+  ContextSpec c2 = c1;
+  k2.contexts.push_back(c2);
+
+  spec.kernels = {k1, k2};
+  spec.graph = {{0, 0, 1}, {1, 0, 1}};
+  spec.iterations = ScaleN(639, std::sqrt(s), 16);
+  // Anti-diagonal wavefront: the active diagonal grows to the matrix width
+  // then shrinks back; triangular work profile.
+  spec.mutator = [](uint64_t i, uint64_t total, KernelInvocation& inv) {
+    const double progress = static_cast<double>(i) /
+                            static_cast<double>(std::max<uint64_t>(1, total));
+    const double triangular = 1.0 - std::abs(2.0 * progress - 1.0);
+    ScaleWork(inv, std::max(0.01, triangular));
+  };
+  return spec;
+}
+
+WorkloadSpec ParticleFilter(double s, bool naive) {
+  WorkloadSpec spec;
+  spec.name = naive ? "pf_naive" : "pf_float";
+
+  // The likelihood kernel dwarfs everything else (up to 100x longer --
+  // Sec. 5.1).
+  KernelSpec likelihood{naive ? "likelihood_naive" : "likelihood_kernel", 13,
+                        {}};
+  ContextSpec lk;
+  lk.base = ComputeBoundBehavior(ScaleN(4'500'000'000, s, 8192),
+                                 ScaleN(32u << 20, s, 8192));
+  lk.base.mem_fraction = naive ? 0.30f : 0.012f;
+  lk.base.locality = naive ? 0.35f : 0.93f;
+  lk.launch = Grid(static_cast<uint32_t>(ScaleN(512, s, 4)), 512);
+  lk.instr_sigma = 0.04;
+  likelihood.contexts.push_back(lk);
+
+  KernelSpec sum{"sum_kernel", 3, {}};
+  ContextSpec sm;
+  sm.base = MemoryBoundBehavior(ScaleN(9'000'000, s, 1024),
+                                ScaleN(4u << 20, s, 4096));
+  sm.launch = Grid(static_cast<uint32_t>(ScaleN(512, s, 4)), 512);
+  sum.contexts.push_back(sm);
+
+  KernelSpec normalize{"normalize_weights", 3, {}};
+  ContextSpec nw_ctx;
+  nw_ctx.base = MemoryBoundBehavior(ScaleN(7'000'000, s, 1024),
+                                    ScaleN(4u << 20, s, 4096));
+  nw_ctx.launch = Grid(static_cast<uint32_t>(ScaleN(512, s, 4)), 512);
+  normalize.contexts.push_back(nw_ctx);
+
+  KernelSpec find_index{"find_index", 6, {}};
+  ContextSpec fi;
+  fi.base = IrregularBehavior(ScaleN(2'000'000, s, 1024),
+                              ScaleN(8u << 20, s, 4096));
+  fi.base.coalescing = 0.5f;
+  fi.launch = Grid(static_cast<uint32_t>(ScaleN(512, s, 4)), 512);
+  find_index.contexts.push_back(fi);
+
+  if (naive) {
+    spec.kernels = {likelihood, sum};
+    spec.graph = {{0, 0, 1}, {1, 0, 1}};
+    spec.iterations = ScaleN(750, std::sqrt(s), 16);
+  } else {
+    spec.kernels = {likelihood, sum, normalize, find_index};
+    spec.graph = {{0, 0, 1}, {1, 0, 1}, {2, 0, 1}, {3, 0, 1}};
+    spec.iterations = ScaleN(750, std::sqrt(s), 16);
+  }
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RodiniaNames() {
+  static const std::vector<std::string> kNames = {
+      "backprop", "bfs",       "b+tree", "cfd",    "gaussian",
+      "heartwall", "hotspot",  "kmeans", "lavaMD", "lud",
+      "nw",        "pf_float", "pf_naive"};
+  return kNames;
+}
+
+WorkloadSpec RodiniaSpec(const std::string& name, double size_scale) {
+  if (size_scale <= 0.0)
+    throw std::invalid_argument("RodiniaSpec: size_scale <= 0");
+  if (name == "backprop") return Backprop(size_scale);
+  if (name == "bfs") return Bfs(size_scale);
+  if (name == "b+tree") return Btree(size_scale);
+  if (name == "cfd") return Cfd(size_scale);
+  if (name == "gaussian") return Gaussian(size_scale);
+  if (name == "heartwall") return Heartwall(size_scale);
+  if (name == "hotspot") return Hotspot(size_scale);
+  if (name == "kmeans") return Kmeans(size_scale);
+  if (name == "lavaMD") return Lavamd(size_scale);
+  if (name == "lud") return Lud(size_scale);
+  if (name == "nw") return Nw(size_scale);
+  if (name == "pf_float") return ParticleFilter(size_scale, false);
+  if (name == "pf_naive") return ParticleFilter(size_scale, true);
+  throw std::invalid_argument("RodiniaSpec: unknown workload '" + name + "'");
+}
+
+KernelTrace MakeRodinia(const std::string& name, uint64_t seed,
+                        double size_scale) {
+  return GenerateWorkload(RodiniaSpec(name, size_scale), seed);
+}
+
+}  // namespace stemroot::workloads

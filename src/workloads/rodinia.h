@@ -1,0 +1,42 @@
+/// \file
+/// Rodinia-like GPGPU/HPC workload generators (13 workloads, Table 2).
+///
+/// These reproduce the irregular behaviours the paper calls out in
+/// Sec. 5.1:
+///  - gaussian: the same elimination kernels invoked ~2N times with
+///    steadily shrinking work, approaching zero in late iterations;
+///  - heartwall: one kernel whose first invocation executes ~1500x fewer
+///    instructions than every later invocation;
+///  - pf_float / pf_naive: particle-filter pipelines where one kernel is up
+///    to 100x longer than the others;
+///  - bfs / nw: wavefront workloads whose kernel cost ramps up and back
+///    down across iterations (frontier / anti-diagonal size).
+///
+/// Invocation counts are sized so the suite averages ~1.4k kernel calls per
+/// workload, matching Table 2.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/context_model.h"
+
+namespace stemroot::workloads {
+
+/// Names of the 13 Rodinia-like workloads.
+const std::vector<std::string>& RodiniaNames();
+
+/// Build the generative spec of one Rodinia-like workload.
+/// size_scale scales instruction counts / footprints / iteration counts
+/// (used by the DSE bench to shrink workloads for full cycle simulation,
+/// mirroring the paper's Sec. 5.4 "reduced their sizes"). Throws
+/// std::invalid_argument for unknown names.
+WorkloadSpec RodiniaSpec(const std::string& name, double size_scale = 1.0);
+
+/// Generate a profiled-ready trace (durations unset) for one workload.
+KernelTrace MakeRodinia(const std::string& name, uint64_t seed,
+                        double size_scale = 1.0);
+
+}  // namespace stemroot::workloads

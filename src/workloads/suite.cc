@@ -1,0 +1,46 @@
+#include "workloads/suite.h"
+
+#include <stdexcept>
+
+#include "workloads/casio.h"
+#include "workloads/huggingface.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::workloads {
+
+const char* SuiteName(SuiteId id) {
+  switch (id) {
+    case SuiteId::kRodinia: return "Rodinia";
+    case SuiteId::kCasio: return "CASIO";
+    case SuiteId::kHuggingface: return "Huggingface";
+  }
+  throw std::invalid_argument("SuiteName: bad id");
+}
+
+const std::vector<std::string>& SuiteWorkloads(SuiteId id) {
+  switch (id) {
+    case SuiteId::kRodinia: return RodiniaNames();
+    case SuiteId::kCasio: return CasioNames();
+    case SuiteId::kHuggingface: return HuggingfaceNames();
+  }
+  throw std::invalid_argument("SuiteWorkloads: bad id");
+}
+
+const std::vector<SuiteId>& AllSuites() {
+  static const std::vector<SuiteId> kAll = {
+      SuiteId::kRodinia, SuiteId::kCasio, SuiteId::kHuggingface};
+  return kAll;
+}
+
+KernelTrace MakeWorkload(SuiteId id, const std::string& name, uint64_t seed,
+                         double size_scale) {
+  switch (id) {
+    case SuiteId::kRodinia: return MakeRodinia(name, seed, size_scale);
+    case SuiteId::kCasio: return MakeCasio(name, seed, size_scale);
+    case SuiteId::kHuggingface:
+      return MakeHuggingface(name, seed, size_scale);
+  }
+  throw std::invalid_argument("MakeWorkload: bad id");
+}
+
+}  // namespace stemroot::workloads

@@ -1,0 +1,30 @@
+/// \file
+/// Unified enumeration of the three benchmark suites (paper Table 2).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace stemroot::workloads {
+
+/// Benchmark suite identifiers.
+enum class SuiteId { kRodinia, kCasio, kHuggingface };
+
+/// Human-readable suite name ("Rodinia", "CASIO", "Huggingface").
+const char* SuiteName(SuiteId id);
+
+/// Workload names of one suite.
+const std::vector<std::string>& SuiteWorkloads(SuiteId id);
+
+/// All three suite ids.
+const std::vector<SuiteId>& AllSuites();
+
+/// Dispatch to the right suite generator. Throws for unknown names.
+KernelTrace MakeWorkload(SuiteId id, const std::string& name, uint64_t seed,
+                         double size_scale = 1.0);
+
+}  // namespace stemroot::workloads

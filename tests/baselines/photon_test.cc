@@ -1,0 +1,127 @@
+#include "baselines/photon.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+
+namespace stemroot::baselines {
+namespace {
+
+KernelTrace Profiled(KernelTrace trace) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 2);
+  return trace;
+}
+
+TEST(PhotonTest, PlanIsValidWeightConserving) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  PhotonSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  EXPECT_NO_THROW(plan.Validate(trace.NumInvocations()));
+  EXPECT_EQ(plan.NumSamples(), plan.num_clusters);
+  EXPECT_NEAR(plan.TotalWeight(),
+              static_cast<double>(trace.NumInvocations()), 0.5);
+}
+
+TEST(PhotonTest, DistinguishesInputScaleContexts) {
+  // sgemm contexts differ in BBV shape, so Photon must keep more than one
+  // representative (unlike instruction-blind clustering). BBV shapes
+  // saturate as loop blocks dominate at larger inputs, so the two largest
+  // contexts may still merge under the 95% threshold -- Photon's
+  // documented intermediate accuracy (Sec. 5.2).
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  const int64_t gemm = trace.FindKernel("sgemm_128x64_nn");
+  ASSERT_GE(gemm, 0);
+  PhotonSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  size_t gemm_reps = 0;
+  for (const auto& e : plan.entries)
+    if (trace.At(e.invocation).kernel_id == gemm) ++gemm_reps;
+  EXPECT_GE(gemm_reps, 2u);
+}
+
+TEST(PhotonTest, MergesLocalityOnlyContexts) {
+  // layernorm contexts share BBVs (and warp counts): one rep suffices for
+  // Photon's 95% similarity threshold -- its documented blind spot.
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  const int64_t ln = trace.FindKernel("layernorm_fw");
+  ASSERT_GE(ln, 0);
+  PhotonSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  size_t ln_reps = 0;
+  for (const auto& e : plan.entries)
+    if (trace.At(e.invocation).kernel_id == ln) ++ln_reps;
+  EXPECT_LE(ln_reps, 2u);
+}
+
+TEST(PhotonTest, RepresentativeIsFirstOccurrence) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  PhotonSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  // Each representative must precede every invocation it represents;
+  // at minimum, the very first invocation must be a representative.
+  bool first_is_rep = false;
+  for (const auto& e : plan.entries) first_is_rep |= e.invocation == 0;
+  EXPECT_TRUE(first_is_rep);
+}
+
+TEST(PhotonTest, DeterministicAcrossSeeds) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  PhotonSampler sampler;
+  EXPECT_TRUE(sampler.Deterministic());
+  const auto a = sampler.BuildPlan(trace, 1);
+  const auto b = sampler.BuildPlan(trace, 2);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i)
+    EXPECT_EQ(a.entries[i].invocation, b.entries[i].invocation);
+}
+
+TEST(PhotonTest, LooserThresholdKeepsFewerReps) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  PhotonConfig strict;
+  strict.similarity_threshold = 0.999;
+  PhotonConfig loose;
+  loose.similarity_threshold = 0.5;
+  const auto strict_plan = PhotonSampler(strict).BuildPlan(trace, 1);
+  const auto loose_plan = PhotonSampler(loose).BuildPlan(trace, 1);
+  EXPECT_GT(strict_plan.NumSamples(), loose_plan.NumSamples());
+}
+
+TEST(PhotonTest, ComparisonCostGrowsSuperlinearly) {
+  // Sec. 5.6: Photon's comparison count is O(N*S)..O(N^2).
+  const KernelTrace small =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.01));
+  PhotonSampler sampler;
+  sampler.BuildPlan(small, 1);
+  const uint64_t comparisons_small = PhotonSampler::LastComparisonCount();
+  const KernelTrace big =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.04));
+  sampler.BuildPlan(big, 1);
+  const uint64_t comparisons_big = PhotonSampler::LastComparisonCount();
+  const double n_ratio = static_cast<double>(big.NumInvocations()) /
+                         static_cast<double>(small.NumInvocations());
+  EXPECT_GT(static_cast<double>(comparisons_big) /
+                static_cast<double>(comparisons_small),
+            n_ratio * 0.8);
+}
+
+TEST(PhotonTest, ConfigValidation) {
+  PhotonConfig bad;
+  bad.similarity_threshold = 0.0;
+  EXPECT_THROW(PhotonSampler{bad}, std::invalid_argument);
+  bad.similarity_threshold = 1.5;
+  EXPECT_THROW(PhotonSampler{bad}, std::invalid_argument);
+  PhotonConfig warp;
+  warp.warp_tolerance = -0.1;
+  EXPECT_THROW(PhotonSampler{warp}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot::baselines

@@ -1,0 +1,114 @@
+#include "baselines/pka.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/feature.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::baselines {
+namespace {
+
+KernelTrace ProfiledTrace(const std::string& suite_workload, double scale) {
+  KernelTrace trace = workloads::MakeCasio(suite_workload, 61, scale);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 2);
+  return trace;
+}
+
+TEST(PkaTest, OneRepresentativePerCluster) {
+  const KernelTrace trace = ProfiledTrace("bert_infer", 0.02);
+  PkaSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  EXPECT_EQ(plan.NumSamples(), plan.num_clusters);
+  EXPECT_NO_THROW(plan.Validate(trace.NumInvocations()));
+  EXPECT_NEAR(plan.TotalWeight(),
+              static_cast<double>(trace.NumInvocations()), 0.5);
+  EXPECT_LE(plan.num_clusters, 20u);  // k swept 1..20
+}
+
+TEST(PkaTest, FirstChronologicalIsDeterministic) {
+  const KernelTrace trace = ProfiledTrace("bert_infer", 0.02);
+  PkaSampler sampler;
+  EXPECT_TRUE(sampler.Deterministic());
+  const core::SamplingPlan a = sampler.BuildPlan(trace, 1);
+  const core::SamplingPlan b = sampler.BuildPlan(trace, 99);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i)
+    EXPECT_EQ(a.entries[i].invocation, b.entries[i].invocation);
+}
+
+TEST(PkaTest, RandomRepVariantUsesSeed) {
+  const KernelTrace trace = ProfiledTrace("bert_infer", 0.02);
+  PkaConfig config;
+  config.random_representative = true;
+  PkaSampler sampler(config);
+  EXPECT_FALSE(sampler.Deterministic());
+  EXPECT_EQ(sampler.Name(), "PKA(random-rep)");
+  const core::SamplingPlan a = sampler.BuildPlan(trace, 1);
+  const core::SamplingPlan b = sampler.BuildPlan(trace, 2);
+  bool any_diff = a.entries.size() != b.entries.size();
+  for (size_t i = 0; !any_diff && i < a.entries.size(); ++i)
+    any_diff = a.entries[i].invocation != b.entries[i].invocation;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PkaTest, MergesLocalityOnlyContexts) {
+  // PKA's 12 instruction-level metrics cannot see locality-only context
+  // differences (Fig. 10): both layernorm contexts must land in one
+  // cluster, i.e. at most one representative carries layernorm weight.
+  const KernelTrace trace = ProfiledTrace("bert_infer", 0.02);
+  const int64_t ln = trace.FindKernel("layernorm_fw");
+  ASSERT_GE(ln, 0);
+  PkaSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  size_t layernorm_reps = 0;
+  for (const auto& e : plan.entries)
+    if (trace.At(e.invocation).kernel_id == ln) ++layernorm_reps;
+  EXPECT_LE(layernorm_reps, 1u);
+}
+
+TEST(PkaTest, MisestimatesDecayingGaussian) {
+  // Sec. 5.1: gaussian's work decays smoothly toward zero; coarse
+  // clustering with first-chronological representatives systematically
+  // picks the largest member of each cluster, overestimating the total.
+  KernelTrace trace = workloads::MakeRodinia("gaussian", 71, 1.0);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 2);
+  PkaSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  const double estimate = plan.EstimateTotalUs(trace);
+  const double truth = trace.TotalDurationUs();
+  EXPECT_GT(std::abs(estimate - truth) / truth, 0.10);
+  EXPECT_GT(estimate, truth);  // first-chronological == biggest-in-cluster
+}
+
+TEST(ZNormalizeTest, ColumnsBecomeStandardized) {
+  std::vector<double> matrix = {1.0, 100.0, 2.0, 200.0, 3.0, 300.0};
+  ZNormalizeColumns(matrix, 2);
+  // Column means ~0.
+  EXPECT_NEAR(matrix[0] + matrix[2] + matrix[4], 0.0, 1e-9);
+  EXPECT_NEAR(matrix[1] + matrix[3] + matrix[5], 0.0, 1e-9);
+  EXPECT_THROW(ZNormalizeColumns(matrix, 4), std::invalid_argument);
+}
+
+TEST(ZNormalizeTest, ConstantColumnBecomesZero) {
+  std::vector<double> matrix = {5.0, 1.0, 5.0, 2.0};
+  ZNormalizeColumns(matrix, 2);
+  EXPECT_DOUBLE_EQ(matrix[0], 0.0);
+  EXPECT_DOUBLE_EQ(matrix[2], 0.0);
+}
+
+TEST(ElbowTest, PicksKneeOfInertiaCurve) {
+  // Sharp drop then flat: elbow at k=3.
+  const std::vector<double> inertias = {100.0, 40.0, 8.0, 7.5, 7.2};
+  EXPECT_EQ(ElbowK(inertias, 0.02), 3u);
+  const std::vector<double> single = {100.0};
+  EXPECT_EQ(ElbowK(single), 1u);
+  const std::vector<double> none;
+  EXPECT_THROW(ElbowK(none), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot::baselines

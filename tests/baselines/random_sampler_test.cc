@@ -1,0 +1,68 @@
+#include "baselines/random_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+
+namespace stemroot::baselines {
+namespace {
+
+class RandomSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = workloads::MakeCasio("bert_infer", 51, 0.05);
+    hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+    gpu.ProfileTrace(trace_, 2);
+  }
+  KernelTrace trace_;
+};
+
+TEST_F(RandomSamplerTest, SelectsRoughlyPFraction) {
+  RandomSampler sampler(0.01);
+  const core::SamplingPlan plan = sampler.BuildPlan(trace_, 1);
+  const double expected =
+      static_cast<double>(trace_.NumInvocations()) * 0.01;
+  EXPECT_GT(plan.NumSamples(), expected * 0.5);
+  EXPECT_LT(plan.NumSamples(), expected * 1.5);
+  for (const auto& e : plan.entries) EXPECT_DOUBLE_EQ(e.weight, 100.0);
+}
+
+TEST_F(RandomSamplerTest, EstimatorIsUnbiasedAcrossSeeds) {
+  RandomSampler sampler(0.01);
+  const double truth = trace_.TotalDurationUs();
+  StreamingStats estimates;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    const core::SamplingPlan plan = sampler.BuildPlan(trace_, seed);
+    estimates.Add(plan.EstimateTotalUs(trace_));
+  }
+  EXPECT_NEAR(estimates.Mean() / truth, 1.0, 0.08);
+}
+
+TEST_F(RandomSamplerTest, NeverReturnsEmptyPlan) {
+  RandomSampler sampler(1e-9);  // essentially never selects
+  const core::SamplingPlan plan = sampler.BuildPlan(trace_, 1);
+  EXPECT_GE(plan.NumSamples(), 1u);
+  EXPECT_NO_THROW(plan.Validate(trace_.NumInvocations()));
+}
+
+TEST_F(RandomSamplerTest, FullProbabilityTakesEverything) {
+  RandomSampler sampler(1.0);
+  const core::SamplingPlan plan = sampler.BuildPlan(trace_, 1);
+  EXPECT_EQ(plan.NumSamples(), trace_.NumInvocations());
+}
+
+TEST(RandomSamplerValidationTest, RejectsBadProbability) {
+  EXPECT_THROW(RandomSampler(0.0), std::invalid_argument);
+  EXPECT_THROW(RandomSampler(1.5), std::invalid_argument);
+  EXPECT_THROW(RandomSampler(-0.1), std::invalid_argument);
+}
+
+TEST(RandomSamplerNameTest, EncodesProbability) {
+  EXPECT_EQ(RandomSampler(0.001).Name(), "Random(0.1%)");
+  EXPECT_EQ(RandomSampler(0.1).Name(), "Random(10%)");
+}
+
+}  // namespace
+}  // namespace stemroot::baselines

@@ -1,0 +1,94 @@
+#include "baselines/tbpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::baselines {
+namespace {
+
+KernelTrace Profiled(KernelTrace trace) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 2);
+  return trace;
+}
+
+TEST(TbPointTest, PlanIsValidAndWeightConserving) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.02));
+  TbPointSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  EXPECT_NO_THROW(plan.Validate(trace.NumInvocations()));
+  EXPECT_EQ(plan.NumSamples(), plan.num_clusters);
+  EXPECT_NEAR(plan.TotalWeight(),
+              static_cast<double>(trace.NumInvocations()), 0.5);
+  EXPECT_LE(plan.num_clusters, TbPointConfig{}.max_clusters);
+}
+
+TEST(TbPointTest, DeterministicAcrossSeeds) {
+  const KernelTrace trace =
+      Profiled(workloads::MakeRodinia("lud", 11, 0.3));
+  TbPointSampler sampler;
+  EXPECT_TRUE(sampler.Deterministic());
+  const auto a = sampler.BuildPlan(trace, 1);
+  const auto b = sampler.BuildPlan(trace, 2);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i)
+    EXPECT_EQ(a.entries[i].invocation, b.entries[i].invocation);
+}
+
+TEST(TbPointTest, SeparatesDistinctKernels) {
+  // Kernels with very different instruction-level features must not share
+  // one cluster: at least one representative per kernel family.
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("resnet50_infer", 11, 0.02));
+  TbPointSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  std::set<uint32_t> kernels_with_rep;
+  for (const auto& e : plan.entries)
+    kernels_with_rep.insert(trace.At(e.invocation).kernel_id);
+  EXPECT_GE(kernels_with_rep.size(), 3u);
+}
+
+TEST(TbPointTest, CentroidNearestBeatsFirstChronologicalOnGaussian) {
+  // gaussian's smoothly decaying work: the centroid-nearest member is a
+  // mid-range kernel, so TBPoint's estimate is less biased than a
+  // first-chronological pick (which is always the largest in cluster).
+  KernelTrace trace = Profiled(workloads::MakeRodinia("gaussian", 11, 1.0));
+  TbPointSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  const double truth = trace.TotalDurationUs();
+  const double estimate = plan.EstimateTotalUs(trace);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.5);
+}
+
+TEST(TbPointTest, LargeTracesUsePreReduction) {
+  // Above the agglomeration cap the pre-reduction path must still produce
+  // a valid plan (and terminate quickly).
+  const KernelTrace trace =
+      Profiled(workloads::MakeCasio("bert_infer", 11, 0.1));
+  ASSERT_GT(trace.NumInvocations(), TbPointConfig{}.agglomeration_cap);
+  TbPointSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  EXPECT_NO_THROW(plan.Validate(trace.NumInvocations()));
+  EXPECT_GT(plan.num_clusters, 1u);
+}
+
+TEST(TbPointTest, ConfigValidation) {
+  TbPointConfig bad;
+  bad.merge_threshold = 0.0;
+  EXPECT_THROW(TbPointSampler{bad}, std::invalid_argument);
+  bad = TbPointConfig{};
+  bad.max_clusters = 0;
+  EXPECT_THROW(TbPointSampler{bad}, std::invalid_argument);
+  KernelTrace empty("e");
+  TbPointSampler sampler;
+  EXPECT_THROW(sampler.BuildPlan(empty, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot::baselines

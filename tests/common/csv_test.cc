@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace stemroot {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath() {
+    return testing::TempDir() + "/csv_test_" +
+           std::to_string(counter_++) + ".csv";
+  }
+  int counter_ = 0;
+};
+
+TEST_F(CsvTest, RoundTripSimpleRows) {
+  const std::string path = TempPath();
+  {
+    CsvWriter writer(path);
+    writer.WriteHeader({"a", "b", "c"});
+    writer.WriteRow({"1", "2", "3"});
+    writer.Flush();
+  }
+  const CsvTable table = CsvTable::ReadFile(path);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(CsvTest, QuotingRoundTrip) {
+  const std::string path = TempPath();
+  {
+    CsvWriter writer(path);
+    writer.WriteRow({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  }
+  const CsvTable table = CsvTable::ReadFile(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "has,comma");
+  EXPECT_EQ(table.rows[0][1], "has\"quote");
+  EXPECT_EQ(table.rows[0][2], "has\nnewline");
+  EXPECT_EQ(table.rows[0][3], "plain");
+}
+
+TEST(CsvQuoteTest, OnlyQuotesWhenNeeded) {
+  EXPECT_EQ(CsvWriter::Quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  const CsvTable table = CsvTable::Parse("a,,c\n,,\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(table.rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseTest, CrLfHandled) {
+  const CsvTable table = CsvTable::Parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "d");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  const CsvTable table = CsvTable::Parse("a,b\nc,d");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "c");
+}
+
+TEST(CsvParseTest, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(CsvTable::Parse("").rows.empty());
+}
+
+TEST(CsvIoTest, MissingFileThrows) {
+  EXPECT_THROW(CsvTable::ReadFile("/nonexistent/nope.csv"),
+               std::runtime_error);
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/nope.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stemroot

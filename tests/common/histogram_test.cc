@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stemroot {
+namespace {
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-5.0);   // clamps to first bin
+  h.Add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(9), 2u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+}
+
+TEST(HistogramTest, ConstructorValidation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, FromDataSpansInput) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const Histogram h = Histogram::FromData(values, 4);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_LT(h.Lo(), 1.0);
+  EXPECT_GT(h.Hi(), 4.0);
+  EXPECT_THROW(Histogram::FromData({}, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, FromDataConstantValues) {
+  const std::vector<double> values = {5.0, 5.0, 5.0};
+  const Histogram h = Histogram::FromData(values, 8);
+  EXPECT_EQ(h.TotalCount(), 3u);
+  EXPECT_EQ(h.CountPeaks(), 1u);
+}
+
+TEST(HistogramTest, SinglePeakDetected) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.NextGaussian(50, 4));
+  const Histogram h = Histogram::FromData(values, 40);
+  EXPECT_EQ(h.CountPeaks(), 1u);
+}
+
+TEST(HistogramTest, ThreePeaksDetected) {
+  // The bn_fw_inf shape from the paper's Fig. 1: three separated modes.
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.NextGaussian(20, 1));
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.NextGaussian(50, 1.5));
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.NextGaussian(90, 2));
+  const Histogram h = Histogram::FromData(values, 60);
+  EXPECT_EQ(h.CountPeaks(), 3u);
+}
+
+TEST(HistogramTest, TwoClosePeaksMergeWithCoarseBins) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextGaussian(10, 2));
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextGaussian(14, 2));
+  const Histogram coarse = Histogram::FromData(values, 6);
+  EXPECT_EQ(coarse.CountPeaks(), 1u);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string render = h.Render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  // Two rows -> two newlines.
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 2);
+}
+
+TEST(HistogramTest, EmptyHistogramHasNoPeaks) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.CountPeaks(), 0u);
+}
+
+}  // namespace
+}  // namespace stemroot

@@ -1,0 +1,79 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+
+namespace stemroot::core {
+namespace {
+
+TEST(EstimatorTest, FullAggregateSumsCountsAveragesRates) {
+  std::vector<KernelMetrics> metrics(2);
+  metrics[0].global_load_transactions = 100;
+  metrics[0].l1_hit_rate = 0.2;
+  metrics[1].global_load_transactions = 300;
+  metrics[1].l1_hit_rate = 0.6;
+
+  const MetricAggregate agg = AggregateFull(metrics);
+  EXPECT_DOUBLE_EQ(agg.values[2], 400.0);  // global_load = index 2
+  EXPECT_DOUBLE_EQ(agg.values[4], 0.4);    // l1_hit_rate = index 4
+}
+
+TEST(EstimatorTest, SampledAggregateUsesWeights) {
+  std::vector<KernelMetrics> metrics(3);
+  metrics[0].fp32_ops = 10;
+  metrics[1].fp32_ops = 50;
+  metrics[2].fp32_ops = 90;
+  metrics[0].branch_efficiency = 1.0;
+  metrics[2].branch_efficiency = 0.5;
+
+  SamplingPlan plan;
+  plan.entries = {{0, 3.0}, {2, 1.0}};
+  const MetricAggregate agg = AggregateSampled(plan, metrics);
+  EXPECT_DOUBLE_EQ(agg.values[9], 3.0 * 10 + 1.0 * 90);      // fp32 count
+  EXPECT_DOUBLE_EQ(agg.values[11], (3.0 * 1.0 + 0.5) / 4.0);  // rate mean
+}
+
+TEST(EstimatorTest, RelativeErrorSemantics) {
+  MetricAggregate est, ref;
+  est.values[0] = 110;  // count
+  ref.values[0] = 100;
+  est.values[4] = 0.55;  // rate
+  ref.values[4] = 0.50;
+  const auto err = MetricAggregate::RelativeError(est, ref);
+  EXPECT_NEAR(err[0], 0.10, 1e-12);   // relative for counts
+  EXPECT_NEAR(err[4], 0.05, 1e-12);   // absolute for rates
+}
+
+TEST(EstimatorTest, OutOfRangePlanIndexThrows) {
+  std::vector<KernelMetrics> metrics(1);
+  SamplingPlan plan;
+  plan.entries = {{5, 1.0}};
+  EXPECT_THROW(AggregateSampled(plan, metrics), std::out_of_range);
+}
+
+TEST(EstimatorTest, StemSampleReproducesMicroarchMetrics) {
+  // The Fig. 14 property: a STEM plan's weighted metric aggregate matches
+  // the full workload across all 13 metrics.
+  KernelTrace trace = workloads::MakeCasio("bert_infer", 41, 0.05);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 3);
+
+  std::vector<KernelMetrics> metrics;
+  metrics.reserve(trace.NumInvocations());
+  for (const auto& inv : trace.Invocations())
+    metrics.push_back(gpu.Metrics(inv, 3));
+
+  StemRootSampler sampler;
+  const SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  const MetricAggregate full = AggregateFull(metrics);
+  const MetricAggregate sampled = AggregateSampled(plan, metrics);
+  const auto err = MetricAggregate::RelativeError(sampled, full);
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+    EXPECT_LT(err[i], 0.10) << KernelMetrics::Name(i);
+}
+
+}  // namespace
+}  // namespace stemroot::core

@@ -1,0 +1,153 @@
+#include "core/kkt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stemroot::core {
+namespace {
+
+std::vector<ClusterStats> TypicalClusters() {
+  return {
+      {50000, 120.0, 15.0},  // frequent, fairly stable GEMM peak
+      {20000, 40.0, 18.0},   // memory-bound elementwise, wide
+      {5000, 900.0, 90.0},   // rare long kernel
+      {80000, 10.0, 1.0},    // tiny stable kernel
+  };
+}
+
+TEST(KktTest, SolutionSatisfiesErrorBound) {
+  const auto clusters = TypicalClusters();
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_LE(solution.theoretical_error, config.epsilon * 1.0001);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EXPECT_GE(solution.sample_sizes[i], 1u);
+    EXPECT_LE(solution.sample_sizes[i], clusters[i].n);
+  }
+}
+
+TEST(KktTest, JointBeatsPerClusterSizing) {
+  // Sec. 3.3: the joint optimization reduces total sample cost ~2-3x vs.
+  // applying Eq. (3) per cluster.
+  const auto clusters = TypicalClusters();
+  StemConfig config;
+  const KktSolution joint = SolveKkt(clusters, config);
+  const KktSolution naive = SolvePerCluster(clusters, config);
+  EXPECT_LT(joint.cost_us, naive.cost_us);
+  EXPECT_GT(naive.cost_us / joint.cost_us, 1.5);
+}
+
+TEST(KktTest, PerClusterAlsoSatisfiesBound) {
+  const auto clusters = TypicalClusters();
+  StemConfig config;
+  const KktSolution naive = SolvePerCluster(clusters, config);
+  EXPECT_LE(naive.theoretical_error, config.epsilon * 1.0001);
+}
+
+TEST(KktTest, SymmetricClustersGetEqualSamples) {
+  const std::vector<ClusterStats> clusters = {{10000, 50.0, 10.0},
+                                              {10000, 50.0, 10.0}};
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], solution.sample_sizes[1]);
+}
+
+TEST(KktTest, NoisierClusterGetsMoreSamples) {
+  const std::vector<ClusterStats> clusters = {{10000, 50.0, 5.0},
+                                              {10000, 50.0, 25.0}};
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_GT(solution.sample_sizes[1], solution.sample_sizes[0] * 2);
+}
+
+TEST(KktTest, DegenerateClusterGetsFloorOnly) {
+  const std::vector<ClusterStats> clusters = {{10000, 50.0, 0.0},
+                                              {10000, 50.0, 20.0}};
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 1u);
+  EXPECT_GT(solution.sample_sizes[1], 1u);
+}
+
+TEST(KktTest, EmptyClusterGetsZero) {
+  const std::vector<ClusterStats> clusters = {{0, 0.0, 0.0},
+                                              {1000, 50.0, 20.0}};
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 0u);
+  EXPECT_GT(solution.sample_sizes[1], 0u);
+}
+
+TEST(KktTest, DominantVolatileTinyClusterBecomesExhaustive) {
+  // A tiny cluster that dominates total time with huge variance wants far
+  // more samples than it has members: it must be simulated fully and its
+  // variance excluded from the bound.
+  const std::vector<ClusterStats> clusters = {{5, 1e5, 3e5},
+                                              {100000, 1.0, 0.5}};
+  StemConfig config;
+  config.epsilon = 0.01;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 5u);
+  EXPECT_GT(solution.sample_sizes[1], 1u);
+  EXPECT_LT(solution.sample_sizes[1], 100000u);
+  EXPECT_LE(solution.theoretical_error, config.epsilon * 1.0001);
+}
+
+TEST(KktTest, AllExhaustiveYieldsZeroError) {
+  const std::vector<ClusterStats> clusters = {{3, 10.0, 20.0},
+                                              {2, 5.0, 10.0}};
+  StemConfig config;
+  config.epsilon = 0.001;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 3u);
+  EXPECT_EQ(solution.sample_sizes[1], 2u);
+  EXPECT_DOUBLE_EQ(solution.theoretical_error, 0.0);
+}
+
+TEST(KktTest, NonPositiveMeanRejected) {
+  const std::vector<ClusterStats> clusters = {{100, 0.0, 1.0}};
+  StemConfig config;
+  EXPECT_THROW(SolveKkt(clusters, config), std::invalid_argument);
+}
+
+TEST(KktTest, CostMatchesSampleCostHelper) {
+  const auto clusters = TypicalClusters();
+  StemConfig config;
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_NEAR(solution.cost_us,
+              SampleCost(clusters, solution.sample_sizes), 1e-9);
+}
+
+/// Property sweep: the joint solution never costs more than per-cluster
+/// sizing and always meets the bound, across random cluster sets.
+class KktPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KktPropertyTest, JointIsFeasibleAndNoWorse) {
+  Rng rng(DeriveSeed(99, static_cast<uint64_t>(GetParam())));
+  const size_t k = 1 + rng.NextBounded(12);
+  std::vector<ClusterStats> clusters;
+  for (size_t i = 0; i < k; ++i) {
+    ClusterStats c;
+    c.n = 1 + rng.NextBounded(200000);
+    c.mean = rng.NextDouble(0.5, 2000.0);
+    c.stddev = rng.NextDouble(0.0, c.mean * 2.0);
+    clusters.push_back(c);
+  }
+  StemConfig config;
+  config.epsilon = rng.NextDouble(0.01, 0.25);
+
+  const KktSolution joint = SolveKkt(clusters, config);
+  const KktSolution naive = SolvePerCluster(clusters, config);
+  EXPECT_LE(joint.theoretical_error, config.epsilon * 1.0001);
+  // Ceiling effects can cost a few mu_i; allow a tiny slack.
+  EXPECT_LE(joint.cost_us, naive.cost_us * 1.05 + 1e-6);
+  for (size_t i = 0; i < k; ++i)
+    EXPECT_LE(joint.sample_sizes[i], clusters[i].n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusterSets, KktPropertyTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace stemroot::core

@@ -1,0 +1,170 @@
+#include "core/root.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/kkt.h"
+
+namespace stemroot::core {
+namespace {
+
+std::vector<double> BimodalDurations(size_t per_mode, Rng& rng) {
+  std::vector<double> durations;
+  for (size_t i = 0; i < per_mode; ++i)
+    durations.push_back(rng.NextGaussian(20.0, 0.6));
+  for (size_t i = 0; i < per_mode; ++i)
+    durations.push_back(rng.NextGaussian(200.0, 5.0));
+  return durations;
+}
+
+TEST(RootConfigTest, Validation) {
+  RootConfig config;
+  EXPECT_NO_THROW(config.Validate());
+  config.branch_k = 1;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = RootConfig{};
+  config.min_split_size = 1;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = RootConfig{};
+  config.max_depth = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(RootTest, SplitsBimodalPopulation) {
+  Rng rng(3);
+  const auto durations = BimodalDurations(2000, rng);
+  const auto clusters = RootCluster1D(durations, RootConfig{});
+  ASSERT_GE(clusters.size(), 2u);
+
+  // Each final cluster must be unimodal-ish: no cluster spans both modes.
+  for (const RootCluster& c : clusters) {
+    EXPECT_TRUE(c.stats.mean < 100.0 || c.stats.mean > 100.0);
+    for (uint32_t idx : c.members) {
+      const bool low_mode = durations[idx] < 100.0;
+      EXPECT_EQ(low_mode, c.stats.mean < 100.0);
+    }
+  }
+}
+
+TEST(RootTest, DoesNotSplitNarrowUnimodal) {
+  Rng rng(5);
+  std::vector<double> durations;
+  for (int i = 0; i < 5000; ++i)
+    durations.push_back(rng.NextGaussian(100.0, 1.0));
+  const auto clusters = RootCluster1D(durations, RootConfig{});
+  // A 1% CoV population needs no splitting: Eq. (3) already gives m ~ 1.
+  EXPECT_LE(clusters.size(), 2u);
+}
+
+TEST(RootTest, PartitionIsExactAndDisjoint) {
+  Rng rng(7);
+  std::vector<double> durations;
+  for (int i = 0; i < 3000; ++i)
+    durations.push_back(rng.NextLogNormal(3.0, 0.8));
+  const auto clusters = RootCluster1D(durations, RootConfig{});
+
+  std::set<uint32_t> seen;
+  for (const RootCluster& c : clusters) {
+    EXPECT_EQ(c.members.size(), c.stats.n);
+    for (uint32_t idx : c.members) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate member " << idx;
+      EXPECT_LT(idx, durations.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), durations.size());
+}
+
+TEST(RootTest, SplittingReducesPredictedCost) {
+  // The accepted hierarchy must never predict a higher simulated time
+  // than treating the kernel as one cluster (Eqs. 7/8).
+  Rng rng(9);
+  const auto durations = BimodalDurations(3000, rng);
+  RootConfig config;
+
+  const ClusterStats whole = ClusterStats::Of(durations);
+  const double tau_old = static_cast<double>(SingleClusterSampleSize(
+                             whole, config.stem)) * whole.mean;
+
+  const auto clusters = RootCluster1D(durations, config);
+  std::vector<ClusterStats> stats;
+  for (const auto& c : clusters) stats.push_back(c.stats);
+  const double tau_new = SolveKkt(stats, config.stem).cost_us;
+  EXPECT_LT(tau_new, tau_old);
+}
+
+TEST(RootTest, ThreePeaksYieldAtLeastThreeClusters) {
+  // The bn_fw_inf case from Fig. 1: three separated peaks.
+  Rng rng(11);
+  std::vector<double> durations;
+  for (double mode : {15.0, 40.0, 95.0})
+    for (int i = 0; i < 4000; ++i)
+      durations.push_back(rng.NextGaussian(mode, mode * 0.02));
+  const auto clusters = RootCluster1D(durations, RootConfig{});
+  EXPECT_GE(clusters.size(), 3u);
+}
+
+TEST(RootTest, RespectsMinSplitSize) {
+  Rng rng(13);
+  auto durations = BimodalDurations(3, rng);  // 6 points total
+  RootConfig config;
+  config.min_split_size = 100;
+  const auto clusters = RootCluster1D(durations, config);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(RootTest, RespectsMaxDepth) {
+  Rng rng(15);
+  std::vector<double> durations;
+  for (int i = 0; i < 10000; ++i)
+    durations.push_back(rng.NextLogNormal(2.0, 1.5));
+  RootConfig config;
+  config.max_depth = 1;
+  const auto clusters = RootCluster1D(durations, config);
+  EXPECT_LE(clusters.size(), 2u);
+  for (const auto& c : clusters) EXPECT_LE(c.depth, 1u);
+}
+
+TEST(RootTest, ExternalIndicesArePreserved) {
+  Rng rng(17);
+  const auto durations = BimodalDurations(500, rng);
+  std::vector<uint32_t> indices(durations.size());
+  for (size_t i = 0; i < indices.size(); ++i)
+    indices[i] = static_cast<uint32_t>(i) * 3 + 7;  // arbitrary mapping
+  const auto clusters = RootCluster1D(durations, indices, RootConfig{});
+  size_t total = 0;
+  for (const auto& c : clusters) {
+    for (uint32_t idx : c.members) EXPECT_EQ((idx - 7) % 3, 0u);
+    total += c.members.size();
+  }
+  EXPECT_EQ(total, durations.size());
+}
+
+TEST(RootTest, EmptyInputYieldsNoClusters) {
+  EXPECT_TRUE(RootCluster1D({}, RootConfig{}).empty());
+}
+
+TEST(RootTest, ArityMismatchThrows) {
+  const std::vector<double> durations = {1.0, 2.0};
+  const std::vector<uint32_t> indices = {0};
+  EXPECT_THROW(RootCluster1D(durations, indices, RootConfig{}),
+               std::invalid_argument);
+}
+
+TEST(RootTest, HigherBranchingAlsoWorks) {
+  // Paper: "any number above 2 works well".
+  Rng rng(19);
+  const auto durations = BimodalDurations(2000, rng);
+  RootConfig config;
+  config.branch_k = 4;
+  const auto clusters = RootCluster1D(durations, config);
+  std::set<uint32_t> seen;
+  for (const auto& c : clusters)
+    for (uint32_t idx : c.members) seen.insert(idx);
+  EXPECT_EQ(seen.size(), durations.size());
+}
+
+}  // namespace
+}  // namespace stemroot::core

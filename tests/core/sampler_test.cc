@@ -1,0 +1,125 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::core {
+namespace {
+
+class StemSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = workloads::MakeCasio("bert_infer", 31, 0.05);
+    hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+    gpu.ProfileTrace(trace_, 2);
+  }
+  KernelTrace trace_;
+  StemRootSampler sampler_;
+};
+
+TEST_F(StemSamplerTest, PlanIsValidAndWeightCoversWorkload) {
+  const SamplingPlan plan = sampler_.BuildPlan(trace_, 1);
+  EXPECT_NO_THROW(plan.Validate(trace_.NumInvocations()));
+  EXPECT_EQ(plan.method, "STEM");
+  EXPECT_GT(plan.NumSamples(), 0u);
+  EXPECT_NEAR(plan.TotalWeight(),
+              static_cast<double>(trace_.NumInvocations()),
+              trace_.NumInvocations() * 1e-9);
+}
+
+TEST_F(StemSamplerTest, EstimateWithinTheoreticalBound) {
+  const SamplingPlan plan = sampler_.BuildPlan(trace_, 1);
+  const double truth = trace_.TotalDurationUs();
+  const double estimate = plan.EstimateTotalUs(trace_);
+  EXPECT_LT(std::abs(estimate - truth) / truth,
+            sampler_.Config().root.stem.epsilon);
+  EXPECT_LE(plan.theoretical_error,
+            sampler_.Config().root.stem.epsilon * 1.0001);
+}
+
+TEST_F(StemSamplerTest, SamplesFarFewerThanWorkload) {
+  const SamplingPlan plan = sampler_.BuildPlan(trace_, 1);
+  EXPECT_LT(plan.DistinctInvocations().size(),
+            trace_.NumInvocations() / 4);
+}
+
+TEST_F(StemSamplerTest, DeterministicGivenSeed) {
+  const SamplingPlan a = sampler_.BuildPlan(trace_, 5);
+  const SamplingPlan b = sampler_.BuildPlan(trace_, 5);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].invocation, b.entries[i].invocation);
+    EXPECT_DOUBLE_EQ(a.entries[i].weight, b.entries[i].weight);
+  }
+  EXPECT_FALSE(sampler_.Deterministic());  // different seeds -> new draws
+}
+
+TEST_F(StemSamplerTest, ClusterCountExceedsKernelCount) {
+  // ROOT must split at least the multi-context kernels beyond one
+  // cluster per name.
+  const SamplingPlan plan = sampler_.BuildPlan(trace_, 1);
+  EXPECT_GT(plan.num_clusters, trace_.NumKernelTypes());
+}
+
+TEST_F(StemSamplerTest, TighterEpsilonSamplesMore) {
+  StemRootConfig tight;
+  tight.root.stem.epsilon = 0.01;
+  StemRootConfig loose;
+  loose.root.stem.epsilon = 0.25;
+  const SamplingPlan plan_tight =
+      StemRootSampler(tight).BuildPlan(trace_, 1);
+  const SamplingPlan plan_loose =
+      StemRootSampler(loose).BuildPlan(trace_, 1);
+  EXPECT_GT(plan_tight.NumSamples(), plan_loose.NumSamples());
+}
+
+TEST_F(StemSamplerTest, RejectsUnprofiledTrace) {
+  KernelTrace raw = workloads::MakeCasio("bert_infer", 1, 0.01);
+  EXPECT_THROW(sampler_.BuildPlan(raw, 1), std::invalid_argument);
+  KernelTrace empty("empty");
+  EXPECT_THROW(sampler_.BuildPlan(empty, 1), std::invalid_argument);
+}
+
+TEST(StemSamplerHeartwallTest, CatchesTheShortFirstInvocation) {
+  // heartwall: first-chronological sampling underestimates by ~99.9%
+  // (Sec. 5.1); STEM's estimate must stay within epsilon.
+  KernelTrace trace = workloads::MakeRodinia("heartwall", 13, 1.0);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 2);
+  StemRootSampler sampler;
+  const SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  const double truth = trace.TotalDurationUs();
+  const double estimate = plan.EstimateTotalUs(trace);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.05);
+}
+
+TEST(SamplingPlanTest, EstimateAndCostHelpers) {
+  SamplingPlan plan;
+  plan.entries = {{0, 2.0}, {2, 3.0}, {0, 2.0}};
+  const std::vector<double> durations = {10.0, 99.0, 20.0};
+  EXPECT_DOUBLE_EQ(plan.EstimateTotalUs(durations),
+                   2.0 * 10 + 3.0 * 20 + 2.0 * 10);
+  // Distinct cost counts invocation 0 once.
+  EXPECT_DOUBLE_EQ(plan.SampledCostUs(durations), 10.0 + 20.0);
+  EXPECT_EQ(plan.DistinctInvocations(), (std::vector<uint32_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(plan.TotalWeight(), 7.0);
+}
+
+TEST(SamplingPlanTest, ValidationCatchesBadEntries) {
+  SamplingPlan plan;
+  plan.entries = {{5, 1.0}};
+  EXPECT_THROW(plan.Validate(3), std::out_of_range);
+  plan.entries = {{0, 0.0}};
+  EXPECT_THROW(plan.Validate(3), std::out_of_range);
+  const std::vector<double> durations = {1.0};
+  plan.entries = {{2, 1.0}};
+  EXPECT_THROW(plan.EstimateTotalUs(durations), std::out_of_range);
+  EXPECT_THROW(plan.SampledCostUs(durations), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace stemroot::core

@@ -1,0 +1,179 @@
+#include "core/stem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace stemroot::core {
+namespace {
+
+TEST(StemConfigTest, DefaultsMatchPaper) {
+  const StemConfig config;
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(config.confidence, 0.95);
+  EXPECT_NEAR(config.Z(), 1.96, 0.001);
+  EXPECT_NO_THROW(config.Validate());
+}
+
+TEST(StemConfigTest, ValidationRejectsBadValues) {
+  StemConfig config;
+  config.epsilon = 0.0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = StemConfig{};
+  config.confidence = 1.0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = StemConfig{};
+  config.min_samples = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(ClusterStatsTest, FromDurations) {
+  const std::vector<double> durations = {2.0, 4.0, 6.0};
+  const ClusterStats stats = ClusterStats::Of(durations);
+  EXPECT_EQ(stats.n, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(stats.Cov(), stats.stddev / 4.0, 1e-12);
+}
+
+TEST(SampleSizeTest, MatchesEquationThree) {
+  // Eq. (3): m = ceil((z/eps * sigma/mu)^2). With CoV = 0.5, eps = 0.05,
+  // z = 1.95996: m = ceil((1.95996 * 10)^2) = ceil(384.1) = 385.
+  ClusterStats cluster{100000, 100.0, 50.0};
+  StemConfig config;
+  EXPECT_EQ(SingleClusterSampleSize(cluster, config), 385u);
+}
+
+TEST(SampleSizeTest, GrowsQuadraticallyWithCov) {
+  StemConfig config;
+  ClusterStats narrow{1000000, 100.0, 10.0};
+  ClusterStats wide{1000000, 100.0, 40.0};
+  const uint64_t m_narrow = SingleClusterSampleSize(narrow, config);
+  const uint64_t m_wide = SingleClusterSampleSize(wide, config);
+  EXPECT_NEAR(static_cast<double>(m_wide) / static_cast<double>(m_narrow),
+              16.0, 1.0);
+}
+
+TEST(SampleSizeTest, ShrinksWithLooserEpsilon) {
+  // Fig. 11 mechanism: larger epsilon -> fewer samples -> more speedup.
+  ClusterStats cluster{1000000, 100.0, 50.0};
+  StemConfig tight;
+  tight.epsilon = 0.03;
+  StemConfig loose;
+  loose.epsilon = 0.25;
+  EXPECT_GT(SingleClusterSampleSize(cluster, tight),
+            SingleClusterSampleSize(cluster, loose) * 30);
+}
+
+TEST(SampleSizeTest, DegenerateClusterGetsFloor) {
+  ClusterStats constant{5000, 10.0, 0.0};
+  StemConfig config;
+  EXPECT_EQ(SingleClusterSampleSize(constant, config), 1u);
+  config.min_samples = 3;
+  EXPECT_EQ(SingleClusterSampleSize(constant, config), 3u);
+}
+
+TEST(SampleSizeTest, CappedAtPopulation) {
+  ClusterStats tiny{10, 100.0, 500.0};  // CoV 5 would want ~38k samples
+  StemConfig config;
+  EXPECT_EQ(SingleClusterSampleSize(tiny, config), 10u);
+}
+
+TEST(SampleSizeTest, EmptyAndInvalidClusters) {
+  StemConfig config;
+  EXPECT_EQ(SingleClusterSampleSize(ClusterStats{0, 0.0, 0.0}, config), 0u);
+  EXPECT_THROW(
+      SingleClusterSampleSize(ClusterStats{10, -1.0, 1.0}, config),
+      std::invalid_argument);
+}
+
+TEST(TheoreticalErrorTest, InvertsSampleSize) {
+  // Sampling exactly m = (z sigma / (eps mu))^2 gives error exactly eps.
+  ClusterStats cluster{100000, 100.0, 50.0};
+  StemConfig config;
+  const double z = config.Z();
+  const double m_exact = std::pow(z / config.epsilon * 0.5, 2.0);
+  const double err = TheoreticalError(
+      cluster, static_cast<uint64_t>(std::ceil(m_exact)), config);
+  EXPECT_LE(err, config.epsilon);
+  EXPECT_GT(err, config.epsilon * 0.95);
+}
+
+TEST(TheoreticalErrorTest, DecaysAsSqrtM) {
+  ClusterStats cluster{100000, 100.0, 50.0};
+  StemConfig config;
+  const double e100 = TheoreticalError(cluster, 100, config);
+  const double e400 = TheoreticalError(cluster, 400, config);
+  EXPECT_NEAR(e100 / e400, 2.0, 1e-9);
+}
+
+TEST(TheoreticalErrorTest, Validation) {
+  ClusterStats cluster{100, 10.0, 5.0};
+  StemConfig config;
+  EXPECT_THROW(TheoreticalError(cluster, 0, config), std::invalid_argument);
+  EXPECT_THROW(TheoreticalError(ClusterStats{100, 0.0, 5.0}, 10, config),
+               std::invalid_argument);
+}
+
+TEST(MultiClusterErrorTest, SingleClusterReducesToEqTwo) {
+  ClusterStats cluster{100000, 100.0, 50.0};
+  StemConfig config;
+  const std::vector<ClusterStats> clusters = {cluster};
+  const std::vector<uint64_t> m = {385};
+  EXPECT_NEAR(MultiClusterError(clusters, m, config),
+              TheoreticalError(cluster, 385, config), 1e-12);
+}
+
+TEST(MultiClusterErrorTest, MoreSamplesAnywhereReduceError) {
+  StemConfig config;
+  const std::vector<ClusterStats> clusters = {{1000, 10.0, 5.0},
+                                              {2000, 50.0, 20.0}};
+  const std::vector<uint64_t> base = {10, 10};
+  const std::vector<uint64_t> more = {10, 40};
+  EXPECT_LT(MultiClusterError(clusters, more, config),
+            MultiClusterError(clusters, base, config));
+}
+
+TEST(MultiClusterErrorTest, ArityMismatchThrows) {
+  StemConfig config;
+  const std::vector<ClusterStats> clusters = {{1000, 10.0, 5.0}};
+  const std::vector<uint64_t> m = {1, 2};
+  EXPECT_THROW(MultiClusterError(clusters, m, config),
+               std::invalid_argument);
+}
+
+TEST(SampleCostTest, SumsMiMui) {
+  const std::vector<ClusterStats> clusters = {{100, 10.0, 1.0},
+                                              {200, 5.0, 1.0}};
+  const std::vector<uint64_t> m = {3, 4};
+  EXPECT_DOUBLE_EQ(SampleCost(clusters, m), 3 * 10.0 + 4 * 5.0);
+}
+
+/// Property sweep: for many random clusters, sampling the Eq. (3) size
+/// keeps the theoretical error within epsilon.
+class StemPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StemPropertyTest, EquationThreeRespectsBound) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  StemConfig config;
+  config.epsilon = rng.NextDouble(0.01, 0.3);
+  ClusterStats cluster;
+  cluster.n = 1 + rng.NextBounded(1000000);
+  cluster.mean = rng.NextDouble(1.0, 1000.0);
+  cluster.stddev = rng.NextDouble(0.0, cluster.mean * 3.0);
+  const uint64_t m = SingleClusterSampleSize(cluster, config);
+  ASSERT_GE(m, 1u);
+  if (m < cluster.n) {  // not clipped by the population cap
+    EXPECT_LE(TheoreticalError(cluster, m, config), config.epsilon * 1.0001)
+        << "n=" << cluster.n << " mean=" << cluster.mean
+        << " sd=" << cluster.stddev << " eps=" << config.epsilon;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusters, StemPropertyTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace stemroot::core

@@ -1,0 +1,147 @@
+#include "dag/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dag/generator.h"
+
+namespace stemroot::dag {
+namespace {
+
+class DagSamplerTest : public ::testing::Test {
+ protected:
+  static DagWorkload MakeProfiled(Parallelism parallelism,
+                                  uint32_t steps = 30) {
+    MultiGpuTrainingConfig config;
+    config.parallelism = parallelism;
+    config.steps = steps;
+    DagWorkload workload = MakeMultiGpuTraining(config, 7);
+    hw::HardwareModel gpu(hw::GpuSpec::H100());
+    NetworkModel network;
+    ProfileDag(workload, gpu, network, 3);
+    return workload;
+  }
+};
+
+TEST_F(DagSamplerTest, GeneratorProducesValidProfiledDag) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kData);
+  EXPECT_GT(workload.NumOps(), 100u);
+  EXPECT_EQ(workload.NumDevices(), 4u);
+  bool saw_compute = false, saw_collective = false;
+  for (const DagOp& op : workload.Ops()) {
+    EXPECT_GT(op.duration_us, 0.0);
+    saw_compute |= op.kind == OpKind::kCompute;
+    saw_collective |= op.kind == OpKind::kCollective;
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_collective);
+  EXPECT_NO_THROW(ScheduleDag(workload));
+}
+
+TEST_F(DagSamplerTest, PipelineDagHasP2pAndDeeperMakespan) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kPipeline, 10);
+  bool saw_p2p = false;
+  for (const DagOp& op : workload.Ops())
+    saw_p2p |= op.kind == OpKind::kPointToPoint;
+  EXPECT_TRUE(saw_p2p);
+  const ScheduleResult schedule = ScheduleDag(workload);
+  // Pipelining overlaps stages: makespan is far below serial total but
+  // above the per-device share.
+  EXPECT_LT(schedule.makespan_us, workload.TotalDurationUs());
+  EXPECT_GT(schedule.makespan_us,
+            workload.TotalDurationUs() / workload.NumDevices() * 0.5);
+}
+
+TEST_F(DagSamplerTest, ConfigValidation) {
+  MultiGpuTrainingConfig config;
+  config.devices = 0;
+  EXPECT_THROW(MakeMultiGpuTraining(config, 1), std::invalid_argument);
+  config = MultiGpuTrainingConfig{};
+  config.parallelism = Parallelism::kPipeline;
+  config.layers = 2;
+  config.devices = 4;
+  EXPECT_THROW(MakeMultiGpuTraining(config, 1), std::invalid_argument);
+}
+
+TEST_F(DagSamplerTest, NodeSamplingEstimatesTotalWithinBound) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kData);
+  StemDagSampler sampler;
+  const DagSamplingPlan plan = sampler.BuildPlan(workload, 5);
+  const double truth = workload.TotalDurationUs();
+  const double estimate = EstimateTotalUs(plan, workload);
+  EXPECT_LT(std::abs(estimate - truth) / truth,
+            sampler.Config().stem.epsilon);
+  EXPECT_LT(SampledCostUs(plan, workload), truth / 3.0);
+  EXPECT_GT(plan.num_clusters, 0u);
+}
+
+TEST_F(DagSamplerTest, PlugInMakespanTracksSchedule) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kData);
+  StemDagSampler sampler;
+  const DagSamplingPlan plan = sampler.BuildPlan(workload, 5);
+  const double truth = ScheduleDag(workload).makespan_us;
+  const double estimate = EstimateMakespanUs(plan, workload);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.08);
+}
+
+TEST_F(DagSamplerTest, PipelineMakespanAlsoTracked) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kPipeline, 15);
+  StemDagSampler sampler;
+  const DagSamplingPlan plan = sampler.BuildPlan(workload, 5);
+  const double truth = ScheduleDag(workload).makespan_us;
+  const double estimate = EstimateMakespanUs(plan, workload);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.08);
+}
+
+TEST_F(DagSamplerTest, EveryOpBelongsToExactlyOneCluster) {
+  const DagWorkload workload = MakeProfiled(Parallelism::kData);
+  StemDagSampler sampler;
+  const DagSamplingPlan plan = sampler.BuildPlan(workload, 5);
+  ASSERT_EQ(plan.cluster_of_op.size(), workload.NumOps());
+  for (uint32_t cluster : plan.cluster_of_op)
+    EXPECT_LT(cluster, plan.num_clusters);
+  for (double mean : plan.cluster_mean_us) EXPECT_GT(mean, 0.0);
+}
+
+TEST_F(DagSamplerTest, ClustersSeparateHiddenContexts) {
+  // Early/late-layer contexts differ in locality -> time; node clustering
+  // on durations should keep clusters context-pure.
+  const DagWorkload workload = MakeProfiled(Parallelism::kData);
+  StemDagSampler sampler;
+  const DagSamplingPlan plan = sampler.BuildPlan(workload, 5);
+  // For each cluster containing compute ops, the dominant hidden context
+  // should account for most members.
+  std::vector<std::map<uint32_t, size_t>> context_counts(plan.num_clusters);
+  std::vector<size_t> sizes(plan.num_clusters, 0);
+  for (uint32_t i = 0; i < workload.NumOps(); ++i) {
+    if (workload.At(i).kind != OpKind::kCompute) continue;
+    ++context_counts[plan.cluster_of_op[i]][workload.At(i).context_id];
+    ++sizes[plan.cluster_of_op[i]];
+  }
+  size_t checked = 0;
+  for (uint32_t c = 0; c < plan.num_clusters; ++c) {
+    if (sizes[c] < 50) continue;
+    size_t dominant = 0;
+    for (const auto& [ctx, count] : context_counts[c])
+      dominant = std::max(dominant, count);
+    EXPECT_GT(static_cast<double>(dominant) / sizes[c], 0.8);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(DagSamplerTest, RejectsBadInput) {
+  StemDagSampler sampler;
+  DagWorkload empty("e", 1);
+  EXPECT_THROW(sampler.BuildPlan(empty, 1), std::invalid_argument);
+
+  MultiGpuTrainingConfig config;
+  config.steps = 2;
+  DagWorkload unprofiled = MakeMultiGpuTraining(config, 7);
+  EXPECT_THROW(sampler.BuildPlan(unprofiled, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot::dag

@@ -1,0 +1,71 @@
+#include "eval/dse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "eval/runner.h"
+
+namespace stemroot::eval {
+namespace {
+
+TEST(DseTest, StandardVariantsMatchTableFour) {
+  const auto variants = StandardDseVariants(hw::GpuSpec::Rtx2080());
+  ASSERT_EQ(variants.size(), 5u);
+  EXPECT_EQ(variants[0].name, "Baseline");
+  EXPECT_EQ(variants[1].spec.l2_bytes,
+            hw::GpuSpec::Rtx2080().l2_bytes * 2);
+  EXPECT_EQ(variants[2].spec.l2_bytes,
+            hw::GpuSpec::Rtx2080().l2_bytes / 2);
+  EXPECT_EQ(variants[3].spec.num_sms,
+            hw::GpuSpec::Rtx2080().num_sms * 2);
+  EXPECT_EQ(variants[4].spec.num_sms,
+            hw::GpuSpec::Rtx2080().num_sms / 2);
+}
+
+TEST(DseTest, RetimePreservesOrderAndPositivity) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  const KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kRodinia, "lud", gpu, 3, 0.1);
+  const auto durations = RetimeTrace(trace, AnalyticTiming(gpu, 42));
+  ASSERT_EQ(durations.size(), trace.NumInvocations());
+  for (double d : durations) EXPECT_GT(d, 0.0);
+}
+
+TEST(DseTest, PlanBuiltOnBaselineTransfersToVariant) {
+  // The Sec. 5.4 property: plans from the baseline profile keep low error
+  // when ground truth is re-timed on modified hardware.
+  hw::HardwareModel base(hw::GpuSpec::Rtx2080());
+  KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "bert_infer", base, 3, 0.02);
+
+  core::StemRootSampler stem;
+  std::vector<core::SamplingPlan> plans = {stem.BuildPlan(trace, 1)};
+
+  for (const DseVariant& variant :
+       StandardDseVariants(hw::GpuSpec::Rtx2080())) {
+    hw::HardwareModel gpu(variant.spec);
+    const auto durations = RetimeTrace(trace, AnalyticTiming(gpu, 99));
+    const auto results =
+        EvaluatePlansOnVariant(plans, durations, trace.WorkloadName());
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_LT(results[0].error_pct, 8.0) << variant.name;
+  }
+}
+
+TEST(DseTest, CrossGpuH100ToH200StaysAccurate) {
+  // Fig. 13: sampling decided on H100, evaluated on H200.
+  hw::HardwareModel h100(hw::GpuSpec::H100());
+  KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "bert_infer", h100, 5, 0.02);
+  core::StemRootSampler stem;
+  const core::SamplingPlan plan = stem.BuildPlan(trace, 1);
+
+  hw::HardwareModel h200(hw::GpuSpec::H200());
+  const auto durations = RetimeTrace(trace, AnalyticTiming(h200, 7));
+  const EvalResult result =
+      EvaluatePlanOnDurations(plan, durations, "bert_infer");
+  EXPECT_LT(result.error_pct, 10.0);
+}
+
+}  // namespace
+}  // namespace stemroot::eval

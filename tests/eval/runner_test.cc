@@ -1,0 +1,92 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_sampler.h"
+#include "core/sampler.h"
+#include "common/csv.h"
+#include "eval/report.h"
+
+namespace stemroot::eval {
+namespace {
+
+TEST(RunnerTest, RunsSelectedWorkloadsForAllSamplers) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  baselines::RandomSampler random(0.01);
+  core::StemRootSampler stem;
+  const core::Sampler* samplers[] = {&random, &stem};
+
+  SuiteRunConfig config;
+  config.suite = workloads::SuiteId::kCasio;
+  config.size_scale = 0.01;
+  config.reps = 2;
+  config.only_workloads = {"bert_infer", "dlrm_infer"};
+
+  const SuiteResults results = RunSuite(config, gpu, samplers);
+  EXPECT_EQ(results.rows.size(), 4u);  // 2 workloads x 2 samplers
+  EXPECT_EQ(results.Methods().size(), 2u);
+  EXPECT_EQ(results.ForWorkload("bert_infer").size(), 2u);
+  EXPECT_NO_THROW(results.Aggregate("STEM"));
+}
+
+TEST(RunnerTest, StemBeatsRandomOnErrors) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  baselines::RandomSampler random(0.001);
+  core::StemRootSampler stem;
+  const core::Sampler* samplers[] = {&random, &stem};
+
+  SuiteRunConfig config;
+  config.suite = workloads::SuiteId::kCasio;
+  config.size_scale = 0.05;
+  config.reps = 3;
+  config.only_workloads = {"bert_infer"};
+
+  const SuiteResults results = RunSuite(config, gpu, samplers);
+  const EvalResult random_agg = results.Aggregate(random.Name());
+  const EvalResult stem_agg = results.Aggregate("STEM");
+  EXPECT_LT(stem_agg.error_pct, random_agg.error_pct);
+}
+
+TEST(RunnerTest, MakeProfiledWorkloadIsReady) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  const KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kRodinia, "lud", gpu, 3, 0.1);
+  EXPECT_GT(trace.NumInvocations(), 0u);
+  EXPECT_GT(trace.TotalDurationUs(), 0.0);
+}
+
+TEST(RunnerTest, SeedChangesWorkloadRealization) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  const KernelTrace a = MakeProfiledWorkload(
+      workloads::SuiteId::kRodinia, "lud", gpu, 3, 0.1);
+  const KernelTrace b = MakeProfiledWorkload(
+      workloads::SuiteId::kRodinia, "lud", gpu, 4, 0.1);
+  EXPECT_NE(a.TotalDurationUs(), b.TotalDurationUs());
+}
+
+TEST(ReportTest, TablesContainAllMethodsAndWorkloads) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  baselines::RandomSampler random(0.01);
+  const core::Sampler* samplers[] = {&random};
+  SuiteRunConfig config;
+  config.suite = workloads::SuiteId::kCasio;
+  config.size_scale = 0.01;
+  config.reps = 1;
+  config.only_workloads = {"bert_infer"};
+  const SuiteResults results = RunSuite(config, gpu, samplers);
+
+  const std::string table = FormatSuiteTable(results, "title");
+  EXPECT_NE(table.find("title"), std::string::npos);
+  EXPECT_NE(table.find("bert_infer"), std::string::npos);
+  EXPECT_NE(table.find("Random"), std::string::npos);
+
+  const std::string averages = FormatSuiteAverages(results, "avg");
+  EXPECT_NE(averages.find("Random"), std::string::npos);
+
+  const std::string csv_path = testing::TempDir() + "/runner_report.csv";
+  WriteResultsCsv(results, csv_path);
+  EXPECT_NO_THROW(stemroot::CsvTable::ReadFile(csv_path));
+}
+
+}  // namespace
+}  // namespace stemroot::eval

@@ -1,0 +1,192 @@
+#include "hw/hardware_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "workloads/context_model.h"
+
+namespace stemroot::hw {
+namespace {
+
+LaunchConfig BigLaunch() {
+  LaunchConfig launch;
+  launch.grid_x = 1024;
+  launch.block_x = 256;
+  return launch;
+}
+
+class HardwareModelTest : public ::testing::Test {
+ protected:
+  HardwareModel gpu_{GpuSpec::Rtx2080()};
+};
+
+TEST_F(HardwareModelTest, MoreInstructionsTakeLonger) {
+  KernelBehavior small = workloads::ComputeBoundBehavior(1e8, 1 << 20);
+  KernelBehavior big = small;
+  big.instructions = 1e9;
+  EXPECT_LT(gpu_.ExpectedTimeUs(small, BigLaunch()),
+            gpu_.ExpectedTimeUs(big, BigLaunch()));
+}
+
+TEST_F(HardwareModelTest, ComputeBoundKernelIsComputeBound) {
+  const KernelBehavior b = workloads::ComputeBoundBehavior(1e9, 8 << 20);
+  EXPECT_LT(gpu_.MemBoundedness(b, BigLaunch()), 0.5);
+}
+
+TEST_F(HardwareModelTest, IrregularKernelIsMemoryBound) {
+  const KernelBehavior b = workloads::IrregularBehavior(1e8, 256 << 20);
+  EXPECT_GT(gpu_.MemBoundedness(b, BigLaunch()), 0.8);
+}
+
+TEST_F(HardwareModelTest, LowerLocalityRunsSlower) {
+  KernelBehavior warm = workloads::MemoryBoundBehavior(1e8, 64 << 20);
+  warm.locality = 0.8f;
+  KernelBehavior cold = warm;
+  cold.locality = 0.2f;
+  EXPECT_LT(gpu_.ExpectedTimeUs(warm, BigLaunch()),
+            gpu_.ExpectedTimeUs(cold, BigLaunch()));
+}
+
+TEST_F(HardwareModelTest, WorseCoalescingRunsSlower) {
+  KernelBehavior coalesced = workloads::MemoryBoundBehavior(1e8, 64 << 20);
+  coalesced.coalescing = 0.95f;
+  KernelBehavior scattered = coalesced;
+  scattered.coalescing = 0.1f;
+  EXPECT_LT(gpu_.ExpectedTimeUs(coalesced, BigLaunch()),
+            gpu_.ExpectedTimeUs(scattered, BigLaunch()));
+}
+
+TEST_F(HardwareModelTest, BiggerCachesHelpMemoryBoundKernels) {
+  const KernelBehavior b = workloads::MemoryBoundBehavior(1e8, 32 << 20);
+  const HardwareModel big_cache(GpuSpec::Rtx2080().WithCacheScale(4.0));
+  EXPECT_LT(big_cache.ExpectedTimeUs(b, BigLaunch()),
+            gpu_.ExpectedTimeUs(b, BigLaunch()));
+}
+
+TEST_F(HardwareModelTest, CacheSizeBarelyMattersForComputeBound) {
+  const KernelBehavior b = workloads::ComputeBoundBehavior(1e9, 4 << 20);
+  const HardwareModel big_cache(GpuSpec::Rtx2080().WithCacheScale(4.0));
+  const double base = gpu_.ExpectedTimeUs(b, BigLaunch());
+  const double scaled = big_cache.ExpectedTimeUs(b, BigLaunch());
+  EXPECT_NEAR(scaled / base, 1.0, 0.12);
+}
+
+TEST_F(HardwareModelTest, MoreSmsHelpComputeBoundKernels) {
+  const KernelBehavior b = workloads::ComputeBoundBehavior(2e9, 4 << 20);
+  const HardwareModel more_sms(GpuSpec::Rtx2080().WithSmScale(2.0));
+  EXPECT_LT(more_sms.ExpectedTimeUs(b, BigLaunch()),
+            gpu_.ExpectedTimeUs(b, BigLaunch()) * 0.85);
+}
+
+TEST_F(HardwareModelTest, OccupancySaturatesAtOne) {
+  LaunchConfig tiny;
+  tiny.grid_x = 1;
+  tiny.block_x = 32;
+  EXPECT_LT(gpu_.Occupancy(tiny), 0.01);
+  EXPECT_DOUBLE_EQ(gpu_.Occupancy(BigLaunch()), 1.0);
+}
+
+TEST_F(HardwareModelTest, HitRatesAreValidProbabilities) {
+  for (double locality : {0.0, 0.3, 0.7, 1.0}) {
+    KernelBehavior b = workloads::MemoryBoundBehavior(1e8, 16 << 20);
+    b.locality = static_cast<float>(locality);
+    EXPECT_GE(gpu_.L1HitRate(b), 0.0);
+    EXPECT_LE(gpu_.L1HitRate(b), 1.0);
+    EXPECT_GE(gpu_.L2HitRate(b), 0.0);
+    EXPECT_LE(gpu_.L2HitRate(b), 1.0);
+  }
+}
+
+TEST_F(HardwareModelTest, HitRateMonotoneInLocality) {
+  KernelBehavior lo = workloads::MemoryBoundBehavior(1e8, 16 << 20);
+  lo.locality = 0.2f;
+  KernelBehavior hi = lo;
+  hi.locality = 0.9f;
+  EXPECT_LT(gpu_.L1HitRate(lo), gpu_.L1HitRate(hi));
+  EXPECT_LT(gpu_.L2HitRate(lo), gpu_.L2HitRate(hi));
+}
+
+TEST_F(HardwareModelTest, JitterWiderForMemoryBoundKernels) {
+  // The paper's core observation (Sec. 2.2): memory-bound kernels have
+  // wide execution-time distributions, compute-bound kernels narrow.
+  KernelInvocation compute;
+  compute.behavior = workloads::ComputeBoundBehavior(1e9, 4 << 20);
+  compute.launch = BigLaunch();
+  KernelInvocation memory;
+  memory.behavior = workloads::IrregularBehavior(1e8, 256 << 20);
+  memory.launch = BigLaunch();
+
+  StreamingStats compute_stats, memory_stats;
+  for (uint64_t run = 0; run < 400; ++run) {
+    compute.seq = run;
+    memory.seq = run;
+    compute_stats.Add(gpu_.SampleTimeUs(compute, 1));
+    memory_stats.Add(gpu_.SampleTimeUs(memory, 1));
+  }
+  EXPECT_LT(compute_stats.Cov(), 0.06);
+  EXPECT_GT(memory_stats.Cov(), 0.10);
+}
+
+TEST_F(HardwareModelTest, JitterIsUnbiased) {
+  KernelInvocation inv;
+  inv.behavior = workloads::MemoryBoundBehavior(1e8, 64 << 20);
+  inv.launch = BigLaunch();
+  const double expected = gpu_.ExpectedTimeUs(inv.behavior, inv.launch);
+  StreamingStats stats;
+  for (uint64_t s = 0; s < 4000; ++s) {
+    inv.seq = s;
+    stats.Add(gpu_.SampleTimeUs(inv, 7));
+  }
+  EXPECT_NEAR(stats.Mean() / expected, 1.0, 0.02);
+}
+
+TEST_F(HardwareModelTest, SampleTimeDeterministicPerSeed) {
+  KernelInvocation inv;
+  inv.behavior = workloads::MemoryBoundBehavior(1e8, 64 << 20);
+  inv.launch = BigLaunch();
+  inv.seq = 17;
+  EXPECT_DOUBLE_EQ(gpu_.SampleTimeUs(inv, 5), gpu_.SampleTimeUs(inv, 5));
+  EXPECT_NE(gpu_.SampleTimeUs(inv, 5), gpu_.SampleTimeUs(inv, 6));
+}
+
+TEST_F(HardwareModelTest, MetricsArePlausible) {
+  KernelInvocation inv;
+  inv.behavior = workloads::MemoryBoundBehavior(1e8, 64 << 20);
+  inv.behavior.fp16_fraction = 0.2f;
+  inv.launch = BigLaunch();
+  const KernelMetrics m = gpu_.Metrics(inv, 3);
+  EXPECT_GT(m.global_load_transactions, 0.0);
+  EXPECT_GT(m.global_store_transactions, 0.0);
+  EXPECT_GT(m.fp16_ops, 0.0);
+  EXPECT_GT(m.fp32_ops, 0.0);
+  EXPECT_GE(m.l1_hit_rate, 0.0);
+  EXPECT_LE(m.l1_hit_rate, 1.0);
+  EXPECT_GE(m.branch_efficiency, 0.0);
+  EXPECT_LE(m.branch_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(m.achieved_occupancy, 1.0);
+}
+
+TEST_F(HardwareModelTest, ProfileTraceFillsAllDurations) {
+  KernelTrace trace("t");
+  const uint32_t k = trace.InternKernel("k");
+  for (int i = 0; i < 10; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = k;
+    inv.behavior = workloads::ComputeBoundBehavior(1e7, 1 << 20);
+    inv.launch = BigLaunch();
+    trace.Add(inv);
+  }
+  gpu_.ProfileTrace(trace, 9);
+  for (const auto& inv : trace.Invocations()) EXPECT_GT(inv.duration_us, 0.0);
+}
+
+TEST_F(HardwareModelTest, LaunchOverheadBoundsTinyKernels) {
+  KernelBehavior b = workloads::ComputeBoundBehavior(64, 4096);
+  LaunchConfig tiny;
+  tiny.grid_x = 1;
+  EXPECT_GE(gpu_.ExpectedTimeUs(b, tiny),
+            gpu_.Spec().launch_overhead_us);
+}
+
+}  // namespace
+}  // namespace stemroot::hw

@@ -1,0 +1,76 @@
+#include "hw/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+
+namespace stemroot::hw {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = workloads::MakeCasio("bert_infer", 11, 0.02);
+    HardwareModel gpu(GpuSpec::Rtx2080());
+    gpu.ProfileTrace(trace_, 1);
+  }
+  KernelTrace trace_;
+};
+
+TEST_F(ProfileTest, FromTraceGroupsAllInvocations) {
+  const WorkloadProfile profile = WorkloadProfile::FromTrace(trace_);
+  EXPECT_EQ(profile.workload_name, "bert_infer");
+  EXPECT_EQ(profile.total_invocations, trace_.NumInvocations());
+  size_t grouped = 0;
+  for (const KernelProfile& kp : profile.kernels) {
+    EXPECT_EQ(kp.invocations.size(), kp.durations_us.size());
+    EXPECT_EQ(kp.stats.count, kp.durations_us.size());
+    grouped += kp.invocations.size();
+  }
+  EXPECT_EQ(grouped, trace_.NumInvocations());
+  EXPECT_NEAR(profile.total_duration_us, trace_.TotalDurationUs(), 1e-6);
+}
+
+TEST_F(ProfileTest, ByTotalTimeIsDescending) {
+  const WorkloadProfile profile = WorkloadProfile::FromTrace(trace_);
+  const auto order = profile.ByTotalTime();
+  ASSERT_GE(order.size(), 2u);
+  for (size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(order[i - 1]->stats.sum, order[i]->stats.sum);
+}
+
+TEST_F(ProfileTest, GemmDominatesBertTime) {
+  const WorkloadProfile profile = WorkloadProfile::FromTrace(trace_);
+  EXPECT_NE(profile.ByTotalTime().front()->name.find("sgemm"),
+            std::string::npos);
+}
+
+TEST_F(ProfileTest, MultiContextKernelShowsMultiplePeaks) {
+  // sgemm has 3 contexts at well-separated work scales (Fig. 1 shape).
+  const WorkloadProfile profile = WorkloadProfile::FromTrace(trace_);
+  for (const KernelProfile& kp : profile.kernels) {
+    if (kp.name == "sgemm_128x64_nn") {
+      EXPECT_GE(kp.CountPeaks(60), 2u);
+      return;
+    }
+  }
+  FAIL() << "sgemm_128x64_nn not found in bert_infer";
+}
+
+TEST(ProfileErrorTest, RejectsUnprofiledTrace) {
+  KernelTrace trace = workloads::MakeCasio("bert_infer", 1, 0.01);
+  EXPECT_THROW(WorkloadProfile::FromTrace(trace), std::invalid_argument);
+}
+
+TEST(ProfileHistogramTest, HistogramCoversPopulation) {
+  KernelProfile kp;
+  kp.name = "k";
+  kp.durations_us = {1.0, 2.0, 2.0, 3.0};
+  kp.stats = SummaryStats::Of(kp.durations_us);
+  const Histogram h = kp.MakeHistogram(8);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+}  // namespace
+}  // namespace stemroot::hw

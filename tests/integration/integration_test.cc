@@ -1,0 +1,143 @@
+/// \file
+/// End-to-end integration tests: the headline claims of the paper, scaled
+/// to test size. These exercise the whole pipeline (generator -> hardware
+/// profile -> samplers -> evaluation) exactly like the benches do.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/photon.h"
+#include "baselines/pka.h"
+#include "baselines/random_sampler.h"
+#include "baselines/sieve.h"
+#include "core/sampler.h"
+#include "eval/runner.h"
+
+namespace stemroot {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gpu_ = new hw::HardwareModel(hw::GpuSpec::Rtx2080());
+    trace_ = new KernelTrace(eval::MakeProfiledWorkload(
+        workloads::SuiteId::kCasio, "resnet50_train", *gpu_, 7, 0.05));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete gpu_;
+    trace_ = nullptr;
+    gpu_ = nullptr;
+  }
+  static hw::HardwareModel* gpu_;
+  static KernelTrace* trace_;
+};
+
+hw::HardwareModel* IntegrationTest::gpu_ = nullptr;
+KernelTrace* IntegrationTest::trace_ = nullptr;
+
+TEST_F(IntegrationTest, StemErrorIsWithinBoundAndNearZero) {
+  core::StemRootSampler stem;
+  const eval::EvalResult result =
+      eval::EvaluateRepeated(stem, *trace_, 5, 11);
+  EXPECT_LT(result.error_pct, 5.0);   // within epsilon
+  EXPECT_LT(result.error_pct, 2.0);   // near-zero in practice (Table 3)
+  EXPECT_GT(result.speedup, 10.0);
+}
+
+TEST_F(IntegrationTest, StemBeatsEveryBaselineOnError) {
+  core::StemRootSampler stem;
+  baselines::RandomSampler random(0.001);
+  baselines::PkaSampler pka;
+  baselines::SieveSampler sieve(baselines::SieveConfig{.use_kde = false});
+  baselines::PhotonSampler photon;
+
+  const double stem_err =
+      eval::EvaluateRepeated(stem, *trace_, 3, 1).error_pct;
+  for (const core::Sampler* baseline :
+       std::initializer_list<const core::Sampler*>{&random, &pka, &sieve,
+                                                   &photon}) {
+    const double baseline_err =
+        eval::EvaluateRepeated(*baseline, *trace_, 3, 1).error_pct;
+    EXPECT_LT(stem_err, baseline_err) << baseline->Name();
+  }
+}
+
+TEST_F(IntegrationTest, TheoreticalBoundHoldsAcrossSeeds) {
+  // Property: over many sampling seeds, the realized error exceeds the
+  // 95%-confidence epsilon bound in at most a small fraction of runs.
+  core::StemRootSampler stem;
+  const double truth = trace_->TotalDurationUs();
+  int violations = 0;
+  const int runs = 40;
+  for (int seed = 0; seed < runs; ++seed) {
+    const core::SamplingPlan plan = stem.BuildPlan(*trace_, seed);
+    const double err =
+        std::abs(plan.EstimateTotalUs(*trace_) - truth) / truth;
+    if (err > 0.05) ++violations;
+  }
+  EXPECT_LE(violations, runs / 10);
+}
+
+TEST_F(IntegrationTest, EpsilonSweepTradesErrorForSpeedup) {
+  // Fig. 11 shape: larger epsilon -> higher speedup.
+  double prev_speedup = 0.0;
+  for (double epsilon : {0.03, 0.05, 0.10, 0.25}) {
+    core::StemRootConfig config;
+    config.root.stem.epsilon = epsilon;
+    core::StemRootSampler stem(config);
+    const eval::EvalResult result =
+        eval::EvaluateRepeated(stem, *trace_, 3, 3);
+    EXPECT_LT(result.error_pct, epsilon * 100.0);
+    EXPECT_GT(result.speedup, prev_speedup * 0.9);
+    prev_speedup = result.speedup;
+  }
+}
+
+TEST_F(IntegrationTest, RootClustersAlignWithHiddenContexts) {
+  // Clustering quality: within a ROOT cluster, the dominant hidden
+  // context must account for most members (the generator's ground truth,
+  // which samplers never see).
+  core::StemRootSampler stem;
+  const auto groups = trace_->GroupByKernel();
+  core::RootConfig config;
+  size_t checked = 0;
+  for (const auto& group : groups) {
+    if (group.size() < 500) continue;
+    std::vector<double> durations;
+    for (uint32_t idx : group)
+      durations.push_back(trace_->At(idx).duration_us);
+    const auto clusters = core::RootCluster1D(durations, group, config);
+    for (const auto& cluster : clusters) {
+      if (cluster.members.size() < 50) continue;
+      std::map<uint32_t, size_t> context_counts;
+      for (uint32_t idx : cluster.members)
+        ++context_counts[trace_->At(idx).context_id];
+      size_t dominant = 0;
+      for (const auto& [ctx, count] : context_counts)
+        dominant = std::max(dominant, count);
+      EXPECT_GT(static_cast<double>(dominant) /
+                    static_cast<double>(cluster.members.size()),
+                0.8);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(IntegrationRodiniaTest, IrregularWorkloadsStayBounded) {
+  // The Sec. 5.1 stress cases: gaussian / heartwall / pf_naive.
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  core::StemRootSampler stem;
+  for (const char* name : {"gaussian", "heartwall", "pf_naive", "bfs"}) {
+    const KernelTrace trace = eval::MakeProfiledWorkload(
+        workloads::SuiteId::kRodinia, name, gpu, 13, 1.0);
+    const eval::EvalResult result =
+        eval::EvaluateRepeated(stem, trace, 5, 5);
+    EXPECT_LT(result.error_pct, 5.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace stemroot

@@ -1,0 +1,135 @@
+#include "profiler/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+#include "workloads/rodinia.h"
+#include "workloads/suite.h"
+
+namespace stemroot::profiler {
+namespace {
+
+TraceCost CostOfWorkload(workloads::SuiteId suite, const std::string& name,
+                         double scale) {
+  KernelTrace trace = workloads::MakeWorkload(suite, name, 17, scale);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 1);
+  return TraceCost::Of(trace);
+}
+
+TEST(OverheadTest, Table5OrderingHolds) {
+  // NCU >> NVBit-instr >> NVBit-BBV >> NSYS (paper Table 5).
+  const TraceCost cost =
+      CostOfWorkload(workloads::SuiteId::kCasio, "bert_infer", 0.1);
+  const double ncu = OverheadRatio(ProfilerKind::kNcuMetrics, cost);
+  const double nvbit = OverheadRatio(ProfilerKind::kNvbitInstr, cost);
+  const double bbv = OverheadRatio(ProfilerKind::kNvbitBbv, cost);
+  const double nsys = OverheadRatio(ProfilerKind::kNsysTimeline, cost);
+  EXPECT_GT(ncu, nvbit);
+  EXPECT_GT(nvbit, bbv);
+  EXPECT_GT(bbv, nsys);
+  EXPECT_GE(nsys, 1.0);
+}
+
+TEST(OverheadTest, NsysStaysLightweight) {
+  const TraceCost cost =
+      CostOfWorkload(workloads::SuiteId::kCasio, "bert_infer", 0.1);
+  EXPECT_LT(OverheadRatio(ProfilerKind::kNsysTimeline, cost), 20.0);
+  EXPECT_GT(OverheadRatio(ProfilerKind::kNcuMetrics, cost), 100.0);
+}
+
+TEST(OverheadTest, RelativeOverheadGrowsWithKernelDensity) {
+  // The paper's Table 5: per-kernel instrumentation overheads blow up on
+  // ML suites because they launch far more (and shorter) kernels per
+  // second than GPGPU suites.
+  const TraceCost rodinia =
+      CostOfWorkload(workloads::SuiteId::kRodinia, "hotspot", 1.0);
+  const TraceCost casio =
+      CostOfWorkload(workloads::SuiteId::kCasio, "bert_infer", 0.2);
+  const double density_rodinia =
+      static_cast<double>(rodinia.kernels) / rodinia.base_wall_us;
+  const double density_casio =
+      static_cast<double>(casio.kernels) / casio.base_wall_us;
+  if (density_casio > density_rodinia) {
+    EXPECT_GT(OverheadRatio(ProfilerKind::kNcuMetrics, casio),
+              OverheadRatio(ProfilerKind::kNcuMetrics, rodinia));
+  }
+}
+
+TEST(OverheadTest, TraceCostAggregatesCorrectly) {
+  KernelTrace trace("t");
+  const uint32_t k = trace.InternKernel("k", 10);
+  for (int i = 0; i < 4; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = k;
+    inv.behavior.instructions = 1000;
+    inv.duration_us = 2.0;
+    trace.Add(inv);
+  }
+  const TraceCost cost = TraceCost::Of(trace);
+  EXPECT_EQ(cost.kernels, 4u);
+  EXPECT_DOUBLE_EQ(cost.total_instructions, 4000.0);
+  EXPECT_DOUBLE_EQ(cost.base_wall_us, 8.0);
+  EXPECT_DOUBLE_EQ(cost.mean_bbv_dim, 10.0);
+}
+
+TEST(OverheadTest, BbvReservoirCapsQuadraticCost) {
+  // Past the reservoir cap the comparison cost grows linearly in N, not
+  // quadratically: 10x the kernels -> ~10x the cost, not ~100x.
+  TraceCost mid;
+  mid.kernels = 1'000'000;
+  mid.base_wall_us = 1e3;  // negligible base so comparisons dominate
+  mid.mean_bbv_dim = 8;
+  TraceCost huge = mid;
+  huge.kernels = 10'000'000;  // HuggingFace scale
+
+  OverheadParams params;
+  const double cost_mid =
+      ProfilingWallUs(ProfilerKind::kNvbitBbv, mid, params);
+  const double cost_huge =
+      ProfilingWallUs(ProfilerKind::kNvbitBbv, huge, params);
+  EXPECT_NEAR(cost_huge / cost_mid, 10.0, 1.0);
+  // Below the cap the growth IS quadratic: 16x kernels -> ~256x cost.
+  TraceCost tiny = mid;
+  tiny.kernels = 256;
+  TraceCost tiny16 = mid;
+  tiny16.kernels = 4096;
+  const double q = (ProfilingWallUs(ProfilerKind::kNvbitBbv, tiny16,
+                                    params) - tiny16.base_wall_us) /
+                   (ProfilingWallUs(ProfilerKind::kNvbitBbv, tiny,
+                                    params) - tiny.base_wall_us);
+  EXPECT_NEAR(q, 256.0, 32.0);
+}
+
+TEST(OverheadTest, HuggingfaceScalePriorMethodsTakeDays) {
+  // Sec. 5.6: prior methods would need up to ~78 days on HuggingFace
+  // workloads; NSYS stays within a small multiple of native time.
+  TraceCost hf;
+  hf.kernels = 11'599'870;          // Table 2 average
+  hf.base_wall_us = 1835.27 * 1e6;  // Table 2 average
+  hf.total_instructions = 5e14;
+  hf.mean_bbv_dim = 800;            // Sec. 5.6: 800+ BBV dims for GPT-2
+  const double ncu_days =
+      ProfilingWallUs(ProfilerKind::kNcuMetrics, hf) / 1e6 / 86400.0;
+  const double nsys_ratio = OverheadRatio(ProfilerKind::kNsysTimeline, hf);
+  EXPECT_GT(ncu_days, 3.0);  // days-scale, as Sec. 5.6 estimates
+  EXPECT_LT(nsys_ratio, 5.0);
+}
+
+TEST(OverheadTest, ZeroBaseTimeRejected) {
+  TraceCost cost;
+  cost.kernels = 10;
+  EXPECT_THROW(OverheadRatio(ProfilerKind::kNsysTimeline, cost),
+               std::invalid_argument);
+}
+
+TEST(OverheadTest, KindNamesResolve) {
+  EXPECT_STREQ(ProfilerKindName(ProfilerKind::kNsysTimeline), "NSYS");
+  EXPECT_STREQ(ProfilerKindName(ProfilerKind::kNcuMetrics), "NCU");
+  EXPECT_STREQ(ProfilerKindName(ProfilerKind::kNvbitInstr), "NVBit-instr");
+  EXPECT_STREQ(ProfilerKindName(ProfilerKind::kNvbitBbv), "NVBit-BBV");
+}
+
+}  // namespace
+}  // namespace stemroot::profiler

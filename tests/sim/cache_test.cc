@@ -1,0 +1,110 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace stemroot::sim {
+namespace {
+
+TEST(CacheTest, ColdMissThenHit) {
+  Cache cache(1024, 2, 64);
+  EXPECT_FALSE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1010));  // same line
+  EXPECT_EQ(cache.Hits(), 2u);
+  EXPECT_EQ(cache.Misses(), 1u);
+}
+
+TEST(CacheTest, GeometryDerived) {
+  Cache cache(8192, 4, 64);  // 128 lines, 32 sets
+  EXPECT_EQ(cache.NumSets(), 32u);
+  EXPECT_EQ(cache.Associativity(), 4u);
+  EXPECT_EQ(cache.SizeBytes(), 8192u);
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  // Direct-mapped within one set: 2-way, 1 set.
+  Cache cache(128, 2, 64);
+  cache.Access(0 * 64);    // A
+  cache.Access(1 * 64);    // B
+  cache.Access(0 * 64);    // touch A (B is now LRU)
+  cache.Access(2 * 64);    // C evicts B
+  EXPECT_TRUE(cache.Contains(0 * 64));
+  EXPECT_FALSE(cache.Contains(1 * 64));
+  EXPECT_TRUE(cache.Contains(2 * 64));
+}
+
+TEST(CacheTest, SetIndexingSeparatesConflicts) {
+  // 2 sets, 1 way: lines alternate sets by address.
+  Cache cache(128, 1, 64);
+  EXPECT_EQ(cache.NumSets(), 2u);
+  cache.Access(0 * 64);  // set 0
+  cache.Access(1 * 64);  // set 1
+  EXPECT_TRUE(cache.Contains(0 * 64));
+  EXPECT_TRUE(cache.Contains(1 * 64));
+  cache.Access(2 * 64);  // set 0 again -> evicts line 0
+  EXPECT_FALSE(cache.Contains(0 * 64));
+  EXPECT_TRUE(cache.Contains(1 * 64));
+}
+
+TEST(CacheTest, FlushInvalidatesEverything) {
+  Cache cache(1024, 2, 64);
+  cache.Access(0x100);
+  cache.Access(0x200);
+  cache.Flush();
+  EXPECT_FALSE(cache.Contains(0x100));
+  EXPECT_FALSE(cache.Contains(0x200));
+  EXPECT_FALSE(cache.Access(0x100));  // miss again
+}
+
+TEST(CacheTest, ContainsDoesNotMutate) {
+  Cache cache(128, 2, 64);
+  cache.Access(0 * 64);
+  cache.Access(1 * 64);
+  // Probing A must not refresh its LRU position.
+  cache.Contains(0 * 64);
+  const uint64_t hits_before = cache.Hits();
+  cache.Access(2 * 64);  // evicts true-LRU = A
+  EXPECT_FALSE(cache.Contains(0 * 64));
+  EXPECT_EQ(cache.Hits(), hits_before);
+}
+
+TEST(CacheTest, ResetStatsKeepsContent) {
+  Cache cache(1024, 2, 64);
+  cache.Access(0x100);
+  cache.ResetStats();
+  EXPECT_EQ(cache.Hits(), 0u);
+  EXPECT_EQ(cache.Misses(), 0u);
+  EXPECT_TRUE(cache.Contains(0x100));
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  Cache cache(1024, 2, 64);  // 16 lines
+  // Stream 64 distinct lines twice: second pass still mostly misses.
+  for (int pass = 0; pass < 2; ++pass)
+    for (uint64_t line = 0; line < 64; ++line)
+      cache.Access(line * 64);
+  EXPECT_LT(static_cast<double>(cache.Hits()) /
+                static_cast<double>(cache.Hits() + cache.Misses()),
+            0.2);
+}
+
+TEST(CacheTest, WorkingSetFittingCacheHitsOnReuse) {
+  Cache cache(4096, 4, 64);  // 64 lines
+  for (int pass = 0; pass < 10; ++pass)
+    for (uint64_t line = 0; line < 32; ++line)
+      cache.Access(line * 64);
+  // First pass misses, the rest hit: hit rate ~ 9/10.
+  EXPECT_GT(static_cast<double>(cache.Hits()) /
+                static_cast<double>(cache.Hits() + cache.Misses()),
+            0.85);
+}
+
+TEST(CacheTest, ConstructionValidation) {
+  EXPECT_THROW(Cache(0, 2, 64), std::invalid_argument);
+  EXPECT_THROW(Cache(1024, 0, 64), std::invalid_argument);
+  EXPECT_THROW(Cache(1024, 2, 60), std::invalid_argument);  // not pow2
+  EXPECT_THROW(Cache(100, 3, 64), std::invalid_argument);   // ragged sets
+}
+
+}  // namespace
+}  // namespace stemroot::sim

@@ -1,0 +1,60 @@
+#include "sim/coalescer.h"
+
+#include <gtest/gtest.h>
+
+namespace stemroot::sim {
+namespace {
+
+TEST(CoalescerTest, FullyCoalescedWarpIsOneLine) {
+  // 32 consecutive 4-byte lane accesses inside one 128 B line.
+  std::vector<uint64_t> lanes;
+  for (uint64_t lane = 0; lane < 32; ++lane)
+    lanes.push_back(0x1000 + lane * 4);
+  const auto lines = CoalesceLaneAddresses(lanes, 128);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 0x1000u);
+}
+
+TEST(CoalescerTest, StridedAccessSpansLines) {
+  // Stride-128 float accesses: one line per lane.
+  std::vector<uint64_t> lanes;
+  for (uint64_t lane = 0; lane < 32; ++lane)
+    lanes.push_back(lane * 128);
+  EXPECT_EQ(CoalesceLaneAddresses(lanes, 128).size(), 32u);
+}
+
+TEST(CoalescerTest, MisalignedAccessTouchesTwoLines) {
+  std::vector<uint64_t> lanes;
+  for (uint64_t lane = 0; lane < 32; ++lane)
+    lanes.push_back(0x1000 + 64 + lane * 4);  // straddles 0x1000/0x1080
+  const auto lines = CoalesceLaneAddresses(lanes, 128);
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(CoalescerTest, OutputSortedAndAligned) {
+  const std::vector<uint64_t> lanes = {0x5000, 0x100, 0x5010, 0x230};
+  const auto lines = CoalesceLaneAddresses(lanes, 128);
+  for (size_t i = 1; i < lines.size(); ++i)
+    EXPECT_LT(lines[i - 1], lines[i]);
+  for (uint64_t line : lines) EXPECT_EQ(line % 128, 0u);
+}
+
+TEST(CoalescerTest, ReusableOutputVector) {
+  std::vector<uint64_t> out = {999, 999, 999};
+  CoalesceLaneAddresses(std::vector<uint64_t>{0x80}, 128, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0x80u);
+}
+
+TEST(CoalescerTest, RejectsBadLineSize) {
+  const std::vector<uint64_t> lanes = {0x100};
+  EXPECT_THROW(CoalesceLaneAddresses(lanes, 100), std::invalid_argument);
+  EXPECT_THROW(CoalesceLaneAddresses(lanes, 0), std::invalid_argument);
+}
+
+TEST(CoalescerTest, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(CoalesceLaneAddresses({}, 128).empty());
+}
+
+}  // namespace
+}  // namespace stemroot::sim

@@ -1,0 +1,53 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace stemroot::sim {
+namespace {
+
+TEST(DramTest, SingleRequestPaysTransferPlusLatency) {
+  DramModel dram(32.0, 100);
+  // 128 bytes at 32 B/cycle = 4 cycles transfer + 100 latency.
+  EXPECT_DOUBLE_EQ(dram.Request(0.0, 128), 104.0);
+  EXPECT_EQ(dram.BytesTransferred(), 128u);
+}
+
+TEST(DramTest, BusSerializesBackToBackRequests) {
+  DramModel dram(32.0, 100);
+  const double first = dram.Request(0.0, 128);
+  const double second = dram.Request(0.0, 128);
+  EXPECT_DOUBLE_EQ(second - first, 4.0);  // queued behind the first
+}
+
+TEST(DramTest, IdleBusStartsAtRequestTime) {
+  DramModel dram(32.0, 100);
+  dram.Request(0.0, 128);
+  // Long idle gap: next request starts fresh at its own time.
+  EXPECT_DOUBLE_EQ(dram.Request(1000.0, 64), 1000.0 + 2.0 + 100.0);
+}
+
+TEST(DramTest, ThroughputConvergesToBandwidth) {
+  DramModel dram(16.0, 50);
+  double finish = 0.0;
+  const int requests = 1000;
+  for (int i = 0; i < requests; ++i) finish = dram.Request(0.0, 128);
+  // Sustained: ~128/16 = 8 cycles per request (latency amortized away).
+  EXPECT_NEAR((finish - 50.0) / requests, 8.0, 0.1);
+  EXPECT_EQ(dram.BytesTransferred(), 128u * requests);
+}
+
+TEST(DramTest, ResetClearsQueueAndStats) {
+  DramModel dram(32.0, 100);
+  dram.Request(0.0, 128);
+  dram.Reset();
+  EXPECT_EQ(dram.BytesTransferred(), 0u);
+  EXPECT_DOUBLE_EQ(dram.Request(0.0, 128), 104.0);
+}
+
+TEST(DramTest, RejectsZeroBandwidth) {
+  EXPECT_THROW(DramModel(0.0, 100), std::invalid_argument);
+  EXPECT_THROW(DramModel(-5.0, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot::sim

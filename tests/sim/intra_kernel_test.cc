@@ -1,0 +1,112 @@
+#include "sim/intra_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.h"
+#include "hw/hardware_model.h"
+#include "workloads/context_model.h"
+#include "common/rng.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::sim {
+namespace {
+
+KernelInvocation LongKernel(uint64_t instructions = 800'000'000) {
+  KernelInvocation inv;
+  inv.behavior = workloads::ComputeBoundBehavior(instructions, 4 << 20);
+  inv.launch.grid_x = 46 * 40;  // 40 CTAs per SM -> many waves
+  inv.launch.block_x = 256;
+  return inv;
+}
+
+class IntraKernelTest : public ::testing::Test {
+ protected:
+  SimConfig config_ = SimConfig::FromSpec(hw::GpuSpec::Rtx2080());
+};
+
+TEST_F(IntraKernelTest, OptionsValidation) {
+  IntraKernelOptions bad;
+  bad.sample_waves = 0;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad = IntraKernelOptions{};
+  bad.min_waves_to_sample = 2;  // <= warmup + sample
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  EXPECT_NO_THROW(IntraKernelOptions{}.Validate());
+}
+
+TEST_F(IntraKernelTest, WavePrefixStopsEarly) {
+  Simulator simulator(config_);
+  const KernelInvocation inv = LongKernel();
+  const WaveSimResult all = simulator.SimulateKernelWaves(inv, 1, 0);
+  ASSERT_GT(all.total_waves, 6u);
+  EXPECT_EQ(all.wave_cycles.size(), all.total_waves);
+  const WaveSimResult prefix = simulator.SimulateKernelWaves(inv, 1, 3);
+  EXPECT_EQ(prefix.wave_cycles.size(), 3u);
+  EXPECT_EQ(prefix.total_waves, all.total_waves);
+}
+
+TEST_F(IntraKernelTest, ExtrapolationTracksFullKernel) {
+  Simulator full_sim(config_);
+  Simulator intra_sim(config_);
+  const KernelInvocation inv = LongKernel();
+  const double full = full_sim.SimulateKernel(inv, 1).cycles;
+  const IntraKernelResult intra = SimulateKernelIntra(intra_sim, inv, 1);
+  ASSERT_TRUE(intra.sampled);
+  EXPECT_LT(std::abs(intra.estimated_cycles - full) / full, 0.08);
+  // The prefix must be much cheaper than the full kernel.
+  EXPECT_LT(intra.simulated_cycles, full * 0.4);
+  EXPECT_LT(intra.waves_simulated, intra.total_waves);
+}
+
+TEST_F(IntraKernelTest, ShortKernelsRunFully) {
+  Simulator simulator(config_);
+  KernelInvocation inv = LongKernel(10'000'000);
+  inv.launch.grid_x = 46 * 2;  // 2 waves only
+  const IntraKernelResult result = SimulateKernelIntra(simulator, inv, 1);
+  EXPECT_FALSE(result.sampled);
+  Simulator reference(config_);
+  EXPECT_NEAR(result.estimated_cycles,
+              reference.SimulateKernel(inv, 1).cycles,
+              result.estimated_cycles * 0.05);
+}
+
+TEST_F(IntraKernelTest, CombinedSamplingStaysAccurateAndCheaper) {
+  // The Sec. 7.3 combination on a long-kernel workload: kernel-level STEM
+  // plus wave-level extrapolation. Build a trace of repeated many-wave
+  // kernels (the "few kernel calls, long-running kernels" case).
+  KernelTrace trace("long_kernels");
+  const uint32_t k = trace.InternKernel("mega_kernel");
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    KernelInvocation inv = LongKernel(static_cast<uint64_t>(
+        8e8 * rng.NextLogNormal(0.0, 0.05)));
+    inv.kernel_id = k;
+    trace.Add(inv);
+  }
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 1);
+  const TraceSimResult full = SimulateTraceFull(trace, config_);
+
+  core::StemRootSampler sampler;
+  const core::SamplingPlan plan = sampler.BuildPlan(trace, 1);
+  const SampledSimResult kernel_only =
+      SimulateSampled(trace, plan, config_);
+  const CombinedSimResult combined =
+      SimulateSampledIntra(trace, plan, config_);
+
+  const double err_kernel =
+      std::abs(kernel_only.estimated_total_cycles - full.total_cycles) /
+      full.total_cycles;
+  const double err_combined =
+      std::abs(combined.estimated_total_cycles - full.total_cycles) /
+      full.total_cycles;
+  EXPECT_LT(err_combined, 0.10);
+  EXPECT_LT(err_combined, err_kernel + 0.08);  // small extra error at most
+  // ...for a strictly cheaper simulation.
+  EXPECT_LT(combined.simulated_cost_cycles,
+            kernel_only.simulated_cost_cycles * 0.7);
+  EXPECT_GT(combined.kernels_wave_sampled, 0u);
+}
+
+}  // namespace
+}  // namespace stemroot::sim

@@ -1,0 +1,120 @@
+#include "trace/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stemroot {
+namespace {
+
+TEST(LaunchConfigTest, GeometryDerivations) {
+  LaunchConfig launch;
+  launch.grid_x = 4;
+  launch.grid_y = 2;
+  launch.block_x = 96;
+  EXPECT_EQ(launch.NumCtas(), 8u);
+  EXPECT_EQ(launch.ThreadsPerCta(), 96u);
+  EXPECT_EQ(launch.TotalThreads(), 768u);
+  EXPECT_EQ(launch.WarpsPerCta(), 3u);
+  EXPECT_EQ(launch.TotalWarps(), 24u);
+}
+
+TEST(LaunchConfigTest, PartialWarpRoundsUp) {
+  LaunchConfig launch;
+  launch.block_x = 33;
+  EXPECT_EQ(launch.WarpsPerCta(), 2u);
+}
+
+TEST(KernelBehaviorTest, InstructionPartitionsSum) {
+  KernelBehavior b;
+  b.instructions = 1000000;
+  b.mem_fraction = 0.2f;
+  b.shared_fraction = 0.1f;
+  const uint64_t total = b.ComputeInstructions() +
+                         b.GlobalMemInstructions() +
+                         b.SharedMemInstructions();
+  EXPECT_NEAR(static_cast<double>(total), 1e6, 2.0);
+  EXPECT_EQ(b.GlobalMemInstructions(), 200000u);
+  EXPECT_EQ(b.SharedMemInstructions(), 100000u);
+}
+
+TEST(KernelBehaviorTest, ValidateAcceptsDefaults) {
+  KernelBehavior b;
+  b.instructions = 100;
+  EXPECT_NO_THROW(b.Validate());
+}
+
+TEST(KernelBehaviorTest, ValidateRejectsBadFractions) {
+  KernelBehavior b;
+  b.mem_fraction = 1.5f;
+  EXPECT_THROW(b.Validate(), std::invalid_argument);
+
+  KernelBehavior c;
+  c.mem_fraction = 0.7f;
+  c.shared_fraction = 0.5f;  // sum > 1
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+
+  KernelBehavior d;
+  d.fp16_fraction = 0.6f;
+  d.fp32_fraction = 0.6f;  // sum > 1
+  EXPECT_THROW(d.Validate(), std::invalid_argument);
+
+  KernelBehavior e;
+  e.ilp = 0.5f;
+  EXPECT_THROW(e.Validate(), std::invalid_argument);
+
+  KernelBehavior f;
+  f.input_scale = 0.0f;
+  EXPECT_THROW(f.Validate(), std::invalid_argument);
+}
+
+TEST(KernelMetricsTest, GetSetRoundTripAllIndices) {
+  KernelMetrics m;
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i) {
+    m.Set(i, static_cast<double>(i) + 0.5);
+  }
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i) {
+    EXPECT_DOUBLE_EQ(m.Get(i), static_cast<double>(i) + 0.5);
+    EXPECT_NE(KernelMetrics::Name(i), nullptr);
+  }
+  EXPECT_THROW(m.Get(KernelMetrics::kCount), std::out_of_range);
+  EXPECT_THROW(m.Set(KernelMetrics::kCount, 0.0), std::out_of_range);
+  EXPECT_THROW(KernelMetrics::Name(KernelMetrics::kCount),
+               std::out_of_range);
+}
+
+TEST(KernelMetricsTest, RateClassificationMatchesPaperCategories) {
+  // Rates: l1_hit_rate(4), l2_read_hit_rate(6), warp_execution_eff(10),
+  // branch_eff(11), achieved_occupancy(12). Everything else is a count.
+  size_t rates = 0;
+  for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+    if (KernelMetrics::IsRate(i)) ++rates;
+  EXPECT_EQ(rates, 5u);
+  EXPECT_TRUE(KernelMetrics::IsRate(4));
+  EXPECT_FALSE(KernelMetrics::IsRate(0));
+  EXPECT_FALSE(KernelMetrics::IsRate(8));
+}
+
+TEST(KernelTypeTest, SynthesizeIsDeterministicPerName) {
+  const KernelType a = KernelType::Synthesize("sgemm", 12);
+  const KernelType b = KernelType::Synthesize("sgemm", 12);
+  const KernelType c = KernelType::Synthesize("winograd", 12);
+  EXPECT_EQ(a.block_weights, b.block_weights);
+  EXPECT_NE(a.block_weights, c.block_weights);
+}
+
+TEST(KernelTypeTest, BlockWeightsNormalized) {
+  const KernelType type = KernelType::Synthesize("bn_fw_inf", 8);
+  ASSERT_EQ(type.block_weights.size(), 8u);
+  const double sum = std::accumulate(type.block_weights.begin(),
+                                     type.block_weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  for (float w : type.block_weights) EXPECT_GT(w, 0.0f);
+}
+
+TEST(KernelTypeTest, ZeroBlocksRejected) {
+  EXPECT_THROW(KernelType::Synthesize("x", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stemroot

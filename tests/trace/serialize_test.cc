@@ -1,0 +1,92 @@
+#include "trace/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, BinaryRoundTripPreservesEverything) {
+  KernelTrace original = workloads::MakeRodinia("gaussian", 42, 0.05);
+  for (auto& inv : original.MutableInvocations())
+    inv.duration_us = static_cast<double>(inv.seq + 1) * 0.5;
+
+  const std::string path = TempPath("trace_roundtrip.bin");
+  SaveTraceBinary(original, path);
+  const KernelTrace loaded = LoadTraceBinary(path);
+
+  EXPECT_EQ(loaded.WorkloadName(), original.WorkloadName());
+  ASSERT_EQ(loaded.NumInvocations(), original.NumInvocations());
+  ASSERT_EQ(loaded.NumKernelTypes(), original.NumKernelTypes());
+  for (size_t i = 0; i < original.NumInvocations(); ++i) {
+    const KernelInvocation& a = original.At(i);
+    const KernelInvocation& b = loaded.At(i);
+    EXPECT_EQ(a.kernel_id, b.kernel_id);
+    EXPECT_EQ(a.context_id, b.context_id);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.launch, b.launch);
+    EXPECT_EQ(a.behavior.instructions, b.behavior.instructions);
+    EXPECT_EQ(a.behavior.footprint_bytes, b.behavior.footprint_bytes);
+    EXPECT_FLOAT_EQ(a.behavior.locality, b.behavior.locality);
+    EXPECT_DOUBLE_EQ(a.duration_us, b.duration_us);
+  }
+  for (uint32_t k = 0; k < original.NumKernelTypes(); ++k) {
+    EXPECT_EQ(loaded.Type(k).name, original.Type(k).name);
+    EXPECT_EQ(loaded.Type(k).block_weights,
+              original.Type(k).block_weights);
+  }
+}
+
+TEST(SerializeTest, LoadRejectsMissingFile) {
+  EXPECT_THROW(LoadTraceBinary("/nonexistent/trace.bin"),
+               std::runtime_error);
+}
+
+TEST(SerializeTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.bin");
+  std::ofstream(path) << "NOPE this is not a trace";
+  EXPECT_THROW(LoadTraceBinary(path), std::runtime_error);
+}
+
+TEST(SerializeTest, LoadRejectsTruncatedFile) {
+  KernelTrace trace = workloads::MakeRodinia("lud", 1, 0.05);
+  const std::string full_path = TempPath("full.bin");
+  SaveTraceBinary(trace, full_path);
+
+  std::ifstream in(full_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string cut_path = TempPath("cut.bin");
+  std::ofstream(cut_path, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(LoadTraceBinary(cut_path), std::runtime_error);
+}
+
+TEST(SerializeTest, TimelineCsvHasHeaderAndAllRows) {
+  KernelTrace trace("wl");
+  const uint32_t k = trace.InternKernel("sgemm");
+  for (int i = 0; i < 3; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = k;
+    inv.behavior.instructions = 100;
+    inv.duration_us = 1.0;
+    trace.Add(inv);
+  }
+  const std::string path = TempPath("timeline.csv");
+  ExportTimelineCsv(trace, path);
+  const CsvTable table = CsvTable::ReadFile(path);
+  ASSERT_EQ(table.rows.size(), 4u);  // header + 3
+  EXPECT_EQ(table.rows[0][0], "kernel");
+  EXPECT_EQ(table.rows[1][0], "sgemm");
+}
+
+}  // namespace
+}  // namespace stemroot

@@ -1,0 +1,88 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace stemroot {
+namespace {
+
+KernelInvocation MakeInvocation(uint32_t kernel_id, double duration = 1.0) {
+  KernelInvocation inv;
+  inv.kernel_id = kernel_id;
+  inv.behavior.instructions = 1000;
+  inv.duration_us = duration;
+  return inv;
+}
+
+TEST(KernelTraceTest, InternReturnsStableIds) {
+  KernelTrace trace("test");
+  const uint32_t a = trace.InternKernel("sgemm");
+  const uint32_t b = trace.InternKernel("relu");
+  const uint32_t a2 = trace.InternKernel("sgemm");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace.NumKernelTypes(), 2u);
+}
+
+TEST(KernelTraceTest, AddAssignsSequenceNumbers) {
+  KernelTrace trace("test");
+  const uint32_t k = trace.InternKernel("k");
+  for (int i = 0; i < 5; ++i) trace.Add(MakeInvocation(k));
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(trace.At(i).seq, i);
+  EXPECT_EQ(trace.NumInvocations(), 5u);
+  EXPECT_FALSE(trace.Empty());
+}
+
+TEST(KernelTraceTest, AddRejectsUnknownKernel) {
+  KernelTrace trace("test");
+  EXPECT_THROW(trace.Add(MakeInvocation(0)), std::invalid_argument);
+}
+
+TEST(KernelTraceTest, FindKernel) {
+  KernelTrace trace("test");
+  trace.InternKernel("a");
+  EXPECT_EQ(trace.FindKernel("a"), 0);
+  EXPECT_EQ(trace.FindKernel("missing"), -1);
+}
+
+TEST(KernelTraceTest, NamesResolve) {
+  KernelTrace trace("test");
+  const uint32_t k = trace.InternKernel("max_pool");
+  trace.Add(MakeInvocation(k));
+  EXPECT_EQ(trace.NameOf(trace.At(0)), "max_pool");
+  EXPECT_EQ(trace.TypeOf(trace.At(0)).name, "max_pool");
+}
+
+TEST(KernelTraceTest, TotalDurationSums) {
+  KernelTrace trace("test");
+  const uint32_t k = trace.InternKernel("k");
+  trace.Add(MakeInvocation(k, 1.5));
+  trace.Add(MakeInvocation(k, 2.5));
+  EXPECT_DOUBLE_EQ(trace.TotalDurationUs(), 4.0);
+}
+
+TEST(KernelTraceTest, GroupByKernelPreservesTimelineOrder) {
+  KernelTrace trace("test");
+  const uint32_t a = trace.InternKernel("a");
+  const uint32_t b = trace.InternKernel("b");
+  trace.Add(MakeInvocation(a));  // seq 0
+  trace.Add(MakeInvocation(b));  // seq 1
+  trace.Add(MakeInvocation(a));  // seq 2
+  const auto groups = trace.GroupByKernel();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[a], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(groups[b], (std::vector<uint32_t>{1}));
+}
+
+TEST(KernelTraceTest, GroupByKernelIncludesEmptyGroups) {
+  KernelTrace trace("test");
+  trace.InternKernel("unused");
+  const uint32_t used = trace.InternKernel("used");
+  trace.Add(MakeInvocation(used));
+  const auto groups = trace.GroupByKernel();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(groups[0].empty());
+  EXPECT_EQ(groups[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace stemroot

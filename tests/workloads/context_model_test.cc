@@ -1,0 +1,161 @@
+#include "workloads/context_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace stemroot::workloads {
+namespace {
+
+WorkloadSpec TwoKernelSpec() {
+  WorkloadSpec spec;
+  spec.name = "toy";
+  KernelSpec a{"alpha", 4, {}};
+  ContextSpec a0;
+  a0.base = ComputeBoundBehavior(1e6, 1 << 20);
+  a0.launch.grid_x = 16;
+  a0.launch.block_x = 128;
+  a.contexts.push_back(a0);
+  ContextSpec a1 = a0;
+  a1.base.locality = 0.3f;
+  a.contexts.push_back(a1);
+
+  KernelSpec b{"beta", 4, {}};
+  ContextSpec b0;
+  b0.base = MemoryBoundBehavior(2e6, 2 << 20);
+  b0.launch.grid_x = 8;
+  b.contexts.push_back(b0);
+
+  spec.kernels = {a, b};
+  spec.graph = {{0, 0, 2}, {1, 0, 1}, {0, 1, 1}};
+  spec.iterations = 25;
+  return spec;
+}
+
+TEST(WorkloadSpecTest, TotalInvocationsGraphLoop) {
+  const WorkloadSpec spec = TwoKernelSpec();
+  EXPECT_EQ(spec.TotalInvocations(), 25u * 4u);
+}
+
+TEST(WorkloadSpecTest, ValidationCatchesBadGraph) {
+  WorkloadSpec spec = TwoKernelSpec();
+  spec.graph.push_back({5, 0, 1});  // bad kernel index
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TwoKernelSpec();
+  spec.graph.push_back({0, 7, 1});  // bad context index
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TwoKernelSpec();
+  spec.graph.push_back({0, 0, 0});  // zero repeat
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TwoKernelSpec();
+  spec.graph.clear();
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+
+  spec = TwoKernelSpec();
+  spec.kernels.clear();
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
+TEST(WorkloadSpecTest, ValidationCatchesBadMix) {
+  WorkloadSpec spec = TwoKernelSpec();
+  spec.schedule = ScheduleKind::kRandomMix;
+  spec.random_invocations = 100;
+  spec.mix_weights = {1.0};  // wrong arity (3 pairs exist)
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec.mix_weights = {0.0, 0.0, 0.0};
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec.mix_weights = {1.0, 1.0, 1.0};
+  spec.random_invocations = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
+TEST(GenerateWorkloadTest, GraphLoopFollowsSchedule) {
+  const WorkloadSpec spec = TwoKernelSpec();
+  const KernelTrace trace = GenerateWorkload(spec, 3);
+  ASSERT_EQ(trace.NumInvocations(), 100u);
+  // Pattern per iteration: alpha(c0) x2, beta, alpha(c1).
+  EXPECT_EQ(trace.NameOf(trace.At(0)), "alpha");
+  EXPECT_EQ(trace.At(0).context_id, 0u);
+  EXPECT_EQ(trace.NameOf(trace.At(2)), "beta");
+  EXPECT_EQ(trace.NameOf(trace.At(3)), "alpha");
+  EXPECT_EQ(trace.At(3).context_id, 1u);
+}
+
+TEST(GenerateWorkloadTest, DeterministicGivenSeed) {
+  const WorkloadSpec spec = TwoKernelSpec();
+  const KernelTrace a = GenerateWorkload(spec, 3);
+  const KernelTrace b = GenerateWorkload(spec, 3);
+  const KernelTrace c = GenerateWorkload(spec, 4);
+  ASSERT_EQ(a.NumInvocations(), b.NumInvocations());
+  bool any_diff_c = false;
+  for (size_t i = 0; i < a.NumInvocations(); ++i) {
+    EXPECT_EQ(a.At(i).behavior.instructions, b.At(i).behavior.instructions);
+    any_diff_c |= a.At(i).behavior.instructions !=
+                  c.At(i).behavior.instructions;
+  }
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(GenerateWorkloadTest, InstructionJitterIsCentered) {
+  WorkloadSpec spec = TwoKernelSpec();
+  spec.kernels[0].contexts[0].instr_sigma = 0.1;
+  const KernelTrace trace = GenerateWorkload(spec, 5);
+  StreamingStats stats;
+  for (const auto& inv : trace.Invocations())
+    if (inv.kernel_id == 0 && inv.context_id == 0)
+      stats.Add(static_cast<double>(inv.behavior.instructions));
+  EXPECT_NEAR(stats.Mean() / 1e6, 1.0, 0.05);
+  EXPECT_GT(stats.Cov(), 0.03);
+}
+
+TEST(GenerateWorkloadTest, RandomMixRespectsWeights) {
+  WorkloadSpec spec = TwoKernelSpec();
+  spec.schedule = ScheduleKind::kRandomMix;
+  spec.random_invocations = 30000;
+  // Pairs in kernel-major order: (a,c0), (a,c1), (b,c0).
+  spec.mix_weights = {6.0, 3.0, 1.0};
+  const KernelTrace trace = GenerateWorkload(spec, 7);
+  size_t counts[3] = {0, 0, 0};
+  for (const auto& inv : trace.Invocations()) {
+    if (inv.kernel_id == 0)
+      ++counts[inv.context_id];
+    else
+      ++counts[2];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 30000, 0.6, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 30000, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 30000, 0.1, 0.02);
+}
+
+TEST(GenerateWorkloadTest, MutatorSeesIndexAndTotal) {
+  WorkloadSpec spec = TwoKernelSpec();
+  uint64_t seen_total = 0;
+  spec.mutator = [&seen_total](uint64_t i, uint64_t total,
+                               KernelInvocation& inv) {
+    seen_total = total;
+    if (i == 0) inv.behavior.instructions = 777;
+  };
+  const KernelTrace trace = GenerateWorkload(spec, 9);
+  EXPECT_EQ(seen_total, 100u);
+  EXPECT_EQ(trace.At(0).behavior.instructions, 777u);
+  EXPECT_NE(trace.At(1).behavior.instructions, 777u);
+}
+
+TEST(ArchetypeTest, BehaviorsValidateAndDiffer) {
+  const KernelBehavior compute = ComputeBoundBehavior(1e8, 1 << 20);
+  const KernelBehavior memory = MemoryBoundBehavior(1e8, 1 << 20);
+  const KernelBehavior irregular = IrregularBehavior(1e8, 1 << 20);
+  EXPECT_NO_THROW(compute.Validate());
+  EXPECT_NO_THROW(memory.Validate());
+  EXPECT_NO_THROW(irregular.Validate());
+  EXPECT_LT(compute.mem_fraction, memory.mem_fraction);
+  EXPECT_LT(memory.coalescing, compute.coalescing);
+  EXPECT_LT(irregular.coalescing, memory.coalescing);
+  EXPECT_GT(compute.locality, memory.locality);
+}
+
+}  // namespace
+}  // namespace stemroot::workloads

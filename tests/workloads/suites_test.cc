@@ -1,0 +1,184 @@
+#include "workloads/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "hw/hardware_model.h"
+#include "workloads/casio.h"
+#include "workloads/huggingface.h"
+#include "workloads/rodinia.h"
+
+namespace stemroot::workloads {
+namespace {
+
+TEST(SuiteTest, TableTwoSuiteSizes) {
+  // Paper Table 2: 13 Rodinia, 11 CASIO, 6 Huggingface workloads.
+  EXPECT_EQ(RodiniaNames().size(), 13u);
+  EXPECT_EQ(CasioNames().size(), 11u);
+  EXPECT_EQ(HuggingfaceNames().size(), 6u);
+}
+
+TEST(SuiteTest, DispatchersCoverAllSuites) {
+  for (const workloads::SuiteId id : AllSuites()) {
+    EXPECT_FALSE(SuiteWorkloads(id).empty());
+    EXPECT_NE(SuiteName(id), nullptr);
+  }
+  EXPECT_STREQ(SuiteName(SuiteId::kCasio), "CASIO");
+}
+
+TEST(SuiteTest, UnknownWorkloadsThrow) {
+  EXPECT_THROW(RodiniaSpec("nope"), std::invalid_argument);
+  EXPECT_THROW(CasioSpec("nope"), std::invalid_argument);
+  EXPECT_THROW(HuggingfaceSpec("nope"), std::invalid_argument);
+  EXPECT_THROW(RodiniaSpec("gaussian", 0.0), std::invalid_argument);
+}
+
+TEST(SuiteTest, EveryRodiniaWorkloadGenerates) {
+  for (const std::string& name : RodiniaNames()) {
+    const KernelTrace trace = MakeRodinia(name, 5, 0.2);
+    EXPECT_GT(trace.NumInvocations(), 10u) << name;
+    EXPECT_EQ(trace.WorkloadName(), name);
+    for (const auto& inv : trace.Invocations())
+      EXPECT_NO_THROW(inv.behavior.Validate());
+  }
+}
+
+TEST(SuiteTest, EveryCasioWorkloadGenerates) {
+  for (const std::string& name : CasioNames()) {
+    const KernelTrace trace = MakeCasio(name, 5, 0.02);
+    EXPECT_GT(trace.NumInvocations(), 50u) << name;
+    EXPECT_GE(trace.NumKernelTypes(), 3u) << name;
+  }
+}
+
+TEST(SuiteTest, EveryHuggingfaceWorkloadGenerates) {
+  for (const std::string& name : HuggingfaceNames()) {
+    const KernelTrace trace = MakeHuggingface(name, 5, 0.02);
+    EXPECT_GT(trace.NumInvocations(), 100u) << name;
+  }
+}
+
+TEST(SuiteTest, CasioKernelCountsAreMlScale) {
+  // Table 2: CASIO averages ~64k kernel calls at full scale.
+  double total = 0;
+  for (const std::string& name : CasioNames())
+    total += static_cast<double>(MakeCasio(name, 1, 1.0).NumInvocations());
+  const double avg = total / CasioNames().size();
+  EXPECT_GT(avg, 30000.0);
+  EXPECT_LT(avg, 130000.0);
+}
+
+TEST(SuiteTest, HuggingfaceIsLargestSuite) {
+  // At matched scale the HF workloads must dwarf CASIO (Table 2's
+  // 11.6M vs 64k ordering; we generate 1:10 but the ratio holds).
+  const size_t hf = MakeHuggingface("gpt2", 1, 0.1).NumInvocations();
+  const size_t casio = MakeCasio("bert_infer", 1, 0.1).NumInvocations();
+  EXPECT_GT(hf, casio * 5);
+}
+
+TEST(SuiteTest, HeartwallFirstInvocationIsTiny) {
+  // Sec. 5.1: heartwall's first call executes ~1500x fewer instructions.
+  const KernelTrace trace = MakeRodinia("heartwall", 3, 1.0);
+  ASSERT_GE(trace.NumInvocations(), 2u);
+  const double first =
+      static_cast<double>(trace.At(0).behavior.instructions);
+  const double second =
+      static_cast<double>(trace.At(1).behavior.instructions);
+  EXPECT_GT(second / first, 1000.0);
+  EXPECT_LT(second / first, 2500.0);
+}
+
+TEST(SuiteTest, GaussianWorkDecaysTowardZero) {
+  // Sec. 5.1: instruction counts decrease steadily, approaching zero.
+  const KernelTrace trace = MakeRodinia("gaussian", 3, 1.0);
+  const size_t n = trace.NumInvocations();
+  const double early =
+      static_cast<double>(trace.At(2).behavior.instructions);
+  const double late =
+      static_cast<double>(trace.At(n - 2).behavior.instructions);
+  EXPECT_LT(late, early / 100.0);
+}
+
+TEST(SuiteTest, BfsWorkIsBellShaped) {
+  const KernelTrace trace = MakeRodinia("bfs", 3, 1.0);
+  const size_t n = trace.NumInvocations();
+  const double start =
+      static_cast<double>(trace.At(0).behavior.instructions);
+  const double mid =
+      static_cast<double>(trace.At(n / 2).behavior.instructions);
+  const double end =
+      static_cast<double>(trace.At(n - 1).behavior.instructions);
+  EXPECT_GT(mid, start * 5);
+  EXPECT_GT(mid, end * 5);
+}
+
+TEST(SuiteTest, PfFloatLikelihoodDominates) {
+  // Sec. 5.1: certain particle-filter kernels are up to 100x longer.
+  KernelTrace trace = MakeRodinia("pf_float", 3, 1.0);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  gpu.ProfileTrace(trace, 1);
+  double likelihood = 0, smallest_kernel = 1e300;
+  const auto groups = trace.GroupByKernel();
+  for (uint32_t k = 0; k < groups.size(); ++k) {
+    double mean = 0;
+    for (uint32_t idx : groups[k]) mean += trace.At(idx).duration_us;
+    mean /= static_cast<double>(groups[k].size());
+    if (trace.Type(k).name == "likelihood_kernel") likelihood = mean;
+    smallest_kernel = std::min(smallest_kernel, mean);
+  }
+  EXPECT_GT(likelihood / smallest_kernel, 20.0);
+}
+
+TEST(SuiteTest, CasioLayernormHasLocalityOnlyContexts) {
+  // The pre-attention and pre-FFN layernorm contexts share instruction
+  // counts (static signatures collide) but differ in locality -- the
+  // Sec. 5.2 blind spot of instruction-level signatures.
+  const KernelTrace trace = MakeCasio("bert_infer", 3, 0.05);
+  const int64_t ln = trace.FindKernel("layernorm_fw");
+  ASSERT_GE(ln, 0);
+  StreamingStats instr_c0, instr_c1, loc_c0, loc_c1;
+  for (const auto& inv : trace.Invocations()) {
+    if (inv.kernel_id != ln) continue;
+    if (inv.context_id == 0) {
+      instr_c0.Add(static_cast<double>(inv.behavior.instructions));
+      loc_c0.Add(inv.behavior.locality);
+    } else {
+      instr_c1.Add(static_cast<double>(inv.behavior.instructions));
+      loc_c1.Add(inv.behavior.locality);
+    }
+  }
+  ASSERT_GT(instr_c0.Count(), 0u);
+  ASSERT_GT(instr_c1.Count(), 0u);
+  EXPECT_NEAR(instr_c0.Mean() / instr_c1.Mean(), 1.0, 0.05);
+  EXPECT_GT(loc_c0.Mean() - loc_c1.Mean(), 0.1);
+}
+
+TEST(SuiteTest, TrainingWorkloadsIncludeOptimizerTail) {
+  const KernelTrace trace = MakeCasio("bert_train", 3, 0.05);
+  EXPECT_GE(trace.FindKernel("adam_update"), 0);
+  const KernelTrace infer = MakeCasio("bert_infer", 3, 0.05);
+  EXPECT_EQ(infer.FindKernel("adam_update"), -1);
+}
+
+TEST(SuiteTest, LlmWorkloadsHavePrefillAndDecodeContexts) {
+  const KernelTrace trace = MakeHuggingface("gpt2", 3, 0.05);
+  const int64_t attn = trace.FindKernel("fmha_cutlass_fwd");
+  ASSERT_GE(attn, 0);
+  bool saw_prefill = false, saw_decode = false;
+  for (const auto& inv : trace.Invocations()) {
+    if (inv.kernel_id != attn) continue;
+    saw_prefill |= inv.context_id == 0;
+    saw_decode |= inv.context_id == 1;
+  }
+  EXPECT_TRUE(saw_prefill);
+  EXPECT_TRUE(saw_decode);
+}
+
+TEST(SuiteTest, SizeScaleShrinksWorkloads) {
+  const size_t big = MakeCasio("bert_infer", 1, 0.2).NumInvocations();
+  const size_t small = MakeCasio("bert_infer", 1, 0.05).NumInvocations();
+  EXPECT_GT(big, small * 2);
+}
+
+}  // namespace
+}  // namespace stemroot::workloads

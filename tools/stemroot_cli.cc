@@ -1,0 +1,208 @@
+/// \file
+/// stemroot — command-line front end to the library, mirroring the
+/// paper's Fig. 5 pipeline as composable steps over trace files:
+///
+///   stemroot generate --suite casio --workload bert_infer --out t.bin
+///   stemroot profile  --in t.bin --gpu rtx2080 --out t.bin
+///   stemroot info     --in t.bin
+///   stemroot sample   --in t.bin --method stem --epsilon 0.05 --out p.csv
+///   stemroot evaluate --in t.bin --method stem --reps 10
+///
+/// Traces use the library's binary format; sampling plans are CSVs of
+/// (invocation, weight) -- the "sampling information" a simulator embeds.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/photon.h"
+#include "baselines/pka.h"
+#include "baselines/random_sampler.h"
+#include "baselines/sieve.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/str.h"
+#include "core/sampler.h"
+#include "eval/metrics.h"
+#include "hw/hardware_model.h"
+#include "hw/profile.h"
+#include "trace/serialize.h"
+#include "workloads/suite.h"
+
+using namespace stemroot;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: stemroot <command> [--flags]
+
+commands:
+  generate  --suite rodinia|casio|huggingface --workload NAME --out FILE
+            [--seed N] [--scale X]
+  profile   --in FILE --out FILE [--gpu rtx2080|h100|h200] [--seed N]
+            [--csv timeline.csv]
+  info      --in FILE [--top N]
+  sample    --in FILE --out PLAN.csv [--method stem|random|pka|sieve|photon]
+            [--epsilon X] [--probability P] [--seed N]
+  evaluate  --in FILE [--method ...] [--epsilon X] [--probability P]
+            [--reps N] [--seed N]
+)");
+  return 2;
+}
+
+workloads::SuiteId ParseSuite(const std::string& name) {
+  if (name == "rodinia") return workloads::SuiteId::kRodinia;
+  if (name == "casio") return workloads::SuiteId::kCasio;
+  if (name == "huggingface") return workloads::SuiteId::kHuggingface;
+  throw std::invalid_argument("unknown suite '" + name + "'");
+}
+
+hw::GpuSpec ParseGpu(const std::string& name) {
+  if (name == "rtx2080") return hw::GpuSpec::Rtx2080();
+  if (name == "h100") return hw::GpuSpec::H100();
+  if (name == "h200") return hw::GpuSpec::H200();
+  throw std::invalid_argument("unknown gpu '" + name + "'");
+}
+
+std::unique_ptr<core::Sampler> MakeSampler(const Flags& flags) {
+  const std::string method = flags.GetString("method", "stem");
+  if (method == "stem") {
+    core::StemRootConfig config;
+    config.root.stem.epsilon = flags.GetDouble("epsilon", 0.05);
+    return std::make_unique<core::StemRootSampler>(config);
+  }
+  if (method == "random")
+    return std::make_unique<baselines::RandomSampler>(
+        flags.GetDouble("probability", 0.001));
+  if (method == "pka") return std::make_unique<baselines::PkaSampler>();
+  if (method == "sieve") return std::make_unique<baselines::SieveSampler>();
+  if (method == "photon")
+    return std::make_unique<baselines::PhotonSampler>();
+  throw std::invalid_argument("unknown method '" + method + "'");
+}
+
+int CmdGenerate(const Flags& flags) {
+  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+  const std::string workload = flags.Require("workload");
+  const std::string out = flags.Require("out");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const double scale = flags.GetDouble("scale", 1.0);
+  flags.CheckAllRead();
+
+  const KernelTrace trace =
+      workloads::MakeWorkload(suite, workload, seed, scale);
+  SaveTraceBinary(trace, out);
+  std::printf("wrote %s: %zu invocations, %zu kernel types (unprofiled)\n",
+              out.c_str(), trace.NumInvocations(), trace.NumKernelTypes());
+  return 0;
+}
+
+int CmdProfile(const Flags& flags) {
+  const std::string in = flags.Require("in");
+  const std::string out = flags.Require("out");
+  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string csv = flags.GetString("csv", "");
+  flags.CheckAllRead();
+
+  KernelTrace trace = LoadTraceBinary(in);
+  hw::HardwareModel gpu(spec);
+  gpu.ProfileTrace(trace, seed);
+  SaveTraceBinary(trace, out);
+  if (!csv.empty()) ExportTimelineCsv(trace, csv);
+  std::printf("profiled %zu invocations on %s: total %s\n",
+              trace.NumInvocations(), spec.name.c_str(),
+              HumanDuration(trace.TotalDurationUs()).c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const std::string in = flags.Require("in");
+  const int64_t top = flags.GetInt("top", 10);
+  flags.CheckAllRead();
+
+  const KernelTrace trace = LoadTraceBinary(in);
+  std::printf("%s: %zu invocations, %zu kernel types\n",
+              trace.WorkloadName().c_str(), trace.NumInvocations(),
+              trace.NumKernelTypes());
+  if (trace.TotalDurationUs() <= 0.0) {
+    std::printf("(unprofiled -- run `stemroot profile` first for timing "
+                "stats)\n");
+    return 0;
+  }
+  const hw::WorkloadProfile profile = hw::WorkloadProfile::FromTrace(trace);
+  std::printf("total %s; top kernels by time:\n",
+              HumanDuration(profile.total_duration_us).c_str());
+  int64_t shown = 0;
+  for (const hw::KernelProfile* kp : profile.ByTotalTime()) {
+    if (shown++ >= top) break;
+    std::printf("  %-36s n=%-8zu mean=%9.1fus CoV=%.3f peaks=%zu "
+                "share=%.1f%%\n",
+                kp->name.c_str(), kp->stats.count, kp->stats.mean,
+                kp->stats.Cov(), kp->CountPeaks(),
+                kp->stats.sum / profile.total_duration_us * 100.0);
+  }
+  return 0;
+}
+
+int CmdSample(const Flags& flags) {
+  const std::string in = flags.Require("in");
+  const std::string out = flags.Require("out");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+  flags.CheckAllRead();
+
+  const KernelTrace trace = LoadTraceBinary(in);
+  const core::SamplingPlan plan = sampler->BuildPlan(trace, seed);
+  CsvWriter csv(out);
+  csv.WriteHeader({"invocation", "weight"});
+  for (const core::SampleEntry& entry : plan.entries)
+    csv.WriteRow({std::to_string(entry.invocation),
+                  Format("%.6f", entry.weight)});
+  csv.Flush();
+  std::printf("%s: %zu samples (%zu distinct) over %zu clusters -> %s\n",
+              plan.method.c_str(), plan.NumSamples(),
+              plan.DistinctInvocations().size(), plan.num_clusters,
+              out.c_str());
+  if (plan.theoretical_error > 0.0)
+    std::printf("theoretical error bound: %.3f%%\n",
+                plan.theoretical_error * 100.0);
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const std::string in = flags.Require("in");
+  const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+  flags.CheckAllRead();
+
+  const KernelTrace trace = LoadTraceBinary(in);
+  const eval::EvalResult result =
+      eval::EvaluateRepeated(*sampler, trace, reps, seed);
+  std::printf("%s on %s: error %.4f%%  speedup %.2fx  (%zu samples, "
+              "%zu clusters)\n",
+              result.method.c_str(), result.workload.c_str(),
+              result.error_pct, result.speedup, result.num_samples,
+              result.num_clusters);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  try {
+    const Flags flags = Flags::Parse(argc - 2, argv + 2);
+    const std::string command = argv[1];
+    if (command == "generate") return CmdGenerate(flags);
+    if (command == "profile") return CmdProfile(flags);
+    if (command == "info") return CmdInfo(flags);
+    if (command == "sample") return CmdSample(flags);
+    if (command == "evaluate") return CmdEvaluate(flags);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
