@@ -1,6 +1,29 @@
 #include "bench_util.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/parallel.h"
+
 namespace stemroot::bench {
+
+int ConfigureThreads(int argc, const char* const* argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n < 0) {
+        std::fprintf(stderr, "bad --threads value '%s'\n", argv[i + 1]);
+        std::exit(2);
+      }
+      SetNumThreads(n);
+    }
+  }
+  const int active = NumThreads();
+  std::printf("[threads: %d -- results are thread-count invariant]\n",
+              active);
+  return active;
+}
 
 SamplerSet MakeStandardSamplers(double random_probability,
                                 bool rodinia_tuning) {

@@ -43,6 +43,13 @@ struct SamplerSet {
   }
 };
 
+/// Parse an optional `--threads N` argument (0 = auto) for the suite-level
+/// bench mains, apply it via SetNumThreads, and print the active count.
+/// The STEMROOT_THREADS environment variable works everywhere too; either
+/// way, results are bit-identical at any thread count. Returns the
+/// resolved parallelism.
+int ConfigureThreads(int argc, const char* const* argv);
+
 /// The paper's comparison roster for a suite (Sec. 5):
 /// Random(p), PKA, Sieve, Photon, STEM. Per Sec. 5.1 the evaluation uses
 /// the hand-tuned random-representative variants of PKA/Sieve on Rodinia

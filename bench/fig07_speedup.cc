@@ -9,7 +9,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ConfigureThreads(argc, argv);
   std::printf("=== Figure 7: speedup per workload (Rodinia + CASIO) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
 

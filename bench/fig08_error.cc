@@ -48,7 +48,8 @@ void PrintErrorTable(const eval::SuiteResults& results,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ConfigureThreads(argc, argv);
   std::printf("=== Figure 8: sampling error per workload "
               "(Rodinia + CASIO) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

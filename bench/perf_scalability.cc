@@ -2,16 +2,21 @@
 /// Sec. 5.6 scalability microbenchmarks (google-benchmark): STEM+ROOT's
 /// near-linear analysis cost vs. Photon's superlinear BBV comparison cost
 /// as the number of kernel invocations N grows, plus the building blocks
-/// (1-D k-means, the KKT solver, trace generation + profiling).
+/// (1-D k-means, the KKT solver, trace generation + profiling) and the
+/// thread scaling of the parallel evaluation engine (results are
+/// bit-identical at every thread count; only wall-clock changes).
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 #include "baselines/photon.h"
+#include "bench_util.h"
 #include "core/kkt.h"
 #include "core/kmeans.h"
 #include "core/sampler.h"
+#include "eval/runner.h"
 #include "hw/hardware_model.h"
 #include "workloads/casio.h"
 
@@ -102,6 +107,79 @@ void BM_GenerateAndProfile(benchmark::State& state) {
 BENCHMARK(BM_GenerateAndProfile)
     ->RangeMultiplier(8)
     ->Range(1000, 512000)
+    ->Unit(benchmark::kMillisecond);
+
+/// RAII: pin the engine to `n` threads, restore auto on exit so later
+/// benchmarks are unaffected.
+struct ScopedThreads {
+  explicit ScopedThreads(int n) { SetNumThreads(n); }
+  ~ScopedThreads() { SetNumThreads(0); }
+};
+
+/// ProfileTrace over one large trace at 1/2/4/8 threads. Per-invocation
+/// timing streams derive from (run_seed, invocation seq), so durations are
+/// identical at every arg; wall-clock should drop near-linearly up to the
+/// physical core count.
+void BM_ProfileTraceThreads(benchmark::State& state) {
+  ScopedThreads scoped(static_cast<int>(state.range(0)));
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  KernelTrace trace = workloads::MakeCasio("bert_infer", 7, 4.0);
+  for (auto _ : state) {
+    gpu.ProfileTrace(trace, 1);
+    benchmark::DoNotOptimize(trace.TotalDurationUs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.NumInvocations()));
+}
+BENCHMARK(BM_ProfileTraceThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end RunSuite sweep (the Table 3 / Fig. 7 engine) over a CASIO
+/// subset at 1/2/4/8 threads. The acceptance target is >= 3x real-time
+/// speedup at 8 threads on an >= 8-core machine; `results.rows` is
+/// byte-identical across args (tests/eval/parallel_determinism_test.cc
+/// pins this).
+void BM_SuiteSweepThreads(benchmark::State& state) {
+  ScopedThreads scoped(static_cast<int>(state.range(0)));
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  bench::SamplerSet samplers = bench::MakeStandardSamplers(0.001, false);
+  eval::SuiteRunConfig config;
+  config.suite = workloads::SuiteId::kCasio;
+  config.size_scale = 0.05;
+  config.reps = 3;
+  config.seed = bench::kSeed;
+  config.only_workloads = {"bert_infer", "dlrm_infer", "gnmt_infer",
+                           "ncf_infer", "resnet50_train", "unet_train",
+                           "ssdrn34_infer", "resnet50_infer"};
+  for (auto _ : state) {
+    const eval::SuiteResults results =
+        eval::RunSuite(config, gpu, samplers.pointers);
+    benchmark::DoNotOptimize(results.rows.size());
+  }
+}
+BENCHMARK(BM_SuiteSweepThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// EvaluateRepeated across reps at 1/2/4/8 threads (the third parallel
+/// loop): one workload, one sampler, many repetitions.
+void BM_EvaluateRepeatedThreads(benchmark::State& state) {
+  ScopedThreads scoped(static_cast<int>(state.range(0)));
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  const KernelTrace trace = eval::MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "bert_infer", gpu, bench::kSeed, 0.2);
+  core::StemRootSampler sampler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::EvaluateRepeated(sampler, trace, 16, bench::kSeed));
+  }
+}
+BENCHMARK(BM_EvaluateRepeatedThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

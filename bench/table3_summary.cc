@@ -16,7 +16,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ConfigureThreads(argc, argv);
   std::printf("=== Table 3: average speedup (x) and error (%%) per suite "
               "===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

@@ -1,18 +1,47 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 namespace stemroot {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+/// Level is read on every log call, possibly from many threads at once
+/// (the parallel suite runner logs per-workload progress); counters are
+/// bumped the same way. Plain relaxed atomics: no ordering is needed,
+/// only tear-free reads.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<uint64_t> g_counts[kNumLogLevels] = {};
+
+/// Serializes the actual stderr writes so messages from concurrent
+/// workers never interleave mid-line.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+void Count(LogLevel level) {
+  g_counts[static_cast<size_t>(level)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+uint64_t LogCount(LogLevel level) {
+  return g_counts[static_cast<size_t>(level)].load(std::memory_order_relaxed);
+}
+
+void ResetLogCounts() {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+}
 
 std::string VFormat(const char* fmt, va_list args) {
   va_list copy;
@@ -27,13 +56,15 @@ std::string VFormat(const char* fmt, va_list args) {
 
 namespace {
 void Emit(const char* prefix, const char* fmt, va_list args) {
-  const std::string msg = VFormat(fmt, args);
+  const std::string msg = VFormat(fmt, args);  // format outside the lock
+  std::lock_guard<std::mutex> lock(EmitMutex());
   std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
 }
 }  // namespace
 
 void Inform(const char* fmt, ...) {
-  if (g_level < LogLevel::kInform) return;
+  Count(LogLevel::kInform);
+  if (GetLogLevel() < LogLevel::kInform) return;
   va_list args;
   va_start(args, fmt);
   Emit("info: ", fmt, args);
@@ -41,7 +72,8 @@ void Inform(const char* fmt, ...) {
 }
 
 void Warn(const char* fmt, ...) {
-  if (g_level < LogLevel::kWarn) return;
+  Count(LogLevel::kWarn);
+  if (GetLogLevel() < LogLevel::kWarn) return;
   va_list args;
   va_start(args, fmt);
   Emit("warn: ", fmt, args);
@@ -49,7 +81,8 @@ void Warn(const char* fmt, ...) {
 }
 
 void Debug(const char* fmt, ...) {
-  if (g_level < LogLevel::kDebug) return;
+  Count(LogLevel::kDebug);
+  if (GetLogLevel() < LogLevel::kDebug) return;
   va_list args;
   va_start(args, fmt);
   Emit("debug: ", fmt, args);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace stemroot {
@@ -18,9 +19,21 @@ namespace stemroot {
 /// Verbosity levels, increasing detail.
 enum class LogLevel { kSilent = 0, kWarn = 1, kInform = 2, kDebug = 3 };
 
-/// Set the process-global verbosity (default kWarn).
+inline constexpr size_t kNumLogLevels = 4;
+
+/// Set the process-global verbosity (default kWarn). All logging entry
+/// points are thread-safe: the level and the per-level counters are
+/// atomics, and the stderr writes are serialized so concurrent workers
+/// never interleave mid-line.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// How many times Warn/Inform/Debug have been called since process start
+/// (or the last ResetLogCounts), counted even when the message is
+/// filtered by the active level. Lets tests and tools assert on warning
+/// traffic without scraping stderr.
+uint64_t LogCount(LogLevel level);
+void ResetLogCounts();
 
 /// printf-style status message at kInform level.
 void Inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

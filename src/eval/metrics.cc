@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace stemroot::eval {
@@ -61,18 +62,26 @@ EvalResult EvaluateRepeated(const core::Sampler& sampler,
   if (reps == 0) throw std::invalid_argument("EvaluateRepeated: reps == 0");
   const uint32_t runs = sampler.Deterministic() ? 1 : reps;
 
+  // Repetitions are independent by construction (rep r seeds BuildPlan
+  // with base_seed + r), so they fan out over threads; per-rep results
+  // land in rep order and the averages below see the exact sequence the
+  // serial loop produced.
+  const std::vector<EvalResult> per_rep =
+      ParallelMap(runs, [&](size_t r) {
+        const core::SamplingPlan plan = sampler.BuildPlan(
+            trace, base_seed + static_cast<uint64_t>(r));
+        return EvaluatePlan(trace, plan);
+      });
+
   std::vector<double> speedups;
   std::vector<double> errors;
-  EvalResult first;
-  for (uint32_t r = 0; r < runs; ++r) {
-    const core::SamplingPlan plan =
-        sampler.BuildPlan(trace, base_seed + r);
-    const EvalResult one = EvaluatePlan(trace, plan);
-    if (r == 0) first = one;
+  speedups.reserve(runs);
+  errors.reserve(runs);
+  for (const EvalResult& one : per_rep) {
     speedups.push_back(one.speedup);
     errors.push_back(one.error_pct);
   }
-  EvalResult avg = first;
+  EvalResult avg = per_rep.front();
   avg.speedup = HarmonicMean(speedups);
   avg.error_pct = Mean(errors);
   return avg;

@@ -45,7 +45,10 @@ EvalResult EvaluatePlanOnDurations(const core::SamplingPlan& plan,
 /// Run a sampler `reps` times with distinct seeds (1 run if the sampler is
 /// deterministic) and average per the paper's conventions: harmonic-mean
 /// speedup, arithmetic-mean error. Sample/cluster counts are from the
-/// first run.
+/// first run. Repetitions execute in parallel over NumThreads() lanes;
+/// rep r always uses seed base_seed + r and results are accumulated in rep
+/// order, so the output is identical at any thread count. Requires
+/// `sampler.BuildPlan` to be const-thread-safe (all in-tree samplers are).
 EvalResult EvaluateRepeated(const core::Sampler& sampler,
                             const KernelTrace& trace, uint32_t reps,
                             uint64_t base_seed);

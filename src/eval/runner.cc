@@ -3,29 +3,53 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace stemroot::eval {
 
+void SuiteResults::Reindex() const {
+  if (indexed_rows_ > rows.size()) {
+    // Rows were removed; the incremental index is stale. Rebuild.
+    indexed_rows_ = 0;
+    method_order_.clear();
+    by_method_.clear();
+    by_workload_.clear();
+  }
+  for (; indexed_rows_ < rows.size(); ++indexed_rows_) {
+    const EvalResult& row = rows[indexed_rows_];
+    std::vector<size_t>& method_rows = by_method_[row.method];
+    if (method_rows.empty()) method_order_.push_back(row.method);
+    method_rows.push_back(indexed_rows_);
+    by_workload_[row.workload].push_back(indexed_rows_);
+  }
+}
+
 std::vector<EvalResult> SuiteResults::ForWorkload(
     const std::string& workload) const {
+  Reindex();
   std::vector<EvalResult> out;
-  for (const EvalResult& row : rows)
-    if (row.workload == workload) out.push_back(row);
+  const auto it = by_workload_.find(workload);
+  if (it == by_workload_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i : it->second) out.push_back(rows[i]);
   return out;
 }
 
 EvalResult SuiteResults::Aggregate(const std::string& method) const {
-  return AggregateSuite(rows, method);
+  Reindex();
+  const auto it = by_method_.find(method);
+  if (it == by_method_.end())
+    return AggregateSuite(rows, method);  // throws the canonical error
+  std::vector<EvalResult> method_rows;
+  method_rows.reserve(it->second.size());
+  for (size_t i : it->second) method_rows.push_back(rows[i]);
+  return AggregateSuite(method_rows, method);
 }
 
 std::vector<std::string> SuiteResults::Methods() const {
-  std::vector<std::string> methods;
-  for (const EvalResult& row : rows)
-    if (std::find(methods.begin(), methods.end(), row.method) ==
-        methods.end())
-      methods.push_back(row.method);
-  return methods;
+  Reindex();
+  return method_order_;
 }
 
 KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
@@ -41,23 +65,40 @@ KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
 SuiteResults RunSuite(const SuiteRunConfig& config,
                       const hw::HardwareModel& gpu,
                       std::span<const core::Sampler* const> samplers) {
-  SuiteResults results;
+  std::vector<std::string> names;
   for (const std::string& name : workloads::SuiteWorkloads(config.suite)) {
     if (!config.only_workloads.empty() &&
         std::find(config.only_workloads.begin(),
                   config.only_workloads.end(),
                   name) == config.only_workloads.end())
       continue;
-    Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
-           name.c_str());
-    const KernelTrace trace = MakeProfiledWorkload(
-        config.suite, name, gpu, config.seed, config.size_scale);
-    for (const core::Sampler* sampler : samplers) {
-      results.rows.push_back(EvaluateRepeated(
-          *sampler, trace, config.reps,
-          DeriveSeed(config.seed, HashString(sampler->Name()))));
-    }
+    names.push_back(name);
   }
+
+  // One task per workload: the trace is generated and profiled once, then
+  // every sampler is evaluated against it. Each task's randomness is fully
+  // derived from (config.seed, workload name, sampler name), and the
+  // per-task row vectors are concatenated in input order below, so the
+  // result is independent of the parallel schedule.
+  std::vector<std::vector<EvalResult>> per_workload = ParallelMap(
+      names.size(), [&](size_t w) {
+        Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
+               names[w].c_str());
+        const KernelTrace trace = MakeProfiledWorkload(
+            config.suite, names[w], gpu, config.seed, config.size_scale);
+        std::vector<EvalResult> rows;
+        rows.reserve(samplers.size());
+        for (const core::Sampler* sampler : samplers) {
+          rows.push_back(EvaluateRepeated(
+              *sampler, trace, config.reps,
+              DeriveSeed(config.seed, HashString(sampler->Name()))));
+        }
+        return rows;
+      });
+
+  SuiteResults results;
+  for (std::vector<EvalResult>& rows : per_workload)
+    for (EvalResult& row : rows) results.Add(std::move(row));
   return results;
 }
 

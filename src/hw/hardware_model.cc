@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace stemroot::hw {
@@ -204,8 +205,14 @@ KernelMetrics HardwareModel::Metrics(const KernelInvocation& inv,
 }
 
 void HardwareModel::ProfileTrace(KernelTrace& trace, uint64_t run_seed) const {
-  for (KernelInvocation& inv : trace.MutableInvocations())
-    inv.duration_us = SampleTimeUs(inv, run_seed);
+  // Invocation chunks are profiled in parallel: SampleTimeUs derives a
+  // fresh Rng from (run_seed, inv.seq) for every invocation, so each index
+  // owns an independent random stream and the profiled durations are
+  // identical at any thread count.
+  std::span<KernelInvocation> invs = trace.MutableInvocations();
+  ParallelFor(0, invs.size(), [&](size_t i) {
+    invs[i].duration_us = SampleTimeUs(invs[i], run_seed);
+  });
 }
 
 }  // namespace stemroot::hw

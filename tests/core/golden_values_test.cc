@@ -1,0 +1,209 @@
+/// \file
+/// Golden-value pins for the statistical core: STEM's Eq. 2/3 sample sizes
+/// and the KKT allocations of Sec. 3.3, checked against hand-computed
+/// constants. The parallel evaluation engine refactors around this math --
+/// these pins guarantee a scheduling or vectorization change can't silently
+/// drift the numbers the whole evaluation rests on. Derivations are inlined
+/// as comments; z = z_{0.975} = 1.9599639845400545 throughout.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/kkt.h"
+#include "core/stem.h"
+
+namespace stemroot::core {
+namespace {
+
+constexpr double kZ975 = 1.9599639845400545;
+
+StemConfig DefaultConfig() {
+  StemConfig config;  // epsilon 0.05, confidence 0.95, min_samples 1
+  return config;
+}
+
+TEST(GoldenValuesTest, ZScoreMatchesStandardNormalTable) {
+  // The paper rounds to 1.96; the library promises |error| < 1e-9 against
+  // the exact quantile.
+  EXPECT_NEAR(ZScore(0.95), kZ975, 1e-9);
+  EXPECT_NEAR(ZScore(0.99), 2.5758293035489004, 1e-9);
+  EXPECT_NEAR(ZScore(0.90), 1.6448536269514722, 1e-9);
+}
+
+TEST(GoldenValuesTest, Eq3SampleSizesPinned) {
+  // m = ceil((z / eps * sigma/mu)^2).
+  //
+  //   CoV 0.5, eps 0.05: (z * 10)^2   = 384.14588...  -> 385
+  //     (the classic "n = 385" survey sample size)
+  //   CoV 1.0, eps 0.05: (z * 20)^2   = 1536.58353... -> 1537
+  //   CoV 0.3, eps 0.02: (z * 15)^2   =  864.32823... -> 865
+  //   CoV 0.2, eps 0.10: (z *  4)^2   =   15.36584... -> 16
+  const StemConfig config = DefaultConfig();
+
+  ClusterStats c;
+  c.n = 1000000;  // large population: no cap
+  c.mean = 100.0;
+  c.stddev = 50.0;
+  EXPECT_EQ(SingleClusterSampleSize(c, config), 385u);
+
+  c.stddev = 100.0;
+  EXPECT_EQ(SingleClusterSampleSize(c, config), 1537u);
+
+  StemConfig tight = config;
+  tight.epsilon = 0.02;
+  c.stddev = 30.0;
+  EXPECT_EQ(SingleClusterSampleSize(c, tight), 865u);
+
+  StemConfig loose = config;
+  loose.epsilon = 0.10;
+  c.stddev = 20.0;
+  EXPECT_EQ(SingleClusterSampleSize(c, loose), 16u);
+}
+
+TEST(GoldenValuesTest, Eq3CapsAndFloors) {
+  const StemConfig config = DefaultConfig();
+
+  // Population cap: CoV 0.5 wants 385, but only 100 invocations exist.
+  ClusterStats small;
+  small.n = 100;
+  small.mean = 100.0;
+  small.stddev = 50.0;
+  EXPECT_EQ(SingleClusterSampleSize(small, config), 100u);
+
+  // Degenerate (sigma = 0): the floor, capped at the population.
+  ClusterStats flat;
+  flat.n = 50;
+  flat.mean = 10.0;
+  flat.stddev = 0.0;
+  EXPECT_EQ(SingleClusterSampleSize(flat, config), 1u);
+  StemConfig floored = config;
+  floored.min_samples = 3;
+  EXPECT_EQ(SingleClusterSampleSize(flat, floored), 3u);
+  flat.n = 2;
+  EXPECT_EQ(SingleClusterSampleSize(flat, floored), 2u);
+
+  // Empty cluster contributes nothing.
+  ClusterStats empty;
+  EXPECT_EQ(SingleClusterSampleSize(empty, config), 0u);
+}
+
+TEST(GoldenValuesTest, Eq2TheoreticalErrorPinned) {
+  // err = z * (sigma/mu) / sqrt(m).
+  //   CoV 0.5, m 385: 1.9599639845.../2 / sqrt(385) = 0.04994450700...
+  //     (Eq. 3's m = 385 lands just under eps = 0.05: the inversion is
+  //      exact up to the ceil)
+  //   CoV 0.5, m 100: z/2/10 = 0.09799819922700...
+  const StemConfig config = DefaultConfig();
+  ClusterStats c;
+  c.n = 1000000;
+  c.mean = 100.0;
+  c.stddev = 50.0;
+  EXPECT_NEAR(TheoreticalError(c, 385, config), 0.049944507001986826, 1e-9);
+  EXPECT_LT(TheoreticalError(c, 385, config), config.epsilon);
+  EXPECT_NEAR(TheoreticalError(c, 100, config), 0.09799819922700273, 1e-9);
+}
+
+TEST(GoldenValuesTest, KktInteriorAllocationPinned) {
+  // Two clusters, eps 0.05 (paper Eq. 6 with a_i = mu_i,
+  // b_i = N_i^2 sigma_i^2, c = (eps * sum N_i mu_i / z)^2):
+  //   C1: N 1000, mu  10, sigma  5 -> sqrt(a1 b1) = sqrt(10 * 2.5e7)
+  //   C2: N 1000, mu 100, sigma 10 -> sqrt(a2 b2) = sqrt(100 * 1e8)
+  //   sum N_i mu_i = 110000, budget c = (5500/z)^2 = 7874612.5917...
+  //   S = 15811.388... + 100000 = 115811.388...
+  //   m1 = S/c * sqrt(2.5e7/10)  = 23.2537... -> ceil 24
+  //   m2 = S/c * sqrt(1e8/100)   = 14.7069... -> ceil 15
+  //   cost = 24*10 + 15*100 = 1740 us
+  //   err  = z * sqrt(1e6*25/24 + 1e6*100/15) / 110000 = 0.0494692868...
+  const StemConfig config = DefaultConfig();
+  const std::vector<ClusterStats> clusters = {
+      {.n = 1000, .mean = 10.0, .stddev = 5.0},
+      {.n = 1000, .mean = 100.0, .stddev = 10.0},
+  };
+  const KktSolution solution = SolveKkt(clusters, config);
+  ASSERT_EQ(solution.sample_sizes.size(), 2u);
+  EXPECT_EQ(solution.sample_sizes[0], 24u);
+  EXPECT_EQ(solution.sample_sizes[1], 15u);
+  EXPECT_NEAR(solution.cost_us, 1740.0, 1e-9);
+  EXPECT_NEAR(solution.theoretical_error, 0.04946928680378061, 1e-9);
+  EXPECT_LE(solution.theoretical_error, config.epsilon);
+}
+
+TEST(GoldenValuesTest, KktExhaustiveClampPinned) {
+  // A tiny high-variance cluster whose closed-form m exceeds its
+  // population is simulated exhaustively and the remainder re-solved:
+  //   C1: N 50,    mu  1, sigma 1000 -> round-1 m_real = 626.47... >> 50
+  //   C2: N 10000, mu 10, sigma    1
+  //   round 1: C1 clamps to 50 (exhaustive); round 2 re-solves {C2} alone:
+  //   m2 = 15.3505... -> ceil 16
+  //   cost = 50*1 + 16*10 = 210 us
+  //   err  = z * sqrt(1e8/16) / 100050 = 0.04897461230... (C1 contributes
+  //   zero variance; tighter than eps, as re-solving only shrinks error)
+  const StemConfig config = DefaultConfig();
+  const std::vector<ClusterStats> clusters = {
+      {.n = 50, .mean = 1.0, .stddev = 1000.0},
+      {.n = 10000, .mean = 10.0, .stddev = 1.0},
+  };
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 50u);  // exhaustive
+  EXPECT_EQ(solution.sample_sizes[1], 16u);
+  EXPECT_NEAR(solution.cost_us, 210.0, 1e-9);
+  EXPECT_NEAR(solution.theoretical_error, 0.04897461230734769, 1e-9);
+  EXPECT_LE(solution.theoretical_error, config.epsilon);
+}
+
+TEST(GoldenValuesTest, KktDegenerateClusterPinned) {
+  // sigma = 0 clusters take the min_samples floor and drop out of the
+  // optimization:
+  //   C1: N 100,  mu  5, sigma 0 -> m1 = 1
+  //   C2: N 1000, mu 10, sigma 2 -> active set is {C2} alone:
+  //   sum N_i mu_i = 10500, c = (525/z)^2, S = sqrt(10 * 4e6)
+  //   m2 = 55.75... -> ceil 56, cost = 1*5 + 56*10 = 565 us
+  //   err = z * sqrt(4e6/56) / 10500 = 0.04988784843...
+  const StemConfig config = DefaultConfig();
+  const std::vector<ClusterStats> clusters = {
+      {.n = 100, .mean = 5.0, .stddev = 0.0},
+      {.n = 1000, .mean = 10.0, .stddev = 2.0},
+  };
+  const KktSolution solution = SolveKkt(clusters, config);
+  EXPECT_EQ(solution.sample_sizes[0], 1u);
+  EXPECT_EQ(solution.sample_sizes[1], 56u);
+  EXPECT_NEAR(solution.cost_us, 565.0, 1e-9);
+  EXPECT_NEAR(solution.theoretical_error, 0.04988784843921893, 1e-9);
+}
+
+TEST(GoldenValuesTest, JointKktBeatsPerClusterSizing) {
+  // The paper's Sec. 3.3 claim on the pinned interior case: independent
+  // Eq. 3 sizing spends m1 = 385 (CoV 0.5) + m2 = 16 (CoV 0.1)
+  // -> cost 385*10 + 16*100 = 5450 us vs the joint 1740 us (3.1x).
+  const StemConfig config = DefaultConfig();
+  const std::vector<ClusterStats> clusters = {
+      {.n = 1000, .mean = 10.0, .stddev = 5.0},
+      {.n = 1000, .mean = 100.0, .stddev = 10.0},
+  };
+  const KktSolution per_cluster = SolvePerCluster(clusters, config);
+  EXPECT_EQ(per_cluster.sample_sizes[0], 385u);
+  EXPECT_EQ(per_cluster.sample_sizes[1], 16u);
+  EXPECT_NEAR(per_cluster.cost_us, 5450.0, 1e-9);
+
+  const KktSolution joint = SolveKkt(clusters, config);
+  EXPECT_LT(joint.cost_us, per_cluster.cost_us);
+  EXPECT_GT(per_cluster.cost_us / joint.cost_us, 3.0);
+}
+
+TEST(GoldenValuesTest, MultiClusterErrorMatchesKktReport) {
+  // MultiClusterError on the pinned interior allocation reproduces the
+  // solver's own theoretical_error (no exhaustive clusters involved).
+  const StemConfig config = DefaultConfig();
+  const std::vector<ClusterStats> clusters = {
+      {.n = 1000, .mean = 10.0, .stddev = 5.0},
+      {.n = 1000, .mean = 100.0, .stddev = 10.0},
+  };
+  const std::vector<uint64_t> sizes = {24, 15};
+  EXPECT_NEAR(MultiClusterError(clusters, sizes, config),
+              0.04946928680378061, 1e-9);
+}
+
+}  // namespace
+}  // namespace stemroot::core

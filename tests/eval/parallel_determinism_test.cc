@@ -1,0 +1,127 @@
+/// \file
+/// The determinism contract of the parallel evaluation engine: running the
+/// suite pipeline at 1 thread and at 8 threads must produce byte-identical
+/// results. Every stochastic component derives its stream from explicit
+/// (seed, index) pairs, so the parallel schedule is unobservable -- this
+/// suite is the regression gate that keeps it that way.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/random_sampler.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/sampler.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace stemroot::eval {
+namespace {
+
+/// Bit pattern of a double: "byte-identical", not merely approximately
+/// equal. (No NaNs occur in these pipelines; equal bits iff equal bytes.)
+uint64_t Bits(double x) {
+  uint64_t u;
+  static_assert(sizeof(u) == sizeof(x));
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void ExpectRowsByteIdentical(const std::vector<EvalResult>& a,
+                             const std::vector<EvalResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    EXPECT_EQ(a[i].method, b[i].method);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(Bits(a[i].speedup), Bits(b[i].speedup));
+    EXPECT_EQ(Bits(a[i].error_pct), Bits(b[i].error_pct));
+    EXPECT_EQ(Bits(a[i].theoretical_error_pct),
+              Bits(b[i].theoretical_error_pct));
+    EXPECT_EQ(a[i].num_samples, b[i].num_samples);
+    EXPECT_EQ(a[i].num_clusters, b[i].num_clusters);
+    EXPECT_EQ(Bits(a[i].estimated_total_us), Bits(b[i].estimated_total_us));
+    EXPECT_EQ(Bits(a[i].true_total_us), Bits(b[i].true_total_us));
+  }
+}
+
+SuiteResults RunCasioSubset(int threads) {
+  SetNumThreads(threads);
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  baselines::RandomSampler random(0.01);
+  core::StemRootSampler stem;
+  const core::Sampler* samplers[] = {&random, &stem};
+  SuiteRunConfig config;
+  config.suite = workloads::SuiteId::kCasio;
+  config.size_scale = 0.02;
+  config.reps = 3;
+  config.seed = 99;
+  config.only_workloads = {"bert_infer", "dlrm_infer", "resnet50_train"};
+  SuiteResults results = RunSuite(config, gpu, samplers);
+  SetNumThreads(0);
+  return results;
+}
+
+TEST(ParallelDeterminismTest, RunSuiteRowsIdenticalAcrossThreadCounts) {
+  const SuiteResults serial = RunCasioSubset(1);
+  const SuiteResults parallel = RunCasioSubset(8);
+  ASSERT_EQ(serial.rows.size(), 6u);  // 3 workloads x 2 samplers
+  ExpectRowsByteIdentical(serial.rows, parallel.rows);
+}
+
+TEST(ParallelDeterminismTest, ProfiledTraceIdenticalAcrossThreadCounts) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+
+  SetNumThreads(1);
+  const KernelTrace serial = MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "bert_infer", gpu, 7, 0.05);
+  SetNumThreads(8);
+  const KernelTrace parallel = MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "bert_infer", gpu, 7, 0.05);
+  SetNumThreads(0);
+
+  ASSERT_GT(serial.NumInvocations(), 100u);
+  ASSERT_EQ(serial.NumInvocations(), parallel.NumInvocations());
+  for (size_t i = 0; i < serial.NumInvocations(); ++i)
+    ASSERT_EQ(Bits(serial.At(i).duration_us), Bits(parallel.At(i).duration_us))
+        << "invocation " << i;
+}
+
+TEST(ParallelDeterminismTest, ReprofilingIsIdempotentAcrossThreadCounts) {
+  // Same trace object, profiled twice at different thread counts with the
+  // same run seed: durations must not move at all.
+  hw::HardwareModel gpu(hw::GpuSpec::H100());
+  SetNumThreads(1);
+  KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kRodinia, "lud", gpu, 11, 0.2);
+  std::vector<uint64_t> before;
+  before.reserve(trace.NumInvocations());
+  for (size_t i = 0; i < trace.NumInvocations(); ++i)
+    before.push_back(Bits(trace.At(i).duration_us));
+
+  SetNumThreads(8);
+  gpu.ProfileTrace(trace, DeriveSeed(11, 0x50524F46ULL));
+  SetNumThreads(0);
+  for (size_t i = 0; i < trace.NumInvocations(); ++i)
+    ASSERT_EQ(Bits(trace.At(i).duration_us), before[i]) << "invocation " << i;
+}
+
+TEST(ParallelDeterminismTest, EvaluateRepeatedIdenticalAcrossThreadCounts) {
+  hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
+  SetNumThreads(1);
+  const KernelTrace trace = MakeProfiledWorkload(
+      workloads::SuiteId::kCasio, "dlrm_infer", gpu, 21, 0.02);
+  baselines::RandomSampler random(0.02);
+
+  const EvalResult serial = EvaluateRepeated(random, trace, 8, 1234);
+  SetNumThreads(8);
+  const EvalResult parallel = EvaluateRepeated(random, trace, 8, 1234);
+  SetNumThreads(0);
+
+  ExpectRowsByteIdentical({serial}, {parallel});
+}
+
+}  // namespace
+}  // namespace stemroot::eval

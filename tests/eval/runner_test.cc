@@ -64,6 +64,72 @@ TEST(RunnerTest, SeedChangesWorkloadRealization) {
   EXPECT_NE(a.TotalDurationUs(), b.TotalDurationUs());
 }
 
+TEST(SuiteResultsIndexTest, ThousandRowResultSet) {
+  // Regression for the quadratic Methods()/ForWorkload() scans: a DSE-sized
+  // result set (1000 rows = 100 workloads x 10 methods) must index
+  // correctly -- first-seen method order, insertion-ordered workload rows,
+  // and aggregates that match the unindexed AggregateSuite path.
+  SuiteResults results;
+  for (int w = 0; w < 100; ++w) {
+    for (int m = 0; m < 10; ++m) {
+      EvalResult row;
+      row.method = "method_" + std::to_string(m);
+      row.workload = "workload_" + std::to_string(w);
+      row.speedup = 1.0 + m + 0.01 * w;
+      row.error_pct = 0.1 * (m + 1);
+      row.num_samples = static_cast<size_t>(10 + m);
+      results.Add(row);
+    }
+  }
+  ASSERT_EQ(results.rows.size(), 1000u);
+
+  const std::vector<std::string> methods = results.Methods();
+  ASSERT_EQ(methods.size(), 10u);
+  for (int m = 0; m < 10; ++m)  // first-seen order, not lexicographic
+    EXPECT_EQ(methods[static_cast<size_t>(m)],
+              "method_" + std::to_string(m));
+
+  for (int w : {0, 42, 99}) {
+    const auto rows = results.ForWorkload("workload_" + std::to_string(w));
+    ASSERT_EQ(rows.size(), 10u);
+    for (int m = 0; m < 10; ++m)
+      EXPECT_EQ(rows[static_cast<size_t>(m)].method,
+                "method_" + std::to_string(m));
+  }
+  EXPECT_TRUE(results.ForWorkload("no_such_workload").empty());
+
+  const EvalResult indexed = results.Aggregate("method_7");
+  const EvalResult scanned = AggregateSuite(results.rows, "method_7");
+  EXPECT_EQ(indexed.speedup, scanned.speedup);
+  EXPECT_EQ(indexed.error_pct, scanned.error_pct);
+  EXPECT_EQ(indexed.num_samples, scanned.num_samples);
+  EXPECT_THROW(results.Aggregate("no_such_method"), std::invalid_argument);
+}
+
+TEST(SuiteResultsIndexTest, IndexCatchesUpAfterAppend) {
+  SuiteResults results;
+  EvalResult row;
+  row.method = "A";
+  row.workload = "w1";
+  row.speedup = 2.0;
+  row.error_pct = 1.0;
+  results.Add(row);
+  EXPECT_EQ(results.Methods(), std::vector<std::string>{"A"});
+
+  // Append directly to the public vector after a query: the lazy index
+  // must pick the new rows up on the next query.
+  row.method = "B";
+  row.workload = "w2";
+  results.rows.push_back(row);
+  EXPECT_EQ(results.Methods(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(results.ForWorkload("w2").size(), 1u);
+
+  // Shrinking forces a full rebuild.
+  results.rows.pop_back();
+  EXPECT_EQ(results.Methods(), std::vector<std::string>{"A"});
+  EXPECT_TRUE(results.ForWorkload("w2").empty());
+}
+
 TEST(ReportTest, TablesContainAllMethodsAndWorkloads) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
   baselines::RandomSampler random(0.01);

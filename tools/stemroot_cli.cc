@@ -20,6 +20,7 @@
 #include "baselines/sieve.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/str.h"
 #include "core/sampler.h"
 #include "eval/metrics.h"
@@ -45,6 +46,10 @@ commands:
             [--epsilon X] [--probability P] [--seed N]
   evaluate  --in FILE [--method ...] [--epsilon X] [--probability P]
             [--reps N] [--seed N]
+
+every command accepts --threads N (0 = auto; or set STEMROOT_THREADS).
+thread count never changes results -- see DESIGN.md "Threading and
+reproducibility".
 )");
   return 2;
 }
@@ -193,6 +198,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   try {
     const Flags flags = Flags::Parse(argc - 2, argv + 2);
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
     const std::string command = argv[1];
     if (command == "generate") return CmdGenerate(flags);
     if (command == "profile") return CmdProfile(flags);
