@@ -15,7 +15,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Ablation: joint KKT sizing (Eq. 6) vs per-cluster "
               "Eq. (3), CASIO suite ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

@@ -18,7 +18,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Ablation: inter-kernel L2 flush (Sec. 6.2 warmup "
               "experiment, reduced Rodinia) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -94,7 +95,7 @@ int main() {
       {"same-kernel", sim::WarmupPolicy::kSameKernel},
       {"same+predecessor", sim::WarmupPolicy::kSameKernelThenPredecessor},
   };
-  core::StemRootSampler stem;
+  const std::unique_ptr<core::Sampler> stem = bench::MakeSampler("stem");
   std::map<std::string, double> policy_error;
   size_t n = 0;
   for (const std::string& name : workloads::RodiniaNames()) {
@@ -105,7 +106,7 @@ int main() {
     gpu.ProfileTrace(trace, DeriveSeed(bench::kSeed, 2));
     ++n;
     const sim::TraceSimResult full = sim::SimulateTraceFull(trace, sim_config);
-    const core::SamplingPlan plan = stem.BuildPlan(trace, bench::kSeed);
+    const core::SamplingPlan plan = stem->BuildPlan(trace, bench::kSeed);
     for (const Policy& policy : policies) {
       sim::TraceSimOptions options;
       options.warmup = policy.policy;

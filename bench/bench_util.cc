@@ -4,11 +4,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "baselines/registry.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
+#include "core/sampler_registry.h"
+#include "eval/stage_report.h"
 
 namespace stemroot::bench {
 
-int ConfigureThreads(int argc, const char* const* argv) {
+Session::Session(int argc, const char* const* argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       const int n = std::atoi(argv[i + 1]);
@@ -17,33 +21,56 @@ int ConfigureThreads(int argc, const char* const* argv) {
         std::exit(2);
       }
       SetNumThreads(n);
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry_path_ = argv[i + 1];
     }
   }
-  const int active = NumThreads();
+  threads_ = NumThreads();
   std::printf("[threads: %d -- results are thread-count invariant]\n",
-              active);
-  return active;
+              threads_);
+  if (!telemetry_path_.empty()) telemetry::SetEnabled(true);
+}
+
+Session::~Session() {
+  if (telemetry_path_.empty()) return;
+  try {
+    eval::WriteTelemetry(telemetry::Capture(), telemetry_path_);
+    std::printf("telemetry: %s\n", telemetry_path_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+  }
 }
 
 SamplerSet MakeStandardSamplers(double random_probability,
                                 bool rodinia_tuning) {
+  baselines::EnsureBuiltinSamplers();
+  core::SamplerRegistry& registry = core::SamplerRegistry::Global();
+
   SamplerSet set;
-  set.Add(std::make_unique<baselines::RandomSampler>(random_probability));
-
-  baselines::PkaConfig pka;
-  pka.random_representative = rodinia_tuning;
-  set.Add(std::make_unique<baselines::PkaSampler>(pka));
-
-  baselines::SieveConfig sieve;
-  sieve.random_representative = rodinia_tuning;
+  set.Add(registry.Create("random", core::SamplerParams().Set(
+                                        "probability", random_probability)));
+  set.Add(registry.Create(
+      "pka", core::SamplerParams().Set("random_representative",
+                                       rodinia_tuning)));
   // Sec. 5.1: Sieve's KDE clustering is turned off on the ML suite, where
   // it oversamples and caps speedup at 2-5x.
-  sieve.use_kde = rodinia_tuning;
-  set.Add(std::make_unique<baselines::SieveSampler>(sieve));
-
-  set.Add(std::make_unique<baselines::PhotonSampler>());
-  set.Add(std::make_unique<core::StemRootSampler>());
+  set.Add(registry.Create(
+      "sieve", core::SamplerParams()
+                   .Set("random_representative", rodinia_tuning)
+                   .Set("use_kde", rodinia_tuning)));
+  set.Add(registry.Create("photon"));
+  set.Add(registry.Create("stem"));
   return set;
+}
+
+std::unique_ptr<core::Sampler> MakeSampler(
+    const std::string& name, const core::SamplerParams& params) {
+  baselines::EnsureBuiltinSamplers();
+  return core::SamplerRegistry::Global().Create(name, params);
+}
+
+std::unique_ptr<core::Sampler> MakeSampler(const std::string& name) {
+  return MakeSampler(name, core::SamplerParams());
 }
 
 }  // namespace stemroot::bench

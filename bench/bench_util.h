@@ -1,7 +1,8 @@
 /// \file
 /// Shared plumbing for the bench binaries: the standard sampler roster
-/// (Table 1's four methods + uniform random), result directories, and the
-/// experiment-wide default seeds/scales.
+/// (Table 1's four methods + uniform random, built via the sampler
+/// registry), result directories, the experiment-wide default seed, and the
+/// Session helper every bench main opens first (threads + telemetry).
 ///
 /// Every bench prints the paper-table layout to stdout and mirrors the raw
 /// series into bench_results/*.csv (like the paper artifact's per-figure
@@ -14,11 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/photon.h"
-#include "baselines/pka.h"
-#include "baselines/random_sampler.h"
-#include "baselines/sieve.h"
 #include "core/sampler.h"
+#include "core/sampler_registry.h"
 
 namespace stemroot::bench {
 
@@ -43,19 +41,48 @@ struct SamplerSet {
   }
 };
 
-/// Parse an optional `--threads N` argument (0 = auto) for the suite-level
-/// bench mains, apply it via SetNumThreads, and print the active count.
-/// The STEMROOT_THREADS environment variable works everywhere too; either
-/// way, results are bit-identical at any thread count. Returns the
-/// resolved parallelism.
-int ConfigureThreads(int argc, const char* const* argv);
+/// Per-bench run scope, opened first thing in every bench main:
+///
+///   int main(int argc, char** argv) {
+///     bench::Session session(argc, argv);
+///     ...
+///   }
+///
+/// Parses `--threads N` (0 = auto; STEMROOT_THREADS works too -- results
+/// are bit-identical at any thread count) and `--telemetry FILE` (enables
+/// the telemetry subsystem; the destructor captures and writes the export,
+/// .csv extension selecting CSV over JSON).
+class Session {
+ public:
+  Session(int argc, const char* const* argv);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Resolved parallelism after --threads / STEMROOT_THREADS.
+  int threads() const { return threads_; }
+
+ private:
+  int threads_ = 0;
+  std::string telemetry_path_;
+};
 
 /// The paper's comparison roster for a suite (Sec. 5):
-/// Random(p), PKA, Sieve, Photon, STEM. Per Sec. 5.1 the evaluation uses
-/// the hand-tuned random-representative variants of PKA/Sieve on Rodinia
-/// (first-chronological fails catastrophically there) and disables
-/// Sieve's KDE on CASIO (it oversamples); `rodinia_tuning` selects that.
+/// Random(p), PKA, Sieve, Photon, STEM -- built through the global
+/// SamplerRegistry (the same path the CLI uses). Per Sec. 5.1 the
+/// evaluation uses the hand-tuned random-representative variants of
+/// PKA/Sieve on Rodinia (first-chronological fails catastrophically there)
+/// and disables Sieve's KDE on CASIO (it oversamples); `rodinia_tuning`
+/// selects that.
 SamplerSet MakeStandardSamplers(double random_probability,
                                 bool rodinia_tuning);
+
+/// Build one sampler through the global SamplerRegistry (ensuring the
+/// builtin samplers are registered first). Shorthand for benches that need
+/// a single method or a parameter sweep.
+std::unique_ptr<core::Sampler> MakeSampler(
+    const std::string& name, const core::SamplerParams& params);
+std::unique_ptr<core::Sampler> MakeSampler(const std::string& name);
 
 }  // namespace stemroot::bench

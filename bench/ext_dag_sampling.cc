@@ -17,7 +17,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Extension: STEM-DAG node sampling on multi-GPU "
               "training traces (Sec. 6.2) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::H100());

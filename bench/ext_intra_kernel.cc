@@ -45,7 +45,8 @@ KernelTrace LongKernelTrace(uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Extension: kernel-level + intra-kernel (wave) sampling "
               "(Sec. 7.3) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -55,8 +56,8 @@ int main() {
       sim::SimConfig::FromSpec(hw::GpuSpec::Rtx2080());
 
   const sim::TraceSimResult full = sim::SimulateTraceFull(trace, config);
-  core::StemRootSampler sampler;
-  const core::SamplingPlan plan = sampler.BuildPlan(trace, bench::kSeed);
+  const std::unique_ptr<core::Sampler> sampler = bench::MakeSampler("stem");
+  const core::SamplingPlan plan = sampler->BuildPlan(trace, bench::kSeed);
   const sim::SampledSimResult kernel_only =
       sim::SimulateSampled(trace, plan, config);
   const sim::CombinedSimResult combined =

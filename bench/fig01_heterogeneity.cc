@@ -13,7 +13,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 1: execution-time histograms of repeated "
               "kernels (CASIO-like suite) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

@@ -10,7 +10,7 @@
 using namespace stemroot;
 
 int main(int argc, char** argv) {
-  bench::ConfigureThreads(argc, argv);
+  bench::Session session(argc, argv);
   std::printf("=== Figure 7: speedup per workload (Rodinia + CASIO) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
 

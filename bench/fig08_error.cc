@@ -49,7 +49,7 @@ void PrintErrorTable(const eval::SuiteResults& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ConfigureThreads(argc, argv);
+  bench::Session session(argc, argv);
   std::printf("=== Figure 8: sampling error per workload "
               "(Rodinia + CASIO) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

@@ -39,7 +39,8 @@ void PrintScatter(const eval::SuiteResults& results, const char* suite,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 9: speedup vs error scatter (CASIO left, "
               "HuggingFace right) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -56,8 +57,9 @@ int main() {
                "CASIO", csv);
 
   bench::SamplerSet hf_samplers;
-  hf_samplers.Add(std::make_unique<baselines::RandomSampler>(0.001));
-  hf_samplers.Add(std::make_unique<core::StemRootSampler>());
+  hf_samplers.Add(bench::MakeSampler(
+      "random", core::SamplerParams().Set("probability", 0.001)));
+  hf_samplers.Add(bench::MakeSampler("stem"));
   eval::SuiteRunConfig hf_config;
   hf_config.suite = workloads::SuiteId::kHuggingface;
   hf_config.reps = 3;

@@ -60,7 +60,8 @@ void Report(const char* method, const std::vector<uint32_t>& members,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 10: kernels grouped as 'identical' by previous "
               "signatures (DLRM) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -70,16 +71,16 @@ int main() {
   CsvWriter csv(bench::ResultsDir() + "/fig10_identical.csv");
   csv.WriteHeader({"method", "bin_center_us", "count"});
 
-  baselines::PkaSampler pka;
+  const std::unique_ptr<core::Sampler> pka = bench::MakeSampler("pka");
   Report("PKA (cluster 0)", LargestClusterMembers(
-             pka.BuildPlan(trace, bench::kSeed), trace), trace, csv);
+             pka->BuildPlan(trace, bench::kSeed), trace), trace, csv);
 
-  baselines::SieveSampler sieve;
+  const std::unique_ptr<core::Sampler> sieve = bench::MakeSampler("sieve");
   Report("Sieve (stratum 0)", LargestClusterMembers(
-             sieve.BuildPlan(trace, bench::kSeed), trace), trace, csv);
+             sieve->BuildPlan(trace, bench::kSeed), trace), trace, csv);
 
-  baselines::PhotonSampler photon;
-  const core::SamplingPlan photon_plan = photon.BuildPlan(trace, 0);
+  const std::unique_ptr<core::Sampler> photon = bench::MakeSampler("photon");
+  const core::SamplingPlan photon_plan = photon->BuildPlan(trace, 0);
   Report("Photon (proxy group 0)", LargestClusterMembers(photon_plan, trace),
          trace, csv);
 

@@ -13,7 +13,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 11: error-bound (epsilon) sensitivity, CASIO "
               "===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -25,10 +26,9 @@ int main() {
   csv.WriteHeader({"epsilon", "speedup", "error_pct", "bound_pct"});
 
   for (const double epsilon : {0.03, 0.05, 0.10, 0.25}) {
-    core::StemRootConfig stem_config;
-    stem_config.root.stem.epsilon = epsilon;
-    core::StemRootSampler stem(stem_config);
-    const core::Sampler* samplers[] = {&stem};
+    const std::unique_ptr<core::Sampler> stem = bench::MakeSampler(
+        "stem", core::SamplerParams().Set("epsilon", epsilon));
+    const core::Sampler* samplers[] = {stem.get()};
 
     eval::SuiteRunConfig config;
     config.suite = workloads::SuiteId::kCasio;

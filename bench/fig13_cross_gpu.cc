@@ -16,12 +16,13 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 13: sampling on H100 profiles, evaluating on "
               "H200 ===\n\n");
   hw::HardwareModel h100(hw::GpuSpec::H100());
   hw::HardwareModel h200(hw::GpuSpec::H200());
-  core::StemRootSampler stem;
+  const std::unique_ptr<core::Sampler> stem = bench::MakeSampler("stem");
 
   TextTable table({"Workload", "H100 err(%)", "H200 err(%)"});
   table.SetTitle("STEM error when plans from H100 profiles are applied on "
@@ -36,7 +37,7 @@ int main() {
   for (const std::string& name : names) {
     KernelTrace trace = eval::MakeProfiledWorkload(
         workloads::SuiteId::kCasio, name, h100, bench::kSeed, 1.0);
-    const core::SamplingPlan plan = stem.BuildPlan(trace, bench::kSeed);
+    const core::SamplingPlan plan = stem->BuildPlan(trace, bench::kSeed);
 
     // Same-hardware reference error.
     const eval::EvalResult on_h100 = eval::EvaluatePlan(trace, plan);

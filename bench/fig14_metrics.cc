@@ -17,7 +17,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Figure 14: microarchitectural metrics, full vs sampled "
               "(bert_infer, eps = 5%%) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -29,8 +30,8 @@ int main() {
   for (const KernelInvocation& inv : trace.Invocations())
     metrics.push_back(gpu.Metrics(inv, bench::kSeed));
 
-  core::StemRootSampler stem;
-  const core::SamplingPlan plan = stem.BuildPlan(trace, bench::kSeed);
+  const std::unique_ptr<core::Sampler> stem = bench::MakeSampler("stem");
+  const core::SamplingPlan plan = stem->BuildPlan(trace, bench::kSeed);
   const core::MetricAggregate full = core::AggregateFull(metrics);
   const core::MetricAggregate sampled =
       core::AggregateSampled(plan, metrics);

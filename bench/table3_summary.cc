@@ -17,7 +17,7 @@
 using namespace stemroot;
 
 int main(int argc, char** argv) {
-  bench::ConfigureThreads(argc, argv);
+  bench::Session session(argc, argv);
   std::printf("=== Table 3: average speedup (x) and error (%%) per suite "
               "===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
@@ -44,8 +44,9 @@ int main(int argc, char** argv) {
 
   // --- HuggingFace: Random 0.1% and STEM only. ---
   bench::SamplerSet hf_samplers;
-  hf_samplers.Add(std::make_unique<baselines::RandomSampler>(0.001));
-  hf_samplers.Add(std::make_unique<core::StemRootSampler>());
+  hf_samplers.Add(bench::MakeSampler(
+      "random", core::SamplerParams().Set("probability", 0.001)));
+  hf_samplers.Add(bench::MakeSampler("stem"));
   eval::SuiteRunConfig hf_config;
   hf_config.suite = workloads::SuiteId::kHuggingface;
   hf_config.reps = 3;  // million-invocation workloads; variance is tiny

@@ -56,7 +56,8 @@ std::vector<KernelTrace> ReducedWorkloads(const hw::HardwareModel& gpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Table 4 + Figure 12: DSE on the cycle-level simulator "
               "===\n(11 reduced Rodinia + 6 reduced LLM workloads; full "
               "vs sampled cycle simulation)\n\n");

@@ -17,7 +17,8 @@
 
 using namespace stemroot;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv);
   std::printf("=== Table 5: profiling overhead vs uninstrumented wall time "
               "===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/telemetry.h"
 #include "profiler/bbv_collector.h"
 
 namespace stemroot::baselines {
@@ -67,6 +68,10 @@ core::SamplingPlan PhotonSampler::BuildPlan(const KernelTrace& trace,
   for (const Representative& rep : reps)
     plan.entries.push_back(
         {rep.invocation, static_cast<double>(rep.represented)});
+  telemetry::Count("baselines.photon.plans");
+  telemetry::Count("baselines.photon.comparisons", g_comparisons);
+  telemetry::Record("baselines.photon.reps_per_plan",
+                    static_cast<double>(reps.size()));
   return plan;
 }
 

@@ -4,6 +4,7 @@
 
 #include "baselines/feature.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/kmeans.h"
 #include "profiler/metric_profiler.h"
 
@@ -49,6 +50,8 @@ core::SamplingPlan PkaSampler::BuildPlan(const KernelTrace& trace,
   }
   const uint32_t k_best = ElbowK(inertias, config_.elbow_threshold);
   const core::KmeansResult& clustering = sweeps[k_best - 1];
+  telemetry::Count("baselines.pka.plans");
+  telemetry::Record("baselines.pka.chosen_k", static_cast<double>(k_best));
 
   // One representative per cluster, weighted by cluster size.
   std::vector<std::vector<uint32_t>> clusters(k_best);

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/str.h"
+#include "common/telemetry.h"
 
 namespace stemroot::baselines {
 
@@ -34,6 +35,9 @@ core::SamplingPlan RandomSampler::BuildPlan(const KernelTrace& trace,
         {idx, static_cast<double>(trace.NumInvocations())});
   }
   plan.num_clusters = 1;
+  telemetry::Count("baselines.random.plans");
+  telemetry::Record("baselines.random.samples_per_plan",
+                    static_cast<double>(plan.entries.size()));
   return plan;
 }
 

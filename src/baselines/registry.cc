@@ -1,0 +1,71 @@
+#include "baselines/registry.h"
+
+#include <mutex>
+
+#include "baselines/photon.h"
+#include "baselines/pka.h"
+#include "baselines/random_sampler.h"
+#include "baselines/sieve.h"
+#include "baselines/tbpoint.h"
+#include "core/sampler_registry.h"
+
+namespace stemroot::baselines {
+
+void EnsureBuiltinSamplers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    core::SamplerRegistry& registry = core::SamplerRegistry::Global();
+
+    registry.Register("random", [](const core::SamplerParams& params) {
+      return std::make_unique<RandomSampler>(
+          params.GetDouble("probability", 0.001));
+    });
+
+    registry.Register("pka", [](const core::SamplerParams& params) {
+      PkaConfig config;
+      config.max_k = static_cast<uint32_t>(
+          params.GetInt("max_k", static_cast<int64_t>(config.max_k)));
+      config.elbow_threshold =
+          params.GetDouble("elbow_threshold", config.elbow_threshold);
+      config.random_representative = params.GetBool(
+          "random_representative", config.random_representative);
+      return std::make_unique<PkaSampler>(config);
+    });
+
+    registry.Register("sieve", [](const core::SamplerParams& params) {
+      SieveConfig config;
+      config.stable_cov = params.GetDouble("stable_cov", config.stable_cov);
+      config.variable_cov =
+          params.GetDouble("variable_cov", config.variable_cov);
+      config.use_kde = params.GetBool("use_kde", config.use_kde);
+      config.kde_bins = static_cast<size_t>(
+          params.GetInt("kde_bins", static_cast<int64_t>(config.kde_bins)));
+      config.random_representative = params.GetBool(
+          "random_representative", config.random_representative);
+      return std::make_unique<SieveSampler>(config);
+    });
+
+    registry.Register("photon", [](const core::SamplerParams& params) {
+      PhotonConfig config;
+      config.similarity_threshold = params.GetDouble(
+          "similarity_threshold", config.similarity_threshold);
+      config.warp_tolerance =
+          params.GetDouble("warp_tolerance", config.warp_tolerance);
+      return std::make_unique<PhotonSampler>(config);
+    });
+
+    registry.Register("tbpoint", [](const core::SamplerParams& params) {
+      TbPointConfig config;
+      config.merge_threshold =
+          params.GetDouble("merge_threshold", config.merge_threshold);
+      config.max_clusters = static_cast<size_t>(params.GetInt(
+          "max_clusters", static_cast<int64_t>(config.max_clusters)));
+      config.agglomeration_cap = static_cast<size_t>(
+          params.GetInt("agglomeration_cap",
+                        static_cast<int64_t>(config.agglomeration_cap)));
+      return std::make_unique<TbPointSampler>(config);
+    });
+  });
+}
+
+}  // namespace stemroot::baselines

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/telemetry.h"
 #include "profiler/instr_collector.h"
 
 namespace stemroot::baselines {
@@ -141,6 +142,9 @@ core::SamplingPlan SieveSampler::BuildPlan(const KernelTrace& trace,
       for (const auto& mode : KdeModes(trace, group, bins)) emit(mode);
     }
   }
+  telemetry::Count("baselines.sieve.plans");
+  telemetry::Record("baselines.sieve.strata_per_plan",
+                    static_cast<double>(plan.num_clusters));
   return plan;
 }
 

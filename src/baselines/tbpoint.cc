@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "baselines/feature.h"
+#include "common/telemetry.h"
 #include "core/kmeans.h"
 #include "profiler/metric_profiler.h"
 
@@ -164,6 +165,9 @@ core::SamplingPlan TbPointSampler::BuildPlan(const KernelTrace& trace,
     plan.entries.push_back(
         {rep, static_cast<double>(cluster.members.size())});
   }
+  telemetry::Count("baselines.tbpoint.plans");
+  telemetry::Record("baselines.tbpoint.clusters_per_plan",
+                    static_cast<double>(plan.num_clusters));
   return plan;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace stemroot::core {
 
 namespace {
@@ -33,6 +35,7 @@ void Finish(std::span<const ClusterStats> clusters, const StemConfig& config,
 KktSolution SolveKkt(std::span<const ClusterStats> clusters,
                      const StemConfig& config) {
   config.Validate();
+  telemetry::Count("core.kkt.solves");
   KktSolution solution;
   solution.sample_sizes.assign(clusters.size(), 0);
 
@@ -66,6 +69,7 @@ KktSolution SolveKkt(std::span<const ClusterStats> clusters,
   }
 
   while (!active.empty()) {
+    telemetry::Count("core.kkt.clamp_rounds");
     // Closed form over the active set: m_i = (sum_j sqrt(a_j b_j) / c)
     // * sqrt(b_i / a_i), a_i = mu_i, b_i = N_i^2 sigma_i^2.
     double lagrange_sum = 0.0;  // sum_j sqrt(a_j b_j)
@@ -105,6 +109,7 @@ KktSolution SolveKkt(std::span<const ClusterStats> clusters,
 KktSolution SolvePerCluster(std::span<const ClusterStats> clusters,
                             const StemConfig& config) {
   config.Validate();
+  telemetry::Count("core.kkt.per_cluster_solves");
   KktSolution solution;
   solution.sample_sizes.reserve(clusters.size());
   for (const ClusterStats& c : clusters)

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace stemroot::core {
 
 KmeansResult Kmeans1D(std::span<const double> values, uint32_t k,
@@ -27,9 +29,11 @@ KmeansResult Kmeans1D(std::span<const double> values, uint32_t k,
         sorted[std::min(n - 1, static_cast<size_t>(q * static_cast<double>(n)))];
   }
 
+  telemetry::Count("core.kmeans.runs");
   std::vector<double> sums(k);
   std::vector<uint64_t> counts(k);
   for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    telemetry::Count("core.kmeans.iterations");
     bool moved = false;
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
@@ -146,9 +150,11 @@ KmeansResult KmeansNd(std::span<const double> points, size_t dim, uint32_t k,
                 result.centers.begin() + static_cast<ptrdiff_t>(c) * dim);
   }
 
+  telemetry::Count("core.kmeans.nd_runs");
   std::vector<double> sums(static_cast<size_t>(k) * dim);
   std::vector<uint64_t> counts(k);
   for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    telemetry::Count("core.kmeans.nd_iterations");
     bool moved = false;
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/telemetry.h"
 #include "core/kkt.h"
 #include "core/kmeans.h"
 
@@ -33,6 +34,10 @@ void Recurse(std::vector<double> values, std::vector<uint32_t> members,
                           depth < config.max_depth &&
                           cluster.stats.stddev > 0.0;
   if (!splittable) {
+    telemetry::Count("core.root.clusters");
+    telemetry::Record("core.root.cluster_size",
+                      static_cast<double>(values.size()));
+    telemetry::Record("core.root.cluster_depth", static_cast<double>(depth));
     cluster.members = std::move(members);
     out.push_back(std::move(cluster));
     return;
@@ -63,6 +68,7 @@ void Recurse(std::vector<double> values, std::vector<uint32_t> members,
     const double tau_old = static_cast<double>(m_old) * cluster.stats.mean;
     const double tau_new = SolveKkt(child_stats, config.stem).cost_us;
     if (tau_new < tau_old) {
+      telemetry::Count("core.root.splits");
       for (uint32_t c = 0; c < config.branch_k; ++c)
         Recurse(std::move(child_values[c]), std::move(child_members[c]),
                 depth + 1, config, out);
@@ -70,6 +76,11 @@ void Recurse(std::vector<double> values, std::vector<uint32_t> members,
     }
   }
 
+  telemetry::Count("core.root.split_rejects");
+  telemetry::Count("core.root.clusters");
+  telemetry::Record("core.root.cluster_size",
+                    static_cast<double>(values.size()));
+  telemetry::Record("core.root.cluster_depth", static_cast<double>(depth));
   cluster.members = std::move(members);
   out.push_back(std::move(cluster));
 }

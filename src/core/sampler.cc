@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/kkt.h"
 
 namespace stemroot::core {
@@ -17,29 +18,41 @@ SamplingPlan StemRootSampler::BuildPlan(const KernelTrace& trace,
   if (trace.Empty())
     throw std::invalid_argument("StemRootSampler: empty trace");
 
-  // Step 1+2: group by kernel name, ROOT-cluster each group.
+  // Step 1+2: group by kernel name, ROOT-cluster each group. This is the
+  // "cluster" stage of the pipeline's telemetry.
   std::vector<RootCluster> clusters;
-  for (const auto& group : trace.GroupByKernel()) {
-    if (group.empty()) continue;
-    std::vector<double> durations;
-    durations.reserve(group.size());
-    for (uint32_t idx : group) {
-      const double d = trace.At(idx).duration_us;
-      if (d <= 0.0)
-        throw std::invalid_argument(
-            "StemRootSampler: trace has unprofiled (non-positive) "
-            "durations");
-      durations.push_back(d);
+  {
+    telemetry::Span cluster_span("cluster");
+    for (const auto& group : trace.GroupByKernel()) {
+      if (group.empty()) continue;
+      std::vector<double> durations;
+      durations.reserve(group.size());
+      for (uint32_t idx : group) {
+        const double d = trace.At(idx).duration_us;
+        if (d <= 0.0)
+          throw std::invalid_argument(
+              "StemRootSampler: trace has unprofiled (non-positive) "
+              "durations");
+        durations.push_back(d);
+      }
+      auto kernel_clusters = RootCluster1D(durations, group, config_.root);
+      for (auto& c : kernel_clusters) clusters.push_back(std::move(c));
     }
-    auto kernel_clusters = RootCluster1D(durations, group, config_.root);
-    for (auto& c : kernel_clusters) clusters.push_back(std::move(c));
   }
+  telemetry::Count("core.stem.plans");
+  telemetry::Record("core.stem.clusters_per_plan",
+                    static_cast<double>(clusters.size()));
 
   // Step 3: joint sample sizing across every final cluster (Eq. 6).
   std::vector<ClusterStats> stats;
   stats.reserve(clusters.size());
   for (const RootCluster& c : clusters) stats.push_back(c.stats);
   const KktSolution solution = SolveKkt(stats, config_.root.stem);
+  for (uint64_t m : solution.sample_sizes)
+    telemetry::Record("core.stem.samples_per_cluster",
+                      static_cast<double>(m));
+  telemetry::Record("core.stem.theoretical_error",
+                    solution.theoretical_error);
 
   // Step 4: random sampling with replacement inside each cluster.
   SamplingPlan plan;

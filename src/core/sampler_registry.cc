@@ -1,0 +1,152 @@
+#include "core/sampler_registry.h"
+
+#include <stdexcept>
+
+#include "common/str.h"
+
+namespace stemroot::core {
+
+SamplerParams& SamplerParams::Set(const std::string& key,
+                                  const std::string& value) {
+  values_[key] = value;
+  return *this;
+}
+
+SamplerParams& SamplerParams::Set(const std::string& key,
+                                  const char* value) {
+  values_[key] = value;
+  return *this;
+}
+
+SamplerParams& SamplerParams::Set(const std::string& key, double value) {
+  values_[key] = Format("%.17g", value);
+  return *this;
+}
+
+SamplerParams& SamplerParams::Set(const std::string& key, int64_t value) {
+  values_[key] = Format("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+SamplerParams& SamplerParams::Set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+  return *this;
+}
+
+bool SamplerParams::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string SamplerParams::GetString(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double SamplerParams::GetDouble(const std::string& key,
+                                double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("SamplerParams: '" + key +
+                                "' expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+int64_t SamplerParams::GetInt(const std::string& key,
+                              int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    size_t used = 0;
+    const int64_t value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("SamplerParams: '" + key +
+                                "' expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+bool SamplerParams::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("SamplerParams: '" + key +
+                              "' expects true/false, got '" + it->second +
+                              "'");
+}
+
+SamplerRegistry& SamplerRegistry::Global() {
+  static SamplerRegistry* registry = [] {
+    auto* reg = new SamplerRegistry;
+    reg->Register("stem", [](const SamplerParams& params) {
+      StemRootConfig config;
+      config.root.stem.epsilon =
+          params.GetDouble("epsilon", config.root.stem.epsilon);
+      config.root.stem.confidence =
+          params.GetDouble("confidence", config.root.stem.confidence);
+      config.root.stem.min_samples = static_cast<uint64_t>(params.GetInt(
+          "min_samples",
+          static_cast<int64_t>(config.root.stem.min_samples)));
+      config.root.branch_k = static_cast<uint32_t>(params.GetInt(
+          "branch_k", static_cast<int64_t>(config.root.branch_k)));
+      return std::make_unique<StemRootSampler>(config);
+    });
+    return reg;
+  }();
+  return *registry;
+}
+
+void SamplerRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty() || !factory)
+    throw std::invalid_argument(
+        "SamplerRegistry: name and factory must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!factories_.emplace(name, std::move(factory)).second)
+    throw std::invalid_argument("SamplerRegistry: '" + name +
+                                "' is already registered");
+}
+
+bool SamplerRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> SamplerRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration order is already sorted
+}
+
+std::unique_ptr<Sampler> SamplerRegistry::Create(
+    const std::string& name, const SamplerParams& params) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown sampler '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return factory(params);
+}
+
+}  // namespace stemroot::core

@@ -1,0 +1,82 @@
+/// \file
+/// Name -> factory registry for samplers, replacing the CLI's if-chain so
+/// every front end (CLI, benches, tests, future services) builds samplers
+/// the same way and unknown-method errors can list what is available.
+///
+/// Factories take a SamplerParams bag -- a small string map with typed
+/// getters, shaped like common/flags.h but decoupled from argv parsing so
+/// library code can use it too. The registry is created with "stem"
+/// registered; the baseline samplers add themselves via
+/// baselines::EnsureBuiltinSamplers() (core cannot depend on baselines).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sampler.h"
+
+namespace stemroot::core {
+
+/// Flags-like parameter map for sampler factories. Values are stored as
+/// strings; typed getters parse with the same strictness as Flags and
+/// throw std::invalid_argument on malformed values.
+class SamplerParams {
+ public:
+  SamplerParams() = default;
+
+  SamplerParams& Set(const std::string& key, const std::string& value);
+  SamplerParams& Set(const std::string& key, const char* value);
+  SamplerParams& Set(const std::string& key, double value);
+  SamplerParams& Set(const std::string& key, int64_t value);
+  SamplerParams& Set(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Thread-safe name -> sampler factory registry.
+class SamplerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Sampler>(const SamplerParams&)>;
+
+  /// The process-wide registry; pre-registers "stem" on first use.
+  static SamplerRegistry& Global();
+
+  SamplerRegistry() = default;
+  SamplerRegistry(const SamplerRegistry&) = delete;
+  SamplerRegistry& operator=(const SamplerRegistry&) = delete;
+
+  /// Register a factory under a unique lowercase name; throws
+  /// std::invalid_argument on duplicates (register once).
+  void Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Build a sampler. Unknown names throw std::invalid_argument whose
+  /// message lists every registered name (the CLI surfaces it verbatim).
+  std::unique_ptr<Sampler> Create(const std::string& name,
+                                  const SamplerParams& params = {}) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace stemroot::core

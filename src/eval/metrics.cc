@@ -5,12 +5,14 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/telemetry.h"
 
 namespace stemroot::eval {
 
 EvalResult EvaluatePlan(const KernelTrace& trace,
                         const core::SamplingPlan& plan) {
   plan.Validate(trace.NumInvocations());
+  telemetry::Count("eval.plan_evals");
   EvalResult result;
   result.method = plan.method;
   result.workload = trace.WorkloadName();
@@ -61,6 +63,8 @@ EvalResult EvaluateRepeated(const core::Sampler& sampler,
                             uint64_t base_seed) {
   if (reps == 0) throw std::invalid_argument("EvaluateRepeated: reps == 0");
   const uint32_t runs = sampler.Deterministic() ? 1 : reps;
+  telemetry::Count("eval.evaluations");
+  telemetry::Count("eval.plans_built", runs);
 
   // Repetitions are independent by construction (rep r seeds BuildPlan
   // with base_seed + r), so they fan out over threads; per-rep results
@@ -68,8 +72,11 @@ EvalResult EvaluateRepeated(const core::Sampler& sampler,
   // serial loop produced.
   const std::vector<EvalResult> per_rep =
       ParallelMap(runs, [&](size_t r) {
-        const core::SamplingPlan plan = sampler.BuildPlan(
-            trace, base_seed + static_cast<uint64_t>(r));
+        const core::SamplingPlan plan = [&] {
+          telemetry::Span span("sample");
+          return sampler.BuildPlan(trace,
+                                   base_seed + static_cast<uint64_t>(r));
+        }();
         return EvaluatePlan(trace, plan);
       });
 
@@ -80,6 +87,7 @@ EvalResult EvaluateRepeated(const core::Sampler& sampler,
   for (const EvalResult& one : per_rep) {
     speedups.push_back(one.speedup);
     errors.push_back(one.error_pct);
+    telemetry::Record("eval.error_pct", one.error_pct);
   }
   EvalResult avg = per_rep.front();
   avg.speedup = HarmonicMean(speedups);

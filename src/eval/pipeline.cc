@@ -1,0 +1,62 @@
+#include "eval/pipeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+
+namespace stemroot::eval {
+
+Pipeline::Pipeline(KernelTrace trace, const Options& options, bool profiled)
+    : trace_(std::move(trace)), options_(options), profiled_(profiled) {}
+
+Pipeline Pipeline::Generate(workloads::SuiteId suite,
+                            const std::string& workload,
+                            const Options& options) {
+  telemetry::Span span("generate");
+  KernelTrace trace = workloads::MakeWorkload(
+      suite, workload, DeriveSeed(options.seed, HashString(workload)),
+      options.size_scale);
+  return Pipeline(std::move(trace), options, /*profiled=*/false);
+}
+
+Pipeline Pipeline::FromTrace(KernelTrace trace, const Options& options) {
+  const bool profiled = trace.TotalDurationUs() > 0.0;
+  return Pipeline(std::move(trace), options, profiled);
+}
+
+Pipeline& Pipeline::Profile(const hw::HardwareModel& gpu) {
+  telemetry::Span span("profile");
+  gpu.ProfileTrace(trace_, DeriveSeed(options_.seed, kProfileStream));
+  profiled_ = true;
+  return *this;
+}
+
+Pipeline& Pipeline::Profile(const hw::GpuSpec& spec) {
+  return Profile(hw::HardwareModel(spec));
+}
+
+void Pipeline::RequireProfiled(const char* stage) const {
+  if (!profiled_)
+    throw std::logic_error(std::string("Pipeline::") + stage +
+                           ": trace is not profiled (call Profile() first)");
+}
+
+core::SamplingPlan Pipeline::Sample(const core::Sampler& sampler) const {
+  RequireProfiled("Sample");
+  telemetry::Span span("sample");
+  return sampler.BuildPlan(
+      trace_, DeriveSeed(options_.seed, HashString(sampler.Name())));
+}
+
+EvalResult Pipeline::Evaluate(const core::Sampler& sampler,
+                              uint32_t reps) const {
+  RequireProfiled("Evaluate");
+  telemetry::Span span("evaluate");
+  return EvaluateRepeated(
+      sampler, trace_, reps,
+      DeriveSeed(options_.seed, HashString(sampler.Name())));
+}
+
+}  // namespace stemroot::eval

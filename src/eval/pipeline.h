@@ -1,0 +1,103 @@
+/// \file
+/// One object for the paper's Fig. 5 pipeline:
+///
+///   generate -> profile -> cluster+sample -> evaluate
+///
+/// Every front end (CLI, benches, RunSuite) used to wire these stages by
+/// hand, each re-deriving the per-stage seeds; Pipeline owns that wiring
+/// once so seeds, stage order, and telemetry spans cannot drift apart:
+///
+///   eval::Pipeline p = eval::Pipeline::Generate(
+///       workloads::SuiteId::kCasio, "bert_infer", {.seed = 42});
+///   p.Profile(hw::GpuSpec::Rtx2080());
+///   core::SamplingPlan plan = p.Sample(*sampler);
+///   eval::EvalResult result = p.Evaluate(*sampler, /*reps=*/10);
+///
+/// Seed contract (identical to the historical RunSuite wiring, so golden
+/// results are unchanged): from one master seed,
+///   generation uses DeriveSeed(seed, HashString(workload)),
+///   profiling uses DeriveSeed(seed, kProfileStream),
+///   sampling/evaluation use DeriveSeed(seed, HashString(sampler.Name()))
+///     (rep r of Evaluate adds +r, and Sample equals rep 0).
+///
+/// Each stage runs inside a telemetry::Span named after the stage
+/// ("generate" / "profile" / "sample" / "evaluate"; "cluster" is emitted
+/// inside the samplers themselves), so `--telemetry` output always covers
+/// the full pipeline.
+///
+/// Stages may run internally parallel (ProfileTrace, EvaluateRepeated use
+/// ParallelFor) but a Pipeline object itself is single-owner: do not share
+/// one instance across threads.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/plan.h"
+#include "core/sampler.h"
+#include "eval/metrics.h"
+#include "hw/hardware_model.h"
+#include "trace/trace.h"
+#include "workloads/suite.h"
+
+namespace stemroot::eval {
+
+/// Seed stream for the profiling stage ("PROF"), shared with the
+/// historical RunSuite derivation.
+inline constexpr uint64_t kProfileStream = 0x50524F46ULL;
+
+class Pipeline {
+ public:
+  struct Options {
+    uint64_t seed = 42;      ///< master seed; see the seed contract above
+    double size_scale = 1.0; ///< workload size scale for the generators
+  };
+
+  /// Stage 1: generate the named workload of a suite.
+  static Pipeline Generate(workloads::SuiteId suite,
+                           const std::string& workload,
+                           const Options& options);
+  static Pipeline Generate(workloads::SuiteId suite,
+                           const std::string& workload) {
+    return Generate(suite, workload, Options{});
+  }
+
+  /// Start from an existing trace (e.g. loaded from disk). If the trace
+  /// already carries profiled durations, Profile() is optional.
+  static Pipeline FromTrace(KernelTrace trace, const Options& options);
+  static Pipeline FromTrace(KernelTrace trace) {
+    return FromTrace(std::move(trace), Options{});
+  }
+
+  /// Stage 2: fill per-invocation durations with the hardware model.
+  Pipeline& Profile(const hw::HardwareModel& gpu);
+  /// Convenience overload constructing the model from a spec.
+  Pipeline& Profile(const hw::GpuSpec& spec);
+
+  /// Stage 3: cluster + size + pick samples. Equals rep 0 of Evaluate for
+  /// the same sampler. Requires a profiled trace (std::logic_error
+  /// otherwise).
+  core::SamplingPlan Sample(const core::Sampler& sampler) const;
+
+  /// Stage 4: run the sampler `reps` times (EvaluateRepeated semantics:
+  /// harmonic-mean speedup, arithmetic-mean error). Requires a profiled
+  /// trace (std::logic_error otherwise).
+  EvalResult Evaluate(const core::Sampler& sampler, uint32_t reps) const;
+
+  const KernelTrace& Trace() const { return trace_; }
+  const Options& Opts() const { return options_; }
+  bool Profiled() const { return profiled_; }
+
+ private:
+  Pipeline(KernelTrace trace, const Options& options, bool profiled);
+
+  void RequireProfiled(const char* stage) const;
+
+  KernelTrace trace_;
+  Options options_;
+  bool profiled_ = false;
+};
+
+}  // namespace stemroot::eval

@@ -4,7 +4,8 @@
 
 #include "common/log.h"
 #include "common/parallel.h"
-#include "common/rng.h"
+#include "common/telemetry.h"
+#include "eval/pipeline.h"
 
 namespace stemroot::eval {
 
@@ -56,15 +57,16 @@ KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
                                  const std::string& name,
                                  const hw::HardwareModel& gpu, uint64_t seed,
                                  double size_scale) {
-  KernelTrace trace = workloads::MakeWorkload(
-      suite, name, DeriveSeed(seed, HashString(name)), size_scale);
-  gpu.ProfileTrace(trace, DeriveSeed(seed, 0x50524F46ULL));
-  return trace;
+  Pipeline pipeline = Pipeline::Generate(
+      suite, name, {.seed = seed, .size_scale = size_scale});
+  pipeline.Profile(gpu);
+  return pipeline.Trace();
 }
 
 SuiteResults RunSuite(const SuiteRunConfig& config,
                       const hw::HardwareModel& gpu,
                       std::span<const core::Sampler* const> samplers) {
+  telemetry::Span suite_span("suite");
   std::vector<std::string> names;
   for (const std::string& name : workloads::SuiteWorkloads(config.suite)) {
     if (!config.only_workloads.empty() &&
@@ -74,8 +76,11 @@ SuiteResults RunSuite(const SuiteRunConfig& config,
       continue;
     names.push_back(name);
   }
+  telemetry::Count("eval.suite_workloads", names.size());
+  telemetry::Count("eval.suite_pairs", names.size() * samplers.size());
 
-  // One task per workload: the trace is generated and profiled once, then
+  // One task per workload: the trace is generated and profiled once (via
+  // the Pipeline facade, which owns the per-stage seed derivations), then
   // every sampler is evaluated against it. Each task's randomness is fully
   // derived from (config.seed, workload name, sampler name), and the
   // per-task row vectors are concatenated in input order below, so the
@@ -84,15 +89,14 @@ SuiteResults RunSuite(const SuiteRunConfig& config,
       names.size(), [&](size_t w) {
         Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
                names[w].c_str());
-        const KernelTrace trace = MakeProfiledWorkload(
-            config.suite, names[w], gpu, config.seed, config.size_scale);
+        Pipeline pipeline = Pipeline::Generate(
+            config.suite, names[w],
+            {.seed = config.seed, .size_scale = config.size_scale});
+        pipeline.Profile(gpu);
         std::vector<EvalResult> rows;
         rows.reserve(samplers.size());
-        for (const core::Sampler* sampler : samplers) {
-          rows.push_back(EvaluateRepeated(
-              *sampler, trace, config.reps,
-              DeriveSeed(config.seed, HashString(sampler->Name()))));
-        }
+        for (const core::Sampler* sampler : samplers)
+          rows.push_back(pipeline.Evaluate(*sampler, config.reps));
         return rows;
       });
 

@@ -1,0 +1,371 @@
+#include "eval/stage_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/str.h"
+#include "common/table.h"
+
+namespace stemroot::eval {
+
+const std::vector<std::string>& PipelineStageNames() {
+  static const std::vector<std::string> kStages = {
+      "generate", "profile", "cluster", "sample", "evaluate"};
+  return kStages;
+}
+
+StageReport StageReport::FromSnapshot(const telemetry::Snapshot& snapshot) {
+  // Aggregate spans over parents: the stage view cares about names only.
+  std::map<std::string, Stage> by_name;
+  for (const auto& [key, stats] : snapshot.Spans()) {
+    Stage& stage = by_name[stats.name];
+    stage.name = stats.name;
+    stage.count += stats.count;
+    stage.total_us += stats.total_us;
+  }
+
+  StageReport report;
+  for (const std::string& name : PipelineStageNames()) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) continue;
+    report.stages_.push_back(it->second);
+    by_name.erase(it);
+  }
+  for (const auto& [name, stage] : by_name)  // already sorted by name
+    report.stages_.push_back(stage);
+  return report;
+}
+
+bool StageReport::HasStage(std::string_view name) const {
+  return std::any_of(stages_.begin(), stages_.end(),
+                     [&](const Stage& s) { return s.name == name; });
+}
+
+double StageReport::TotalUs() const {
+  double total = 0.0;
+  for (const Stage& stage : stages_) total += stage.total_us;
+  return total;
+}
+
+std::string StageReport::ToText() const {
+  TextTable table({"Stage", "Spans", "Wall time", "Share"});
+  table.SetTitle("Pipeline stage telemetry");
+  const double total = TotalUs();
+  for (const Stage& stage : stages_) {
+    table.AddRow({stage.name, Format("%llu",
+                                     static_cast<unsigned long long>(
+                                         stage.count)),
+                  HumanDuration(stage.total_us),
+                  total > 0.0
+                      ? Format("%.1f%%", stage.total_us / total * 100.0)
+                      : "-"});
+  }
+  return table.Render();
+}
+
+void WriteTelemetry(const telemetry::Snapshot& snapshot,
+                    const std::string& path) {
+  const bool csv = path.size() >= 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("WriteTelemetry: cannot open " + path);
+  out << (csv ? snapshot.ToCsv() : snapshot.ToJson());
+  out.flush();
+  if (!out) throw std::runtime_error("WriteTelemetry: write failed: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null) for
+// schema validation. No external dependencies; rejects trailing garbage.
+
+namespace {
+
+struct JsonValue;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonObject> object;
+  std::shared_ptr<JsonArray> array;
+
+  const JsonValue* Find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : *object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue& out, std::string* error) {
+    try {
+      out = ParseValue();
+      SkipWs();
+      if (pos_ != text_.size()) Fail("trailing characters after document");
+      return true;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr)
+        *error = Format("offset %zu: %s", pos_, e.what());
+      return false;
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw std::runtime_error(why);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(Format("expected '%c', got '%c'", c, Peek()));
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f': return ParseLiteralBool();
+      case 'n': {
+        ParseLiteral("null");
+        return JsonValue{};
+      }
+      default: return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      Fail("bad literal (expected " + std::string(word) + ")");
+    pos_ += word.size();
+  }
+
+  JsonValue ParseLiteralBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (Peek() == 't') {
+      ParseLiteral("true");
+      v.number = 1.0;
+    } else {
+      ParseLiteral("false");
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        Fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i)
+            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                0)
+              Fail("bad \\u escape");
+          // Validation only: keep the escape verbatim.
+          out += "\\u";
+          out.append(text_.substr(pos_, 4));
+          pos_ += 4;
+          break;
+        }
+        default: Fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) Fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) Fail("bad fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) Fail("bad exponent");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      v.object->emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool SchemaFail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = "schema: " + why;
+  return false;
+}
+
+bool IsNumber(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+
+}  // namespace
+
+bool ValidateTelemetryJson(std::string_view json, std::string* error,
+                           std::vector<std::string>* span_names) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(root, error)) return false;
+
+  if (root.kind != JsonValue::Kind::kObject)
+    return SchemaFail(error, "top level is not an object");
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != "stemroot-telemetry-v1")
+    return SchemaFail(error, "missing or wrong \"schema\" tag");
+
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject)
+    return SchemaFail(error, "\"counters\" missing or not an object");
+  for (const auto& [name, value] : *counters->object)
+    if (value.kind != JsonValue::Kind::kNumber)
+      return SchemaFail(error, "counter \"" + name + "\" is not a number");
+
+  const JsonValue* dists = root.Find("distributions");
+  if (dists == nullptr || dists->kind != JsonValue::Kind::kObject)
+    return SchemaFail(error, "\"distributions\" missing or not an object");
+  for (const auto& [name, value] : *dists->object) {
+    if (value.kind != JsonValue::Kind::kObject)
+      return SchemaFail(error,
+                        "distribution \"" + name + "\" is not an object");
+    for (const char* field : {"count", "min", "mean", "max", "p50", "p99"})
+      if (!IsNumber(value.Find(field)))
+        return SchemaFail(error, "distribution \"" + name +
+                                     "\" lacks numeric \"" + field + "\"");
+  }
+
+  const JsonValue* spans = root.Find("spans");
+  if (spans == nullptr || spans->kind != JsonValue::Kind::kArray)
+    return SchemaFail(error, "\"spans\" missing or not an array");
+  for (const JsonValue& span : *spans->array) {
+    if (span.kind != JsonValue::Kind::kObject)
+      return SchemaFail(error, "span entry is not an object");
+    const JsonValue* name = span.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString)
+      return SchemaFail(error, "span entry lacks a string \"name\"");
+    const JsonValue* parent = span.Find("parent");
+    if (parent == nullptr || parent->kind != JsonValue::Kind::kString)
+      return SchemaFail(error, "span entry lacks a string \"parent\"");
+    if (!IsNumber(span.Find("count")) || !IsNumber(span.Find("total_us")))
+      return SchemaFail(error,
+                        "span entry lacks numeric count/total_us fields");
+    if (span_names != nullptr) span_names->push_back(name->string);
+  }
+  return true;
+}
+
+}  // namespace stemroot::eval

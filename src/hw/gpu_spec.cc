@@ -1,6 +1,7 @@
 #include "hw/gpu_spec.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <stdexcept>
 
@@ -51,6 +52,32 @@ GpuSpec GpuSpec::H200() {
   spec.l2_bytes = 50ull * 1024 * 1024;
   return spec;
 }
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower;
+}
+
+}  // namespace
+
+std::optional<GpuSpec> GpuSpec::FromName(std::string_view token) {
+  const std::string lower = ToLower(token);
+  if (lower == "rtx2080") return Rtx2080();
+  if (lower == "h100") return H100();
+  if (lower == "h200") return H200();
+  return std::nullopt;
+}
+
+const std::vector<std::string>& GpuSpec::PresetNames() {
+  static const std::vector<std::string> kNames = {"h100", "h200", "rtx2080"};
+  return kNames;
+}
+
+std::string GpuSpec::Name() const { return ToLower(name); }
 
 GpuSpec GpuSpec::WithCacheScale(double factor) const {
   if (factor <= 0.0)

@@ -11,7 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace stemroot::hw {
 
@@ -45,6 +48,18 @@ struct GpuSpec {
   static GpuSpec Rtx2080();
   static GpuSpec H100();
   static GpuSpec H200();
+
+  /// Parse a CLI-style preset token ("rtx2080" / "h100" / "h200",
+  /// case-insensitive); std::nullopt for unknown names.
+  static std::optional<GpuSpec> FromName(std::string_view token);
+
+  /// Preset tokens accepted by FromName, sorted.
+  static const std::vector<std::string>& PresetNames();
+
+  /// Canonical lowercase token of this spec's name; round-trips through
+  /// FromName for every preset (DSE variants return their decorated name
+  /// lowercased, which FromName does not accept).
+  std::string Name() const;
 
   /// DSE variants (Table 4): scale both cache levels by `factor`.
   GpuSpec WithCacheScale(double factor) const;

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 
 namespace stemroot::hw {
 
@@ -205,6 +206,10 @@ KernelMetrics HardwareModel::Metrics(const KernelInvocation& inv,
 }
 
 void HardwareModel::ProfileTrace(KernelTrace& trace, uint64_t run_seed) const {
+  telemetry::Count("hw.profile_calls");
+  telemetry::Count("hw.invocations_profiled", trace.NumInvocations());
+  telemetry::Record("hw.profile_invocations",
+                    static_cast<double>(trace.NumInvocations()));
   // Invocation chunks are profiled in parallel: SampleTimeUs derives a
   // fresh Rng from (run_seed, inv.seq) for every invocation, so each index
   // owns an independent random stream and the profiled durations are

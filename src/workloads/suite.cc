@@ -1,7 +1,9 @@
 #include "workloads/suite.h"
 
+#include <cctype>
 #include <stdexcept>
 
+#include "common/telemetry.h"
 #include "workloads/casio.h"
 #include "workloads/huggingface.h"
 #include "workloads/rodinia.h"
@@ -15,6 +17,25 @@ const char* SuiteName(SuiteId id) {
     case SuiteId::kHuggingface: return "Huggingface";
   }
   throw std::invalid_argument("SuiteName: bad id");
+}
+
+std::optional<SuiteId> SuiteFromName(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (lower == "rodinia") return SuiteId::kRodinia;
+  if (lower == "casio") return SuiteId::kCasio;
+  if (lower == "huggingface") return SuiteId::kHuggingface;
+  return std::nullopt;
+}
+
+const char* ToName(SuiteId id) {
+  switch (id) {
+    case SuiteId::kRodinia: return "rodinia";
+    case SuiteId::kCasio: return "casio";
+    case SuiteId::kHuggingface: return "huggingface";
+  }
+  throw std::invalid_argument("ToName: bad id");
 }
 
 const std::vector<std::string>& SuiteWorkloads(SuiteId id) {
@@ -34,13 +55,21 @@ const std::vector<SuiteId>& AllSuites() {
 
 KernelTrace MakeWorkload(SuiteId id, const std::string& name, uint64_t seed,
                          double size_scale) {
-  switch (id) {
-    case SuiteId::kRodinia: return MakeRodinia(name, seed, size_scale);
-    case SuiteId::kCasio: return MakeCasio(name, seed, size_scale);
-    case SuiteId::kHuggingface:
-      return MakeHuggingface(name, seed, size_scale);
-  }
-  throw std::invalid_argument("MakeWorkload: bad id");
+  KernelTrace trace = [&] {
+    switch (id) {
+      case SuiteId::kRodinia: return MakeRodinia(name, seed, size_scale);
+      case SuiteId::kCasio: return MakeCasio(name, seed, size_scale);
+      case SuiteId::kHuggingface:
+        return MakeHuggingface(name, seed, size_scale);
+    }
+    throw std::invalid_argument("MakeWorkload: bad id");
+  }();
+  telemetry::Count("workloads.traces_generated");
+  telemetry::Count("workloads.invocations_generated",
+                   trace.NumInvocations());
+  telemetry::Record("workloads.trace_invocations",
+                    static_cast<double>(trace.NumInvocations()));
+  return trace;
 }
 
 }  // namespace stemroot::workloads

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/trace.h"
@@ -16,6 +18,14 @@ enum class SuiteId { kRodinia, kCasio, kHuggingface };
 
 /// Human-readable suite name ("Rodinia", "CASIO", "Huggingface").
 const char* SuiteName(SuiteId id);
+
+/// Parse a CLI-style suite token ("rodinia" / "casio" / "huggingface",
+/// case-insensitive); std::nullopt for unknown names.
+std::optional<SuiteId> SuiteFromName(std::string_view name);
+
+/// Canonical lowercase token; round-trips through SuiteFromName for every
+/// SuiteId.
+const char* ToName(SuiteId id);
 
 /// Workload names of one suite.
 const std::vector<std::string>& SuiteWorkloads(SuiteId id);

@@ -1,0 +1,164 @@
+#include "common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/parallel.h"
+#include "eval/stage_report.h"
+
+namespace stemroot::telemetry {
+namespace {
+
+/// Every test owns the process-wide registry for its duration.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Reset();
+  }
+  void TearDown() override {
+    Reset();
+    SetEnabled(false);
+  }
+};
+
+TEST_F(TelemetryTest, CountersAccumulate) {
+  Count("a");
+  Count("a", 2);
+  Count("b", 10);
+  const Snapshot snap = Capture();
+  EXPECT_EQ(snap.Counter("a"), 3u);
+  EXPECT_EQ(snap.Counter("b"), 10u);
+  EXPECT_EQ(snap.Counter("missing"), 0u);
+  EXPECT_EQ(snap.Counters().size(), 2u);
+}
+
+TEST_F(TelemetryTest, CaptureIsCumulativeUntilReset) {
+  Count("a");
+  EXPECT_EQ(Capture().Counter("a"), 1u);
+  Count("a");
+  EXPECT_EQ(Capture().Counter("a"), 2u);
+  Reset();
+  EXPECT_EQ(Capture().Counter("a"), 0u);
+  EXPECT_TRUE(Capture().Counters().empty());
+}
+
+TEST_F(TelemetryTest, DisabledIsNoop) {
+  SetEnabled(false);
+  Count("a");
+  Record("d", 1.0);
+  { Span span("s"); }
+  SetEnabled(true);
+  const Snapshot snap = Capture();
+  EXPECT_TRUE(snap.Counters().empty());
+  EXPECT_TRUE(snap.Distributions().empty());
+  EXPECT_TRUE(snap.Spans().empty());
+}
+
+TEST_F(TelemetryTest, DistributionSummary) {
+  for (int i = 1; i <= 100; ++i) Record("d", static_cast<double>(i));
+  const DistSummary dist = Capture().Dist("d");
+  EXPECT_EQ(dist.count, 100u);
+  EXPECT_DOUBLE_EQ(dist.min, 1.0);
+  EXPECT_DOUBLE_EQ(dist.max, 100.0);
+  EXPECT_DOUBLE_EQ(dist.mean, 50.5);
+  // Quantiles index the sorted multiset at floor(q * n).
+  EXPECT_DOUBLE_EQ(dist.p50, 51.0);
+  EXPECT_DOUBLE_EQ(dist.p99, 100.0);
+  EXPECT_EQ(Capture().Dist("missing").count, 0u);
+}
+
+TEST_F(TelemetryTest, RecordDropsNonFinite) {
+  Record("d", std::numeric_limits<double>::quiet_NaN());
+  Record("d", std::numeric_limits<double>::infinity());
+  Record("d", -std::numeric_limits<double>::infinity());
+  Record("d", 2.0);
+  const DistSummary dist = Capture().Dist("d");
+  EXPECT_EQ(dist.count, 1u);
+  EXPECT_DOUBLE_EQ(dist.min, 2.0);
+  EXPECT_DOUBLE_EQ(dist.max, 2.0);
+}
+
+TEST_F(TelemetryTest, SpanNestingTracksParent) {
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  const Snapshot snap = Capture();
+  EXPECT_TRUE(snap.HasSpan("outer"));
+  EXPECT_TRUE(snap.HasSpan("inner"));
+  EXPECT_FALSE(snap.HasSpan("missing"));
+  ASSERT_EQ(snap.Spans().count({"outer", ""}), 1u);
+  ASSERT_EQ(snap.Spans().count({"inner", "outer"}), 1u);
+  const SpanStats& inner = snap.Spans().at({"inner", "outer"});
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_GE(inner.total_us, 0.0);
+  const SpanStats& outer = snap.Spans().at({"outer", ""});
+  EXPECT_GE(outer.total_us, inner.total_us);
+}
+
+TEST_F(TelemetryTest, ThreadBuffersMergeDeterministically) {
+  SetNumThreads(4);
+  ParallelFor(0, 1000, [](size_t i) {
+    Count("n");
+    Record("v", static_cast<double>(i % 10));
+  });
+  const Snapshot snap = Capture();
+  EXPECT_EQ(snap.Counter("n"), 1000u);
+  const DistSummary dist = snap.Dist("v");
+  EXPECT_EQ(dist.count, 1000u);
+  EXPECT_DOUBLE_EQ(dist.min, 0.0);
+  EXPECT_DOUBLE_EQ(dist.max, 9.0);
+  EXPECT_DOUBLE_EQ(dist.mean, 4.5);
+  SetNumThreads(0);
+}
+
+TEST_F(TelemetryTest, CountersJsonIsSortedAndStable) {
+  Count("zeta", 2);
+  Count("alpha", 1);
+  const std::string json = Capture().CountersJson();
+  EXPECT_EQ(json, "{\"alpha\":1,\"zeta\":2}");
+  EXPECT_EQ(Capture().CountersJson(), json);
+}
+
+TEST_F(TelemetryTest, ExportsValidateAndRoundTrip) {
+  Count("c", 7);
+  Record("d", 1.5);
+  Record("d", 2.5);
+  { Span span("stage"); }
+  const Snapshot snap = Capture();
+
+  std::string error;
+  std::vector<std::string> span_names;
+  ASSERT_TRUE(eval::ValidateTelemetryJson(snap.ToJson(), &error, &span_names))
+      << error;
+  ASSERT_EQ(span_names.size(), 1u);
+  EXPECT_EQ(span_names[0], "stage");
+
+  const std::string csv = snap.ToCsv();
+  EXPECT_EQ(
+      csv.rfind("kind,name,parent,count,min,mean,max,p50,p99,total", 0), 0u);
+  EXPECT_NE(csv.find("counter,c,"), std::string::npos);
+  EXPECT_NE(csv.find("distribution,d,"), std::string::npos);
+  EXPECT_NE(csv.find("span,stage,"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ValidateRejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(eval::ValidateTelemetryJson("", &error));
+  EXPECT_FALSE(eval::ValidateTelemetryJson("{", &error));
+  EXPECT_FALSE(eval::ValidateTelemetryJson("[]", &error));
+  EXPECT_FALSE(eval::ValidateTelemetryJson("{\"schema\":\"wrong\"}", &error));
+  EXPECT_FALSE(error.empty());
+  // Truncating a valid export must fail the full-grammar parse.
+  Count("c");
+  const std::string json = Capture().ToJson();
+  EXPECT_FALSE(eval::ValidateTelemetryJson(
+      std::string_view(json).substr(0, json.size() - 2), &error));
+}
+
+}  // namespace
+}  // namespace stemroot::telemetry

@@ -1,0 +1,104 @@
+#include "core/sampler_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/registry.h"
+#include "core/sampler.h"
+
+namespace stemroot::core {
+namespace {
+
+class SamplerRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { baselines::EnsureBuiltinSamplers(); }
+};
+
+TEST_F(SamplerRegistryTest, GlobalKnowsEveryBuiltin) {
+  const std::vector<std::string> expected = {"photon", "pka",  "random",
+                                             "sieve",  "stem", "tbpoint"};
+  EXPECT_EQ(SamplerRegistry::Global().Names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(SamplerRegistry::Global().Contains(name)) << name;
+    const std::unique_ptr<Sampler> sampler =
+        SamplerRegistry::Global().Create(name);
+    ASSERT_NE(sampler, nullptr) << name;
+    EXPECT_FALSE(sampler->Name().empty()) << name;
+  }
+  EXPECT_FALSE(SamplerRegistry::Global().Contains("foo"));
+}
+
+TEST_F(SamplerRegistryTest, UnknownNameErrorListsRegistered) {
+  try {
+    SamplerRegistry::Global().Create("foo");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown sampler 'foo'"), std::string::npos)
+        << message;
+    for (const char* name :
+         {"photon", "pka", "random", "sieve", "stem", "tbpoint"})
+      EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST_F(SamplerRegistryTest, DuplicateOrEmptyRegistrationThrows) {
+  EXPECT_THROW(SamplerRegistry::Global().Register(
+                   "stem", [](const SamplerParams&) {
+                     return std::unique_ptr<Sampler>();
+                   }),
+               std::invalid_argument);
+  SamplerRegistry local;
+  EXPECT_THROW(local.Register("", [](const SamplerParams&) {
+    return std::unique_ptr<Sampler>();
+  }),
+               std::invalid_argument);
+}
+
+TEST_F(SamplerRegistryTest, FactoriesHonorParams) {
+  const std::unique_ptr<Sampler> stem = SamplerRegistry::Global().Create(
+      "stem", SamplerParams().Set("epsilon", 0.25).Set("branch_k", int64_t{3}));
+  const auto* typed = dynamic_cast<const StemRootSampler*>(stem.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_DOUBLE_EQ(typed->Config().root.stem.epsilon, 0.25);
+  EXPECT_EQ(typed->Config().root.branch_k, 3u);
+
+  const std::unique_ptr<Sampler> random = SamplerRegistry::Global().Create(
+      "random", SamplerParams().Set("probability", 0.01));
+  EXPECT_EQ(random->Name(), "Random(1%)");
+
+  const std::unique_ptr<Sampler> pka = SamplerRegistry::Global().Create(
+      "pka", SamplerParams().Set("random_representative", true));
+  EXPECT_NE(pka->Name().find("random-rep"), std::string::npos) << pka->Name();
+}
+
+TEST(SamplerParamsTest, TypedGettersParseAndFallBack) {
+  SamplerParams params;
+  params.Set("s", "hello")
+      .Set("d", 0.5)
+      .Set("i", int64_t{42})
+      .Set("b", true);
+  EXPECT_TRUE(params.Has("s"));
+  EXPECT_FALSE(params.Has("missing"));
+  EXPECT_EQ(params.GetString("s", ""), "hello");
+  EXPECT_DOUBLE_EQ(params.GetDouble("d", 0.0), 0.5);
+  EXPECT_EQ(params.GetInt("i", 0), 42);
+  EXPECT_TRUE(params.GetBool("b", false));
+  EXPECT_EQ(params.GetString("missing", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(params.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(params.GetInt("missing", 7), 7);
+  EXPECT_FALSE(params.GetBool("missing", false));
+}
+
+TEST(SamplerParamsTest, MalformedValuesThrow) {
+  SamplerParams params;
+  params.Set("x", "not-a-number");
+  EXPECT_THROW(params.GetDouble("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(params.GetInt("x", 0), std::invalid_argument);
+  EXPECT_THROW(params.GetBool("x", false), std::invalid_argument);
+  EXPECT_EQ(params.GetString("x", ""), "not-a-number");
+}
+
+}  // namespace
+}  // namespace stemroot::core

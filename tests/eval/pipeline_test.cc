@@ -1,0 +1,116 @@
+#include "eval/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/sampler.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "hw/hardware_model.h"
+#include "workloads/suite.h"
+
+namespace stemroot::eval {
+namespace {
+
+uint64_t Bits(double x) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+constexpr uint64_t kSeed = 99;
+constexpr double kScale = 0.05;
+
+Pipeline MakePipeline() {
+  Pipeline pipeline = Pipeline::Generate(workloads::SuiteId::kCasio,
+                                         "bert_infer",
+                                         {.seed = kSeed, .size_scale = kScale});
+  pipeline.Profile(hw::GpuSpec::Rtx2080());
+  return pipeline;
+}
+
+TEST(PipelineTest, GenerateMatchesHistoricalSeedDerivation) {
+  const Pipeline pipeline = MakePipeline();
+  // The seed contract in pipeline.h: generation and profiling derive their
+  // stage seeds from the one master seed exactly as RunSuite always did.
+  KernelTrace manual = workloads::MakeWorkload(
+      workloads::SuiteId::kCasio, "bert_infer",
+      DeriveSeed(kSeed, HashString("bert_infer")), kScale);
+  hw::HardwareModel(hw::GpuSpec::Rtx2080())
+      .ProfileTrace(manual, DeriveSeed(kSeed, kProfileStream));
+
+  ASSERT_EQ(pipeline.Trace().NumInvocations(), manual.NumInvocations());
+  EXPECT_EQ(Bits(pipeline.Trace().TotalDurationUs()),
+            Bits(manual.TotalDurationUs()));
+  EXPECT_TRUE(pipeline.Profiled());
+  EXPECT_EQ(pipeline.Opts().seed, kSeed);
+}
+
+TEST(PipelineTest, MatchesMakeProfiledWorkload) {
+  const Pipeline pipeline = MakePipeline();
+  const KernelTrace legacy =
+      MakeProfiledWorkload(workloads::SuiteId::kCasio, "bert_infer",
+                           hw::HardwareModel(hw::GpuSpec::Rtx2080()), kSeed,
+                           kScale);
+  ASSERT_EQ(pipeline.Trace().NumInvocations(), legacy.NumInvocations());
+  EXPECT_EQ(Bits(pipeline.Trace().TotalDurationUs()),
+            Bits(legacy.TotalDurationUs()));
+}
+
+TEST(PipelineTest, SampleEqualsEvaluateRepZero) {
+  const Pipeline pipeline = MakePipeline();
+  const core::StemRootSampler stem;
+  const core::SamplingPlan plan = pipeline.Sample(stem);
+  const core::SamplingPlan rep0 = stem.BuildPlan(
+      pipeline.Trace(), DeriveSeed(kSeed, HashString(stem.Name())));
+  ASSERT_EQ(plan.entries.size(), rep0.entries.size());
+  for (size_t i = 0; i < plan.entries.size(); ++i) {
+    EXPECT_EQ(plan.entries[i].invocation, rep0.entries[i].invocation);
+    EXPECT_EQ(Bits(plan.entries[i].weight), Bits(rep0.entries[i].weight));
+  }
+}
+
+TEST(PipelineTest, EvaluateMatchesEvaluateRepeated) {
+  const Pipeline pipeline = MakePipeline();
+  const core::StemRootSampler stem;
+  const EvalResult via_pipeline = pipeline.Evaluate(stem, 3);
+  const EvalResult direct =
+      EvaluateRepeated(stem, pipeline.Trace(), 3,
+                       DeriveSeed(kSeed, HashString(stem.Name())));
+  EXPECT_EQ(via_pipeline.method, direct.method);
+  EXPECT_EQ(Bits(via_pipeline.speedup), Bits(direct.speedup));
+  EXPECT_EQ(Bits(via_pipeline.error_pct), Bits(direct.error_pct));
+  EXPECT_EQ(via_pipeline.num_samples, direct.num_samples);
+  EXPECT_EQ(via_pipeline.num_clusters, direct.num_clusters);
+}
+
+TEST(PipelineTest, UnprofiledStagesThrow) {
+  const Pipeline pipeline =
+      Pipeline::Generate(workloads::SuiteId::kCasio, "bert_infer",
+                         {.seed = kSeed, .size_scale = kScale});
+  EXPECT_FALSE(pipeline.Profiled());
+  const core::StemRootSampler stem;
+  EXPECT_THROW(pipeline.Sample(stem), std::logic_error);
+  EXPECT_THROW(pipeline.Evaluate(stem, 1), std::logic_error);
+}
+
+TEST(PipelineTest, FromTraceDetectsProfiledTraces) {
+  const Pipeline generated =
+      Pipeline::Generate(workloads::SuiteId::kCasio, "bert_infer",
+                         {.seed = kSeed, .size_scale = kScale});
+  EXPECT_FALSE(Pipeline::FromTrace(generated.Trace()).Profiled());
+
+  const Pipeline profiled = MakePipeline();
+  Pipeline resumed = Pipeline::FromTrace(profiled.Trace(), {.seed = kSeed});
+  EXPECT_TRUE(resumed.Profiled());
+  // A resumed profiled trace supports Sample() without re-profiling.
+  const core::StemRootSampler stem;
+  EXPECT_FALSE(resumed.Sample(stem).entries.empty());
+}
+
+}  // namespace
+}  // namespace stemroot::eval

@@ -11,6 +11,30 @@ TEST(GpuSpecTest, PresetsValidate) {
   EXPECT_NO_THROW(GpuSpec::H200().Validate());
 }
 
+TEST(GpuSpecTest, PresetNamesRoundTripThroughFromName) {
+  for (const std::string& token : GpuSpec::PresetNames()) {
+    const std::optional<GpuSpec> spec = GpuSpec::FromName(token);
+    ASSERT_TRUE(spec.has_value()) << token;
+    EXPECT_EQ(spec->Name(), token);
+    EXPECT_NO_THROW(spec->Validate());
+  }
+  // Every factory preset is reachable by its Name() token.
+  for (const GpuSpec& spec :
+       {GpuSpec::Rtx2080(), GpuSpec::H100(), GpuSpec::H200()}) {
+    const std::optional<GpuSpec> parsed = GpuSpec::FromName(spec.Name());
+    ASSERT_TRUE(parsed.has_value()) << spec.Name();
+    EXPECT_EQ(parsed->num_sms, spec.num_sms);
+    EXPECT_EQ(parsed->dram_bw_gbps, spec.dram_bw_gbps);
+  }
+}
+
+TEST(GpuSpecTest, FromNameIsCaseInsensitiveAndRejectsUnknown) {
+  ASSERT_TRUE(GpuSpec::FromName("H100").has_value());
+  ASSERT_TRUE(GpuSpec::FromName("RTX2080").has_value());
+  EXPECT_FALSE(GpuSpec::FromName("h199").has_value());
+  EXPECT_FALSE(GpuSpec::FromName("").has_value());
+}
+
 TEST(GpuSpecTest, GenerationalOrdering) {
   const GpuSpec rtx = GpuSpec::Rtx2080();
   const GpuSpec h100 = GpuSpec::H100();

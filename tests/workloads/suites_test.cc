@@ -26,6 +26,24 @@ TEST(SuiteTest, DispatchersCoverAllSuites) {
   EXPECT_STREQ(SuiteName(SuiteId::kCasio), "CASIO");
 }
 
+TEST(SuiteTest, SuiteNamesRoundTripForEverySuite) {
+  for (const workloads::SuiteId id : AllSuites()) {
+    const char* token = ToName(id);
+    ASSERT_NE(token, nullptr);
+    const std::optional<SuiteId> parsed = SuiteFromName(token);
+    ASSERT_TRUE(parsed.has_value()) << token;
+    EXPECT_EQ(*parsed, id) << token;
+  }
+}
+
+TEST(SuiteTest, SuiteFromNameIsCaseInsensitive) {
+  EXPECT_EQ(SuiteFromName("CASIO"), SuiteId::kCasio);
+  EXPECT_EQ(SuiteFromName("Rodinia"), SuiteId::kRodinia);
+  EXPECT_EQ(SuiteFromName("HuggingFace"), SuiteId::kHuggingface);
+  EXPECT_EQ(SuiteFromName("nope"), std::nullopt);
+  EXPECT_EQ(SuiteFromName(""), std::nullopt);
+}
+
 TEST(SuiteTest, UnknownWorkloadsThrow) {
   EXPECT_THROW(RodiniaSpec("nope"), std::invalid_argument);
   EXPECT_THROW(CasioSpec("nope"), std::invalid_argument);

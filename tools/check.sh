@@ -5,6 +5,10 @@
 # race in ParallelFor / the work-stealing pool / RunSuite is a bug, not
 # noise.
 #
+# After ctest, every mode smoke-runs the `stemroot run` pipeline with
+# --telemetry and gates on tools/telemetry_check: a malformed telemetry
+# JSON export or a missing pipeline stage span fails the sweep.
+#
 # Usage:
 #   tools/check.sh            # plain + tsan + asan, full ctest each
 #   tools/check.sh plain      # any subset of: plain tsan asan
@@ -47,6 +51,21 @@ run_mode() {
             ctest "${ctest_args[@]}" ;;
     *)    ctest "${ctest_args[@]}" -j "$JOBS" ;;
   esac
+
+  echo "=== [$mode] telemetry smoke (stemroot run + telemetry_check) ==="
+  # Same sanitizer runtime options as the ctest runs above; in particular
+  # detect_leaks=0 -- the telemetry span stacks are intentionally leaked
+  # per-thread state (see src/common/telemetry.cc).
+  local smoke="$dir/telemetry-smoke.json"
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --threads 4 \
+      --telemetry "$smoke" >/dev/null
+  "$dir/tools/telemetry_check" "$smoke" \
+      --require-stage generate --require-stage profile \
+      --require-stage cluster --require-stage sample \
+      --require-stage evaluate
   echo "=== [$mode] OK ==="
 }
 

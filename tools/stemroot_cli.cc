@@ -7,6 +7,13 @@
 ///   stemroot info     --in t.bin
 ///   stemroot sample   --in t.bin --method stem --epsilon 0.05 --out p.csv
 ///   stemroot evaluate --in t.bin --method stem --reps 10
+///   stemroot run      --suite casio --workload bert_infer --method stem
+///
+/// Stage wiring goes through eval::Pipeline (one master --seed per command;
+/// per-stage seeds are derived from it — see src/eval/pipeline.h) and
+/// samplers are built through core::SamplerRegistry, so the CLI, benches,
+/// and tests share one code path. `--telemetry FILE.json|.csv` on any
+/// command enables the telemetry subsystem and exports on exit.
 ///
 /// Traces use the library's binary format; sampling plans are CSVs of
 /// (invocation, weight) -- the "sampling information" a simulator embeds.
@@ -14,17 +21,15 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/photon.h"
-#include "baselines/pka.h"
-#include "baselines/random_sampler.h"
-#include "baselines/sieve.h"
+#include "baselines/registry.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/str.h"
-#include "core/sampler.h"
-#include "eval/metrics.h"
-#include "hw/hardware_model.h"
+#include "common/telemetry.h"
+#include "core/sampler_registry.h"
+#include "eval/pipeline.h"
+#include "eval/stage_report.h"
 #include "hw/profile.h"
 #include "trace/serialize.h"
 #include "workloads/suite.h"
@@ -42,62 +47,98 @@ commands:
   profile   --in FILE --out FILE [--gpu rtx2080|h100|h200] [--seed N]
             [--csv timeline.csv]
   info      --in FILE [--top N]
-  sample    --in FILE --out PLAN.csv [--method stem|random|pka|sieve|photon]
-            [--epsilon X] [--probability P] [--seed N]
-  evaluate  --in FILE [--method ...] [--epsilon X] [--probability P]
-            [--reps N] [--seed N]
+  sample    --in FILE --out PLAN.csv [--method NAME] [--seed N]
+  evaluate  --in FILE [--method NAME] [--reps N] [--seed N]
+  run       --suite SUITE --workload NAME [--gpu GPU] [--method NAME]
+            [--reps N] [--seed N] [--scale X]
 
-every command accepts --threads N (0 = auto; or set STEMROOT_THREADS).
-thread count never changes results -- see DESIGN.md "Threading and
-reproducibility".
+methods come from the sampler registry (stem random pka sieve photon
+tbpoint); sampler parameters (--epsilon, --probability, --confidence, ...)
+are forwarded to the method's factory.
+
+every command accepts:
+  --threads N        0 = auto; or set STEMROOT_THREADS. thread count never
+                     changes results -- see DESIGN.md.
+  --telemetry FILE   collect pipeline telemetry and write it on exit
+                     (.csv extension selects CSV; anything else JSON).
+  --seed N           master seed; every stage derives its own stream.
 )");
   return 2;
 }
 
 workloads::SuiteId ParseSuite(const std::string& name) {
-  if (name == "rodinia") return workloads::SuiteId::kRodinia;
-  if (name == "casio") return workloads::SuiteId::kCasio;
-  if (name == "huggingface") return workloads::SuiteId::kHuggingface;
-  throw std::invalid_argument("unknown suite '" + name + "'");
+  if (auto suite = workloads::SuiteFromName(name)) return *suite;
+  std::string known;
+  for (workloads::SuiteId id : workloads::AllSuites()) {
+    if (!known.empty()) known += ", ";
+    known += workloads::ToName(id);
+  }
+  throw std::invalid_argument("unknown suite '" + name +
+                              "' (available: " + known + ")");
 }
 
 hw::GpuSpec ParseGpu(const std::string& name) {
-  if (name == "rtx2080") return hw::GpuSpec::Rtx2080();
-  if (name == "h100") return hw::GpuSpec::H100();
-  if (name == "h200") return hw::GpuSpec::H200();
-  throw std::invalid_argument("unknown gpu '" + name + "'");
+  if (auto spec = hw::GpuSpec::FromName(name)) return *spec;
+  std::string known;
+  for (const std::string& preset : hw::GpuSpec::PresetNames()) {
+    if (!known.empty()) known += ", ";
+    known += preset;
+  }
+  throw std::invalid_argument("unknown gpu '" + name +
+                              "' (available: " + known + ")");
+}
+
+/// Forward the sampler-parameter flags that are present to the registry
+/// factory. Reading through GetString marks the flag consumed for
+/// CheckAllRead; the factory's typed getters validate the values.
+core::SamplerParams SamplerParamsFromFlags(const Flags& flags) {
+  static const char* const kKeys[] = {
+      // stem
+      "epsilon", "confidence", "min_samples", "branch_k",
+      // random
+      "probability",
+      // pka
+      "max_k", "elbow_threshold", "random_representative",
+      // sieve
+      "stable_cov", "variable_cov", "use_kde", "kde_bins",
+      // photon
+      "similarity_threshold", "warp_tolerance",
+      // tbpoint
+      "merge_threshold", "max_clusters", "agglomeration_cap",
+  };
+  core::SamplerParams params;
+  for (const char* key : kKeys)
+    if (flags.Has(key)) params.Set(key, flags.GetString(key, ""));
+  return params;
 }
 
 std::unique_ptr<core::Sampler> MakeSampler(const Flags& flags) {
+  baselines::EnsureBuiltinSamplers();
   const std::string method = flags.GetString("method", "stem");
-  if (method == "stem") {
-    core::StemRootConfig config;
-    config.root.stem.epsilon = flags.GetDouble("epsilon", 0.05);
-    return std::make_unique<core::StemRootSampler>(config);
-  }
-  if (method == "random")
-    return std::make_unique<baselines::RandomSampler>(
-        flags.GetDouble("probability", 0.001));
-  if (method == "pka") return std::make_unique<baselines::PkaSampler>();
-  if (method == "sieve") return std::make_unique<baselines::SieveSampler>();
-  if (method == "photon")
-    return std::make_unique<baselines::PhotonSampler>();
-  throw std::invalid_argument("unknown method '" + method + "'");
+  return core::SamplerRegistry::Global().Create(method,
+                                                SamplerParamsFromFlags(flags));
+}
+
+eval::Pipeline::Options PipelineOptions(const Flags& flags) {
+  eval::Pipeline::Options options;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.size_scale = flags.GetDouble("scale", 1.0);
+  return options;
 }
 
 int CmdGenerate(const Flags& flags) {
   const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
   const std::string workload = flags.Require("workload");
   const std::string out = flags.Require("out");
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  const double scale = flags.GetDouble("scale", 1.0);
+  const eval::Pipeline::Options options = PipelineOptions(flags);
   flags.CheckAllRead();
 
-  const KernelTrace trace =
-      workloads::MakeWorkload(suite, workload, seed, scale);
-  SaveTraceBinary(trace, out);
+  const eval::Pipeline pipeline =
+      eval::Pipeline::Generate(suite, workload, options);
+  SaveTraceBinary(pipeline.Trace(), out);
   std::printf("wrote %s: %zu invocations, %zu kernel types (unprofiled)\n",
-              out.c_str(), trace.NumInvocations(), trace.NumKernelTypes());
+              out.c_str(), pipeline.Trace().NumInvocations(),
+              pipeline.Trace().NumKernelTypes());
   return 0;
 }
 
@@ -105,18 +146,18 @@ int CmdProfile(const Flags& flags) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
   const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string csv = flags.GetString("csv", "");
+  const eval::Pipeline::Options options = PipelineOptions(flags);
   flags.CheckAllRead();
 
-  KernelTrace trace = LoadTraceBinary(in);
-  hw::HardwareModel gpu(spec);
-  gpu.ProfileTrace(trace, seed);
-  SaveTraceBinary(trace, out);
-  if (!csv.empty()) ExportTimelineCsv(trace, csv);
+  eval::Pipeline pipeline =
+      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  pipeline.Profile(spec);
+  SaveTraceBinary(pipeline.Trace(), out);
+  if (!csv.empty()) ExportTimelineCsv(pipeline.Trace(), csv);
   std::printf("profiled %zu invocations on %s: total %s\n",
-              trace.NumInvocations(), spec.name.c_str(),
-              HumanDuration(trace.TotalDurationUs()).c_str());
+              pipeline.Trace().NumInvocations(), spec.name.c_str(),
+              HumanDuration(pipeline.Trace().TotalDurationUs()).c_str());
   return 0;
 }
 
@@ -152,12 +193,13 @@ int CmdInfo(const Flags& flags) {
 int CmdSample(const Flags& flags) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+  const eval::Pipeline::Options options = PipelineOptions(flags);
   flags.CheckAllRead();
 
-  const KernelTrace trace = LoadTraceBinary(in);
-  const core::SamplingPlan plan = sampler->BuildPlan(trace, seed);
+  const eval::Pipeline pipeline =
+      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  const core::SamplingPlan plan = pipeline.Sample(*sampler);
   CsvWriter csv(out);
   csv.WriteHeader({"invocation", "weight"});
   for (const core::SampleEntry& entry : plan.entries)
@@ -174,21 +216,45 @@ int CmdSample(const Flags& flags) {
   return 0;
 }
 
-int CmdEvaluate(const Flags& flags) {
-  const std::string in = flags.Require("in");
-  const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
-  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
-  flags.CheckAllRead();
-
-  const KernelTrace trace = LoadTraceBinary(in);
-  const eval::EvalResult result =
-      eval::EvaluateRepeated(*sampler, trace, reps, seed);
+void PrintResult(const eval::EvalResult& result) {
   std::printf("%s on %s: error %.4f%%  speedup %.2fx  (%zu samples, "
               "%zu clusters)\n",
               result.method.c_str(), result.workload.c_str(),
               result.error_pct, result.speedup, result.num_samples,
               result.num_clusters);
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const std::string in = flags.Require("in");
+  const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
+  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+  const eval::Pipeline::Options options = PipelineOptions(flags);
+  flags.CheckAllRead();
+
+  const eval::Pipeline pipeline =
+      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  PrintResult(pipeline.Evaluate(*sampler, reps));
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+  const std::string workload = flags.Require("workload");
+  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
+  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+  const eval::Pipeline::Options options = PipelineOptions(flags);
+  flags.CheckAllRead();
+
+  eval::Pipeline pipeline = eval::Pipeline::Generate(suite, workload,
+                                                     options);
+  pipeline.Profile(spec);
+  PrintResult(pipeline.Evaluate(*sampler, reps));
+  if (telemetry::Enabled()) {
+    const eval::StageReport report =
+        eval::StageReport::FromSnapshot(telemetry::Capture());
+    std::printf("%s", report.ToText().c_str());
+  }
   return 0;
 }
 
@@ -199,14 +265,24 @@ int main(int argc, char** argv) {
   try {
     const Flags flags = Flags::Parse(argc - 2, argv + 2);
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+    const std::string telemetry_path = flags.GetString("telemetry", "");
+    if (!telemetry_path.empty()) telemetry::SetEnabled(true);
+
     const std::string command = argv[1];
-    if (command == "generate") return CmdGenerate(flags);
-    if (command == "profile") return CmdProfile(flags);
-    if (command == "info") return CmdInfo(flags);
-    if (command == "sample") return CmdSample(flags);
-    if (command == "evaluate") return CmdEvaluate(flags);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return Usage();
+    int rc = -1;
+    if (command == "generate") rc = CmdGenerate(flags);
+    else if (command == "profile") rc = CmdProfile(flags);
+    else if (command == "info") rc = CmdInfo(flags);
+    else if (command == "sample") rc = CmdSample(flags);
+    else if (command == "evaluate") rc = CmdEvaluate(flags);
+    else if (command == "run") rc = CmdRun(flags);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      return Usage();
+    }
+    if (!telemetry_path.empty())
+      eval::WriteTelemetry(telemetry::Capture(), telemetry_path);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

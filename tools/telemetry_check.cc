@@ -1,0 +1,76 @@
+/// \file
+/// telemetry_check — validate a telemetry JSON export (tools/check.sh uses
+/// this to fail the build on malformed output from a smoke `stemroot run`).
+///
+///   telemetry_check FILE.json [--require-stage NAME]...
+///
+/// Exits 0 when FILE parses, matches the stemroot-telemetry-v1 schema, and
+/// contains a span for every required stage; prints the reason and exits 1
+/// otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/stage_report.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-stage") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--require-stage needs a value\n");
+        return 2;
+      }
+      required.push_back(argv[++i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: telemetry_check FILE.json "
+                   "[--require-stage NAME]...\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: telemetry_check FILE.json "
+                 "[--require-stage NAME]...\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  std::string error;
+  std::vector<std::string> span_names;
+  if (!stemroot::eval::ValidateTelemetryJson(json, &error, &span_names)) {
+    std::fprintf(stderr, "telemetry_check: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  for (const std::string& stage : required) {
+    if (std::find(span_names.begin(), span_names.end(), stage) ==
+        span_names.end()) {
+      std::fprintf(stderr,
+                   "telemetry_check: %s: missing required stage span "
+                   "\"%s\"\n",
+                   path.c_str(), stage.c_str());
+      return 1;
+    }
+  }
+  std::printf("telemetry_check: %s ok (%zu spans)\n", path.c_str(),
+              span_names.size());
+  return 0;
+}
