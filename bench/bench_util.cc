@@ -3,16 +3,41 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "baselines/registry.h"
+#include "common/json.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 #include "core/sampler_registry.h"
 #include "eval/stage_report.h"
 
 namespace stemroot::bench {
 
+namespace {
+
+/// The flag pairs Session consumes; shared with StripFlags.
+constexpr const char* kSessionFlags[] = {"--threads", "--telemetry",
+                                         "--trace", "--log-level"};
+
+bool IsSessionFlag(const char* arg) {
+  for (const char* flag : kSessionFlags)
+    if (std::strcmp(arg, flag) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
 Session::Session(int argc, const char* const* argv) {
+  if (argc > 0) {
+    const std::string argv0 = argv[0];
+    const size_t slash = argv0.find_last_of('/');
+    name_ = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+  }
+  if (name_.empty()) name_ = "bench";
+
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       const int n = std::atoi(argv[i + 1]);
@@ -23,22 +48,76 @@ Session::Session(int argc, const char* const* argv) {
       SetNumThreads(n);
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry_path_ = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path_ = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      const std::optional<LogLevel> level = LogLevelFromName(argv[i + 1]);
+      if (!level) {
+        std::fprintf(stderr,
+                     "bad --log-level '%s' (silent, warn, inform, debug)\n",
+                     argv[i + 1]);
+        std::exit(2);
+      }
+      SetLogLevel(*level);
     }
   }
   threads_ = NumThreads();
   std::printf("[threads: %d -- results are thread-count invariant]\n",
               threads_);
   if (!telemetry_path_.empty()) telemetry::SetEnabled(true);
+  if (!trace_path_.empty()) trace_events::SetEnabled(true);
+  start_ = std::chrono::steady_clock::now();
 }
 
 Session::~Session() {
-  if (telemetry_path_.empty()) return;
-  try {
-    eval::WriteTelemetry(telemetry::Capture(), telemetry_path_);
-    std::printf("telemetry: %s\n", telemetry_path_.c_str());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  if (!telemetry_path_.empty()) {
+    try {
+      eval::WriteTelemetry(telemetry::Capture(), telemetry_path_);
+      std::printf("telemetry: %s\n", telemetry_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+    }
   }
+  if (!trace_path_.empty()) {
+    try {
+      trace_events::WriteTrace(trace_path_);
+      std::printf("trace: %s\n", trace_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace export failed: %s\n", e.what());
+    }
+  }
+
+  // Always-on wall-time summary for sweep scripts.
+  const std::string summary_path = ResultsDir() + "/BENCH_" + name_ + ".json";
+  std::string out = "{\n  \"schema\": \"stemroot-bench-v1\",\n  \"bench\": ";
+  json::AppendString(out, name_);
+  out += ",\n  \"threads\": " + json::Number(threads_);
+  out += ",\n  \"wall_time_seconds\": " + json::Number(wall_seconds);
+  out += "\n}\n";
+  std::ofstream file(summary_path, std::ios::binary);
+  if (file) {
+    file << out;
+  } else {
+    std::fprintf(stderr, "bench summary export failed: %s\n",
+                 summary_path.c_str());
+  }
+}
+
+void Session::StripFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (i + 1 < *argc && IsSessionFlag(argv[i])) {
+      ++i;  // skip the value too
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
 }
 
 SamplerSet MakeStandardSamplers(double random_probability,

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -49,9 +50,16 @@ struct SamplerSet {
 ///   }
 ///
 /// Parses `--threads N` (0 = auto; STEMROOT_THREADS works too -- results
-/// are bit-identical at any thread count) and `--telemetry FILE` (enables
+/// are bit-identical at any thread count), `--telemetry FILE` (enables
 /// the telemetry subsystem; the destructor captures and writes the export,
-/// .csv extension selecting CSV over JSON).
+/// .csv extension selecting CSV over JSON), `--trace FILE` (records Chrome
+/// trace events, written by the destructor), and `--log-level L`
+/// (silent|warn|inform|debug).
+///
+/// The destructor also always writes a machine-readable wall-time summary
+/// to bench_results/BENCH_<name>.json (schema "stemroot-bench-v1"; the
+/// bench name is argv[0]'s basename), so sweep scripts can collect every
+/// bench's runtime without scraping stdout.
 class Session {
  public:
   Session(int argc, const char* const* argv);
@@ -63,9 +71,22 @@ class Session {
   /// Resolved parallelism after --threads / STEMROOT_THREADS.
   int threads() const { return threads_; }
 
+  /// Bench name derived from argv[0] (basename, no directories).
+  const std::string& name() const { return name_; }
+
+  /// Remove the Session-consumed flag pairs (--threads, --telemetry,
+  /// --trace, --log-level) from argv in place, updating *argc: benches
+  /// that forward argv to another parser (google-benchmark) call this
+  /// after constructing the Session so the foreign parser never sees our
+  /// flags.
+  static void StripFlags(int* argc, char** argv);
+
  private:
   int threads_ = 0;
+  std::string name_;
   std::string telemetry_path_;
+  std::string trace_path_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// The paper's comparison roster for a suite (Sec. 5):

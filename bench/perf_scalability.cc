@@ -10,6 +10,8 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace_events.h"
 
 #include "baselines/photon.h"
 #include "bench_util.h"
@@ -182,6 +184,45 @@ BENCHMARK(BM_EvaluateRepeatedThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// The observability off-switch contract: with telemetry and tracing both
+/// disabled, every instrumentation entry point costs one relaxed atomic
+/// load + branch. This is the hot-path overhead gate for code that is
+/// instrumented everywhere (ParallelFor chunks, ROOT recursion, k-means
+/// iterations); compare against BM_InstrumentationBaseline.
+void BM_InstrumentationOff(benchmark::State& state) {
+  telemetry::SetEnabled(false);
+  trace_events::SetEnabled(false);
+  for (auto _ : state) {
+    telemetry::Span span("bench.off");
+    trace_events::Scope scope("bench.off");
+    trace_events::Instant("bench.off");
+    benchmark::DoNotOptimize(&span);
+    benchmark::DoNotOptimize(&scope);
+  }
+}
+BENCHMARK(BM_InstrumentationOff);
+
+/// Empty-loop baseline for BM_InstrumentationOff.
+void BM_InstrumentationBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    int sink = 0;
+    benchmark::DoNotOptimize(&sink);
+  }
+}
+BENCHMARK(BM_InstrumentationBaseline);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN(): open the standard bench
+/// Session first (so --threads/--telemetry/--trace/--log-level and the
+/// BENCH_perf_scalability.json summary work here like in every other
+/// bench), then strip those flags before google-benchmark parses argv.
+int main(int argc, char** argv) {
+  stemroot::bench::Session session(argc, argv);
+  stemroot::bench::Session::StripFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/str.h"
+
+namespace stemroot::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : *object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(Value& out, std::string* error) {
+    try {
+      out = ParseValue();
+      SkipWs();
+      if (pos_ != text_.size()) Fail("trailing characters after document");
+      return true;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr)
+        *error = Format("offset %zu: %s", pos_, e.what());
+      return false;
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw std::runtime_error(why);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(Format("expected '%c', got '%c'", c, Peek()));
+    ++pos_;
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f': return ParseLiteralBool();
+      case 'n': {
+        ParseLiteral("null");
+        return Value{};
+      }
+      default: return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      Fail("bad literal (expected " + std::string(word) + ")");
+    pos_ += word.size();
+  }
+
+  Value ParseLiteralBool() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (Peek() == 't') {
+      ParseLiteral("true");
+      v.number = 1.0;
+    } else {
+      ParseLiteral("false");
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        Fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i)
+            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                0)
+              Fail("bad \\u escape");
+          // Validation only: keep the escape verbatim.
+          out += "\\u";
+          out.append(text_.substr(pos_, 4));
+          pos_ += 4;
+          break;
+        }
+        default: Fail("bad escape character");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) Fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) Fail("bad fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) Fail("bad exponent");
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    v.object = std::make_shared<Object>();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      v.object->emplace_back(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    v.array = std::make_shared<Array>();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Parse(std::string_view text, Value& out, std::string* error) {
+  return Parser(text).Parse(out, error);
+}
+
+void AppendString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += Format("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string Number(double v) { return Format("%.17g", v); }
+
+}  // namespace stemroot::json

@@ -35,6 +35,21 @@ void SetLogLevel(LogLevel level) {
 }
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+namespace {
+constexpr const char* kLevelNames[kNumLogLevels] = {"silent", "warn",
+                                                    "inform", "debug"};
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  return kLevelNames[static_cast<size_t>(level)];
+}
+
+std::optional<LogLevel> LogLevelFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumLogLevels; ++i)
+    if (name == kLevelNames[i]) return static_cast<LogLevel>(i);
+  return std::nullopt;
+}
+
 uint64_t LogCount(LogLevel level) {
   return g_counts[static_cast<size_t>(level)].load(std::memory_order_relaxed);
 }

@@ -12,7 +12,9 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace stemroot {
 
@@ -27,6 +29,14 @@ inline constexpr size_t kNumLogLevels = 4;
 /// never interleave mid-line.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Canonical lowercase token ("silent", "warn", "inform", "debug");
+/// round-trips through LogLevelFromName.
+const char* LogLevelName(LogLevel level);
+
+/// Parse a CLI-style level token (case-sensitive, the canonical lowercase
+/// names); std::nullopt for unknown names.
+std::optional<LogLevel> LogLevelFromName(std::string_view name);
 
 /// How many times Warn/Inform/Debug have been called since process start
 /// (or the last ResetLogCounts), counted even when the message is

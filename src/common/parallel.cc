@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/trace_events.h"
+
 namespace stemroot {
 
 namespace {
@@ -183,6 +185,10 @@ void RunChunks(ForState& state) {
         state.next.fetch_add(state.grain, std::memory_order_relaxed);
     if (start >= state.end) break;
     const size_t stop = std::min(start + state.grain, state.end);
+    // One begin/end pair per claimed chunk: `--trace` shows how the range
+    // was carved up across lanes (schedule-dependent by nature, see the
+    // determinism caveat in common/trace_events.h).
+    trace_events::Scope chunk_scope("parallel.chunk");
     try {
       for (size_t i = start; i < stop; ++i) (*state.body)(i);
     } catch (...) {

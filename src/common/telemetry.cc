@@ -6,7 +6,9 @@
 #include <memory>
 #include <mutex>
 
+#include "common/json.h"
 #include "common/str.h"
+#include "common/trace_events.h"
 
 namespace stemroot::telemetry {
 
@@ -127,28 +129,6 @@ std::vector<std::string>& SpanStack() {
   return *tls_span_stack;
 }
 
-void AppendJsonString(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          out += Format("\\u%04x", c);
-        else
-          out += c;
-    }
-  }
-  out += '"';
-}
-
-/// Shortest round-trip decimal form: byte-stable for identical bits.
-std::string JsonNumber(double v) { return Format("%.17g", v); }
-
 DistSummary Summarize(const std::vector<double>& sorted) {
   DistSummary s;
   s.count = sorted.size();
@@ -172,15 +152,15 @@ DistSummary Summarize(const std::vector<double>& sorted) {
 void AppendDistJson(std::string& out, const DistSummary& s) {
   out += Format("{\"count\":%llu,\"min\":",
                 static_cast<unsigned long long>(s.count));
-  out += JsonNumber(s.min);
+  out += json::Number(s.min);
   out += ",\"mean\":";
-  out += JsonNumber(s.mean);
+  out += json::Number(s.mean);
   out += ",\"max\":";
-  out += JsonNumber(s.max);
+  out += json::Number(s.max);
   out += ",\"p50\":";
-  out += JsonNumber(s.p50);
+  out += json::Number(s.p50);
   out += ",\"p99\":";
-  out += JsonNumber(s.p99);
+  out += json::Number(s.p99);
   out += '}';
 }
 
@@ -208,9 +188,16 @@ void Record(std::string_view name, double value) {
 }
 
 Span::Span(std::string_view name) {
-  if (!Enabled()) return;
-  active_ = true;
+  const bool telemetry_on = Enabled();
+  const bool tracing_on = trace_events::Enabled();
+  if (!telemetry_on && !tracing_on) return;
   name_ = std::string(name);
+  if (tracing_on) {
+    traced_ = true;
+    trace_events::Begin(name_);
+  }
+  if (!telemetry_on) return;
+  active_ = true;
   std::vector<std::string>& stack = SpanStack();
   if (!stack.empty()) parent_ = stack.back();
   stack.push_back(name_);
@@ -218,13 +205,21 @@ Span::Span(std::string_view name) {
 }
 
 Span::~Span() {
+  // Balanced even if tracing was flipped off mid-span.
+  if (traced_) trace_events::EndOpen(name_);
   if (!active_) return;
   const double us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - start_)
           .count();
+  // The stack entry was pushed at construction, so it must be popped no
+  // matter what SetEnabled did since -- otherwise an outer span would
+  // inherit a stale parent. Recording the aggregate, however, honors the
+  // *current* switch: a span closing after SetEnabled(false) leaves no
+  // trace in the next Capture().
   std::vector<std::string>& stack = SpanStack();
   if (!stack.empty() && stack.back() == name_) stack.pop_back();
+  if (!Enabled()) return;
   ThreadBuffer& buf = LocalBuffer();
   std::lock_guard<std::mutex> lock(buf.mu);
   buf.spans[SpanKey(name_, parent_)].Add(us);
@@ -252,7 +247,7 @@ std::string Snapshot::CountersJson() const {
   for (const auto& [name, value] : counters_) {
     if (!first) out += ',';
     first = false;
-    AppendJsonString(out, name);
+    json::AppendString(out, name);
     out += Format(":%llu", static_cast<unsigned long long>(value));
   }
   out += '}';
@@ -265,7 +260,7 @@ std::string Snapshot::DistributionsJson() const {
   for (const auto& [name, vals] : values_) {
     if (!first) out += ',';
     first = false;
-    AppendJsonString(out, name);
+    json::AppendString(out, name);
     out += ':';
     AppendDistJson(out, Summarize(vals));
   }
@@ -284,9 +279,9 @@ std::string Snapshot::ToJson() const {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":";
-    AppendJsonString(out, stats.name);
+    json::AppendString(out, stats.name);
     out += ",\"parent\":";
-    AppendJsonString(out, stats.parent);
+    json::AppendString(out, stats.parent);
     out += Format(",\"count\":%llu,\"total_us\":%.3f,\"min_us\":%.3f,"
                   "\"max_us\":%.3f}",
                   static_cast<unsigned long long>(stats.count),

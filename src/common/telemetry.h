@@ -53,7 +53,14 @@ void Record(std::string_view name, double value);
 
 /// RAII wall-time span. Nest freely; the innermost open span on the same
 /// thread becomes the parent. Inert when telemetry is disabled at
-/// construction time.
+/// construction time. Tolerates SetEnabled flipping mid-span: a span that
+/// opened while enabled always pops its stack entry, but only records an
+/// aggregate if telemetry is still enabled at destruction.
+///
+/// When the trace-event subsystem (common/trace_events.h) is enabled, a
+/// Span additionally emits a begin/end trace-event pair, independent of
+/// the telemetry switch -- so `--trace` sees the pipeline stages even
+/// without `--telemetry`.
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -66,7 +73,8 @@ class Span {
   std::string name_;
   std::string parent_;
   std::chrono::steady_clock::time_point start_;
-  bool active_ = false;
+  bool active_ = false;  ///< telemetry recording (stack entry pushed)
+  bool traced_ = false;  ///< trace-event begin emitted
 };
 
 /// Aggregated wall-time statistics of one (name, parent) span identity.

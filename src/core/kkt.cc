@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 
 namespace stemroot::core {
 
@@ -36,6 +37,7 @@ KktSolution SolveKkt(std::span<const ClusterStats> clusters,
                      const StemConfig& config) {
   config.Validate();
   telemetry::Count("core.kkt.solves");
+  trace_events::Scope solve_scope("kkt.solve");
   KktSolution solution;
   solution.sample_sizes.assign(clusters.size(), 0);
 
@@ -70,6 +72,7 @@ KktSolution SolveKkt(std::span<const ClusterStats> clusters,
 
   while (!active.empty()) {
     telemetry::Count("core.kkt.clamp_rounds");
+    trace_events::Instant("kkt.clamp_round");
     // Closed form over the active set: m_i = (sum_j sqrt(a_j b_j) / c)
     // * sqrt(b_i / a_i), a_i = mu_i, b_i = N_i^2 sigma_i^2.
     double lagrange_sum = 0.0;  // sum_j sqrt(a_j b_j)

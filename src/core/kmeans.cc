@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 
 namespace stemroot::core {
 
@@ -30,10 +31,12 @@ KmeansResult Kmeans1D(std::span<const double> values, uint32_t k,
   }
 
   telemetry::Count("core.kmeans.runs");
+  trace_events::Scope run_scope("kmeans.run");
   std::vector<double> sums(k);
   std::vector<uint64_t> counts(k);
   for (uint32_t iter = 0; iter < max_iters; ++iter) {
     telemetry::Count("core.kmeans.iterations");
+    trace_events::Instant("kmeans.iteration");
     bool moved = false;
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);

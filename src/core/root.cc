@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 #include "core/kkt.h"
 #include "core/kmeans.h"
 
@@ -26,6 +27,9 @@ namespace {
 void Recurse(std::vector<double> values, std::vector<uint32_t> members,
              uint32_t depth, const RootConfig& config,
              std::vector<RootCluster>& out) {
+  // Nested begin/end pairs make the split tree's shape visible in a
+  // `--trace` timeline: stack depth == recursion depth.
+  trace_events::Scope recurse_scope("root.recurse");
   RootCluster cluster;
   cluster.stats = ClusterStats::Of(values);
   cluster.depth = depth;

@@ -4,9 +4,43 @@
 
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 #include "core/kkt.h"
 
 namespace stemroot::core {
+
+StemClustering BuildStemClusters(const KernelTrace& trace,
+                                 const RootConfig& config) {
+  if (trace.Empty())
+    throw std::invalid_argument("BuildStemClusters: empty trace");
+
+  // This is the "cluster" stage of the pipeline's telemetry.
+  StemClustering out;
+  telemetry::Span cluster_span("cluster");
+  const auto groups = trace.GroupByKernel();
+  for (uint32_t kernel_id = 0; kernel_id < groups.size(); ++kernel_id) {
+    const auto& group = groups[kernel_id];
+    if (group.empty()) continue;
+    std::vector<double> durations;
+    durations.reserve(group.size());
+    for (uint32_t idx : group) {
+      const double d = trace.At(idx).duration_us;
+      if (d <= 0.0)
+        throw std::invalid_argument(
+            "BuildStemClusters: trace has unprofiled (non-positive) "
+            "durations");
+      durations.push_back(d);
+    }
+    auto kernel_clusters = RootCluster1D(durations, group, config);
+    for (auto& c : kernel_clusters) {
+      out.clusters.push_back(std::move(c));
+      out.kernel_ids.push_back(kernel_id);
+    }
+  }
+  trace_events::CounterValue("stem.clusters",
+                             static_cast<double>(out.clusters.size()));
+  return out;
+}
 
 StemRootSampler::StemRootSampler(StemRootConfig config)
     : config_(std::move(config)) {
@@ -15,30 +49,8 @@ StemRootSampler::StemRootSampler(StemRootConfig config)
 
 SamplingPlan StemRootSampler::BuildPlan(const KernelTrace& trace,
                                         uint64_t seed) const {
-  if (trace.Empty())
-    throw std::invalid_argument("StemRootSampler: empty trace");
-
-  // Step 1+2: group by kernel name, ROOT-cluster each group. This is the
-  // "cluster" stage of the pipeline's telemetry.
-  std::vector<RootCluster> clusters;
-  {
-    telemetry::Span cluster_span("cluster");
-    for (const auto& group : trace.GroupByKernel()) {
-      if (group.empty()) continue;
-      std::vector<double> durations;
-      durations.reserve(group.size());
-      for (uint32_t idx : group) {
-        const double d = trace.At(idx).duration_us;
-        if (d <= 0.0)
-          throw std::invalid_argument(
-              "StemRootSampler: trace has unprofiled (non-positive) "
-              "durations");
-        durations.push_back(d);
-      }
-      auto kernel_clusters = RootCluster1D(durations, group, config_.root);
-      for (auto& c : kernel_clusters) clusters.push_back(std::move(c));
-    }
-  }
+  const std::vector<RootCluster> clusters =
+      BuildStemClusters(trace, config_.root).clusters;
   telemetry::Count("core.stem.plans");
   telemetry::Record("core.stem.clusters_per_plan",
                     static_cast<double>(clusters.size()));

@@ -46,6 +46,23 @@ struct StemRootConfig {
   RootConfig root;  ///< includes the StemConfig (epsilon, confidence)
 };
 
+/// The clustering front half of STEM+ROOT (steps 1+2: group by kernel
+/// name, ROOT-cluster each group), shared by StemRootSampler::BuildPlan
+/// and the error-budget audit (eval/audit.h) so both always see the same
+/// partition.
+struct StemClustering {
+  /// Final clusters over the whole trace; members index the timeline.
+  std::vector<RootCluster> clusters;
+  /// Kernel id of each cluster, index-aligned with `clusters`.
+  std::vector<uint32_t> kernel_ids;
+};
+
+/// Deterministic for a given (trace, config): ROOT clustering draws no
+/// randomness. Throws std::invalid_argument on an empty or unprofiled
+/// trace. Runs inside the "cluster" telemetry span.
+StemClustering BuildStemClusters(const KernelTrace& trace,
+                                 const RootConfig& config);
+
 /// The proposed sampler.
 class StemRootSampler : public Sampler {
  public:

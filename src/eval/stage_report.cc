@@ -1,12 +1,12 @@
 #include "eval/stage_report.h"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <stdexcept>
 
+#include "common/json.h"
 #include "common/str.h"
 #include "common/table.h"
 
@@ -79,267 +79,47 @@ void WriteTelemetry(const telemetry::Snapshot& snapshot,
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON parser (objects, arrays, strings, numbers, bools, null) for
-// schema validation. No external dependencies; rejects trailing garbage.
+// Export validation. The JSON grammar work lives in common/json.h (shared
+// with the trace and audit validators); here we only check the telemetry
+// schema on top of the parse tree.
 
 namespace {
-
-struct JsonValue;
-using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-  Kind kind = Kind::kNull;
-  double number = 0.0;
-  std::string string;
-  std::shared_ptr<JsonObject> object;
-  std::shared_ptr<JsonArray> array;
-
-  const JsonValue* Find(std::string_view key) const {
-    if (kind != Kind::kObject) return nullptr;
-    for (const auto& [k, v] : *object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool Parse(JsonValue& out, std::string* error) {
-    try {
-      out = ParseValue();
-      SkipWs();
-      if (pos_ != text_.size()) Fail("trailing characters after document");
-      return true;
-    } catch (const std::runtime_error& e) {
-      if (error != nullptr)
-        *error = Format("offset %zu: %s", pos_, e.what());
-      return false;
-    }
-  }
-
- private:
-  [[noreturn]] void Fail(const std::string& why) {
-    throw std::runtime_error(why);
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char Peek() {
-    if (pos_ >= text_.size()) Fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    if (Peek() != c) Fail(Format("expected '%c', got '%c'", c, Peek()));
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    SkipWs();
-    switch (Peek()) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.string = ParseString();
-        return v;
-      }
-      case 't':
-      case 'f': return ParseLiteralBool();
-      case 'n': {
-        ParseLiteral("null");
-        return JsonValue{};
-      }
-      default: return ParseNumber();
-    }
-  }
-
-  void ParseLiteral(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word)
-      Fail("bad literal (expected " + std::string(word) + ")");
-    pos_ += word.size();
-  }
-
-  JsonValue ParseLiteralBool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (Peek() == 't') {
-      ParseLiteral("true");
-      v.number = 1.0;
-    } else {
-      ParseLiteral("false");
-    }
-    return v;
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) Fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
-        Fail("unescaped control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) Fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
-          for (int i = 0; i < 4; ++i)
-            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
-                0)
-              Fail("bad \\u escape");
-          // Validation only: keep the escape verbatim.
-          out += "\\u";
-          out.append(text_.substr(pos_, 4));
-          pos_ += 4;
-          break;
-        }
-        default: Fail("bad escape character");
-      }
-    }
-  }
-
-  JsonValue ParseNumber() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    auto digits = [&] {
-      size_t n = 0;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
-        ++pos_;
-        ++n;
-      }
-      return n;
-    };
-    if (digits() == 0) Fail("bad number");
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (digits() == 0) Fail("bad fraction");
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
-        ++pos_;
-      if (digits() == 0) Fail("bad exponent");
-    }
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return v;
-  }
-
-  JsonValue ParseObject() {
-    Expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    v.object = std::make_shared<JsonObject>();
-    SkipWs();
-    if (Peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      SkipWs();
-      std::string key = ParseString();
-      SkipWs();
-      Expect(':');
-      v.object->emplace_back(std::move(key), ParseValue());
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect('}');
-      return v;
-    }
-  }
-
-  JsonValue ParseArray() {
-    Expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    v.array = std::make_shared<JsonArray>();
-    SkipWs();
-    if (Peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array->push_back(ParseValue());
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect(']');
-      return v;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
 
 bool SchemaFail(std::string* error, const std::string& why) {
   if (error != nullptr) *error = "schema: " + why;
   return false;
 }
 
-bool IsNumber(const JsonValue* v) {
-  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+bool IsNumber(const json::Value* v) {
+  return v != nullptr && v->IsNumber();
 }
 
 }  // namespace
 
-bool ValidateTelemetryJson(std::string_view json, std::string* error,
+bool ValidateTelemetryJson(std::string_view text, std::string* error,
                            std::vector<std::string>* span_names) {
-  JsonValue root;
-  JsonParser parser(json);
-  if (!parser.Parse(root, error)) return false;
+  json::Value root;
+  if (!json::Parse(text, root, error)) return false;
 
-  if (root.kind != JsonValue::Kind::kObject)
+  if (!root.IsObject())
     return SchemaFail(error, "top level is not an object");
-  const JsonValue* schema = root.Find("schema");
-  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+  const json::Value* schema = root.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
       schema->string != "stemroot-telemetry-v1")
     return SchemaFail(error, "missing or wrong \"schema\" tag");
 
-  const JsonValue* counters = root.Find("counters");
-  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject)
+  const json::Value* counters = root.Find("counters");
+  if (counters == nullptr || !counters->IsObject())
     return SchemaFail(error, "\"counters\" missing or not an object");
   for (const auto& [name, value] : *counters->object)
-    if (value.kind != JsonValue::Kind::kNumber)
+    if (!value.IsNumber())
       return SchemaFail(error, "counter \"" + name + "\" is not a number");
 
-  const JsonValue* dists = root.Find("distributions");
-  if (dists == nullptr || dists->kind != JsonValue::Kind::kObject)
+  const json::Value* dists = root.Find("distributions");
+  if (dists == nullptr || !dists->IsObject())
     return SchemaFail(error, "\"distributions\" missing or not an object");
   for (const auto& [name, value] : *dists->object) {
-    if (value.kind != JsonValue::Kind::kObject)
+    if (!value.IsObject())
       return SchemaFail(error,
                         "distribution \"" + name + "\" is not an object");
     for (const char* field : {"count", "min", "mean", "max", "p50", "p99"})
@@ -348,23 +128,124 @@ bool ValidateTelemetryJson(std::string_view json, std::string* error,
                                      "\" lacks numeric \"" + field + "\"");
   }
 
-  const JsonValue* spans = root.Find("spans");
-  if (spans == nullptr || spans->kind != JsonValue::Kind::kArray)
+  const json::Value* spans = root.Find("spans");
+  if (spans == nullptr || !spans->IsArray())
     return SchemaFail(error, "\"spans\" missing or not an array");
-  for (const JsonValue& span : *spans->array) {
-    if (span.kind != JsonValue::Kind::kObject)
+  for (const json::Value& span : *spans->array) {
+    if (!span.IsObject())
       return SchemaFail(error, "span entry is not an object");
-    const JsonValue* name = span.Find("name");
-    if (name == nullptr || name->kind != JsonValue::Kind::kString)
+    const json::Value* name = span.Find("name");
+    if (name == nullptr || !name->IsString())
       return SchemaFail(error, "span entry lacks a string \"name\"");
-    const JsonValue* parent = span.Find("parent");
-    if (parent == nullptr || parent->kind != JsonValue::Kind::kString)
+    const json::Value* parent = span.Find("parent");
+    if (parent == nullptr || !parent->IsString())
       return SchemaFail(error, "span entry lacks a string \"parent\"");
     if (!IsNumber(span.Find("count")) || !IsNumber(span.Find("total_us")))
       return SchemaFail(error,
                         "span entry lacks numeric count/total_us fields");
     if (span_names != nullptr) span_names->push_back(name->string);
   }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CSV validation. The export is the fixed 10-column schema Snapshot::ToCsv
+// writes; telemetry names are code-controlled identifiers, so the format
+// needs (and the validator enforces) no quoting.
+
+namespace {
+
+/// Split one CSV line on plain commas (no quoting in this schema).
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      return fields;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool IsNumericField(const std::string& field) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  std::strtod(field.c_str(), &end);
+  return end == field.c_str() + field.size();
+}
+
+/// Per-kind required (numeric) and forbidden (empty) column indices in the
+/// kind,name,parent,count,min,mean,max,p50,p99,total layout.
+struct KindSchema {
+  const char* kind;
+  std::vector<size_t> numeric;
+  std::vector<size_t> empty;
+};
+
+const std::vector<KindSchema>& KindSchemas() {
+  static const std::vector<KindSchema> kSchemas = {
+      {"counter", {3}, {2, 4, 5, 6, 7, 8, 9}},
+      {"distribution", {3, 4, 5, 6, 7, 8}, {2, 9}},
+      {"span", {3, 4, 6, 9}, {5, 7, 8}},
+  };
+  return kSchemas;
+}
+
+}  // namespace
+
+bool ValidateTelemetryCsv(std::string_view csv, std::string* error,
+                          std::vector<std::string>* span_names) {
+  constexpr std::string_view kHeader =
+      "kind,name,parent,count,min,mean,max,p50,p99,total";
+
+  size_t line_no = 0;
+  size_t start = 0;
+  bool saw_header = false;
+  while (start <= csv.size()) {
+    const size_t nl = csv.find('\n', start);
+    const std::string_view line =
+        csv.substr(start, nl == std::string_view::npos ? std::string_view::npos
+                                                       : nl - start);
+    start = nl == std::string_view::npos ? csv.size() + 1 : nl + 1;
+    ++line_no;
+
+    if (!saw_header) {
+      if (line != kHeader)
+        return SchemaFail(error, "line 1 is not the telemetry CSV header");
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) continue;  // trailing newline
+
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    const std::string where = "line " + std::to_string(line_no);
+    if (fields.size() != 10)
+      return SchemaFail(error, where + ": expected 10 columns, got " +
+                                   std::to_string(fields.size()));
+    if (fields[1].empty())
+      return SchemaFail(error, where + ": empty name");
+
+    const KindSchema* schema = nullptr;
+    for (const KindSchema& k : KindSchemas())
+      if (fields[0] == k.kind) schema = &k;
+    if (schema == nullptr)
+      return SchemaFail(error, where + ": unknown kind '" + fields[0] + "'");
+    for (size_t i : schema->numeric)
+      if (!IsNumericField(fields[i]))
+        return SchemaFail(error, where + ": column " + std::to_string(i + 1) +
+                                     " is not numeric");
+    for (size_t i : schema->empty)
+      if (!fields[i].empty())
+        return SchemaFail(error, where + ": column " + std::to_string(i + 1) +
+                                     " must be empty for " + fields[0] +
+                                     " rows");
+    if (fields[0] == std::string_view("span") && span_names != nullptr)
+      span_names->push_back(fields[1]);
+  }
+  if (!saw_header) return SchemaFail(error, "empty document");
   return true;
 }
 

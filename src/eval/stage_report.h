@@ -7,9 +7,10 @@
 ///   human-readable "where did the time go" table `stemroot run` prints.
 /// - WriteTelemetry dumps a snapshot to disk (JSON, or CSV when the path
 ///   ends in ".csv").
-/// - ValidateTelemetryJson is a dependency-free JSON parser + schema check
-///   used by the telemetry_check tool and the telemetry tests, so CI can
-///   gate on a malformed export without external JSON libraries.
+/// - ValidateTelemetryJson / ValidateTelemetryCsv are dependency-free
+///   schema checks (the JSON grammar lives in common/json.h) used by the
+///   telemetry_check tool and the telemetry tests, so CI can gate on a
+///   malformed export without external JSON libraries.
 
 #pragma once
 
@@ -62,5 +63,13 @@ void WriteTelemetry(const telemetry::Snapshot& snapshot,
 /// non-null) gets a one-line reason.
 bool ValidateTelemetryJson(std::string_view json, std::string* error,
                            std::vector<std::string>* span_names = nullptr);
+
+/// Strict validation of a telemetry CSV export (the fixed 10-column
+/// kind,name,parent,count,min,mean,max,p50,p99,total layout): exact
+/// header, known row kinds, numeric columns numeric and unused columns
+/// empty per kind. On success, `span_names` (when non-null) receives the
+/// name of every span row in file order.
+bool ValidateTelemetryCsv(std::string_view csv, std::string* error,
+                          std::vector<std::string>* span_names = nullptr);
 
 }  // namespace stemroot::eval

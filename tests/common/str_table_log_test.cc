@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/flags.h"
 #include "common/log.h"
 #include "common/str.h"
 #include "common/table.h"
@@ -93,6 +94,36 @@ TEST(LogTest, LevelGates) {
   Inform("hidden %d", 1);
   Warn("hidden %d", 2);
   Debug("hidden %d", 3);
+  SetLogLevel(old);
+}
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::kSilent, LogLevel::kWarn,
+                               LogLevel::kInform, LogLevel::kDebug}) {
+    const auto parsed = LogLevelFromName(LogLevelName(level));
+    ASSERT_TRUE(parsed.has_value()) << LogLevelName(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_EQ(LogLevelFromName("silent"), LogLevel::kSilent);
+  EXPECT_EQ(LogLevelFromName("warn"), LogLevel::kWarn);
+  EXPECT_EQ(LogLevelFromName("inform"), LogLevel::kInform);
+  EXPECT_EQ(LogLevelFromName("debug"), LogLevel::kDebug);
+  EXPECT_FALSE(LogLevelFromName("verbose").has_value());
+  EXPECT_FALSE(LogLevelFromName("").has_value());
+  EXPECT_FALSE(LogLevelFromName("WARN").has_value());  // case-sensitive
+}
+
+// The --log-level plumbing the CLI and benches use: a flag value parsed
+// through Flags lands on SetLogLevel.
+TEST(LogTest, LogLevelFlagDrivesGlobalLevel) {
+  const LogLevel old = GetLogLevel();
+  const char* argv[] = {"--log-level", "debug"};
+  const Flags flags = Flags::Parse(2, argv);
+  const auto level = LogLevelFromName(flags.GetString("log-level", "warn"));
+  ASSERT_TRUE(level.has_value());
+  SetLogLevel(*level);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  flags.CheckAllRead();
   SetLogLevel(old);
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/parallel.h"
+#include "common/trace_events.h"
 #include "eval/stage_report.h"
 
 namespace stemroot::telemetry {
@@ -158,6 +159,102 @@ TEST_F(TelemetryTest, ValidateRejectsMalformedJson) {
   const std::string json = Capture().ToJson();
   EXPECT_FALSE(eval::ValidateTelemetryJson(
       std::string_view(json).substr(0, json.size() - 2), &error));
+}
+
+// Regression: SetEnabled may flip between a Span's construction and its
+// destruction (a bench toggling telemetry around a region, or the CLI
+// enabling late). Neither direction may corrupt the per-thread name stack
+// or crash; disabling mid-span simply discards that span's timing.
+TEST_F(TelemetryTest, SpanToleratesDisableMidSpan) {
+  {
+    Span outer("outer");
+    SetEnabled(false);
+    // The stack entry must still be popped on destruction even though
+    // recording is now off...
+  }
+  SetEnabled(true);
+  EXPECT_TRUE(Capture().Spans().empty());
+
+  // ...so a following span sees a clean stack (no stale "outer" parent).
+  { Span next("next"); }
+  const Snapshot snap = Capture();
+  ASSERT_EQ(snap.Spans().size(), 1u);
+  EXPECT_EQ(snap.Spans().begin()->second.name, "next");
+  EXPECT_EQ(snap.Spans().begin()->second.parent, "");
+}
+
+TEST_F(TelemetryTest, SpanToleratesEnableMidSpan) {
+  SetEnabled(false);
+  {
+    Span span("late");
+    SetEnabled(true);
+    // Construction saw telemetry off: nothing was pushed, so nothing may
+    // be recorded or popped at destruction.
+  }
+  EXPECT_TRUE(Capture().Spans().empty());
+}
+
+TEST_F(TelemetryTest, NestedSpansSurviveMidSpanToggle) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      SetEnabled(false);
+    }
+    SetEnabled(true);
+    // inner popped itself while disabled; a sibling must still see
+    // "outer" as its parent.
+    { Span sibling("sibling"); }
+  }
+  const Snapshot snap = Capture();
+  bool found = false;
+  for (const auto& [key, stats] : snap.Spans()) {
+    if (stats.name != "sibling") continue;
+    found = true;
+    EXPECT_EQ(stats.parent, "outer");
+  }
+  EXPECT_TRUE(found);
+}
+
+// A Span feeds the trace-event timeline independently of telemetry: with
+// telemetry off but tracing on it must still emit a balanced B/E pair.
+TEST_F(TelemetryTest, SpanFeedsTraceEventsWhenTelemetryOff) {
+  SetEnabled(false);
+  trace_events::Reset();
+  trace_events::SetEnabled(true);
+  { Span span("traced_only"); }
+  trace_events::SetEnabled(false);
+  SetEnabled(true);
+
+  EXPECT_TRUE(Capture().Spans().empty());
+  std::string error;
+  std::vector<std::string> names;
+  trace_events::TraceInfo info;
+  ASSERT_TRUE(trace_events::ValidateTraceJson(trace_events::ExportJson(),
+                                              &error, &names, &info))
+      << error;
+  EXPECT_EQ(info.events, 2u);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "traced_only");
+  trace_events::Reset();
+}
+
+// And the other mid-span hazard: tracing disabled between Span
+// construction and destruction must still close the open begin.
+TEST_F(TelemetryTest, SpanClosesTraceBeginWhenTracingDisabledMidSpan) {
+  trace_events::Reset();
+  trace_events::SetEnabled(true);
+  {
+    Span span("toggled");
+    trace_events::SetEnabled(false);
+  }
+  std::string error;
+  trace_events::TraceInfo info;
+  ASSERT_TRUE(trace_events::ValidateTraceJson(trace_events::ExportJson(),
+                                              &error, nullptr, &info))
+      << error;
+  EXPECT_EQ(info.events, 2u);
+  trace_events::Reset();
 }
 
 }  // namespace

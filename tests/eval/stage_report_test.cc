@@ -1,0 +1,164 @@
+#include "eval/stage_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.h"
+
+namespace stemroot::eval {
+namespace {
+
+class StageReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    telemetry::Reset();
+  }
+  void TearDown() override {
+    telemetry::Reset();
+    telemetry::SetEnabled(false);
+  }
+};
+
+TEST_F(StageReportTest, EmptySnapshotProducesEmptyButValidExports) {
+  const telemetry::Snapshot snap = telemetry::Capture();
+  const StageReport report = StageReport::FromSnapshot(snap);
+  EXPECT_TRUE(report.Stages().empty());
+  EXPECT_DOUBLE_EQ(report.TotalUs(), 0.0);
+  EXPECT_FALSE(report.HasStage("generate"));
+  // ToText must not crash or divide by the zero total.
+  const std::string text = report.ToText();
+  EXPECT_FALSE(text.empty());
+
+  std::string error;
+  EXPECT_TRUE(ValidateTelemetryJson(snap.ToJson(), &error)) << error;
+  std::vector<std::string> names;
+  EXPECT_TRUE(ValidateTelemetryCsv(snap.ToCsv(), &error, &names)) << error;
+  EXPECT_TRUE(names.empty());
+}
+
+TEST_F(StageReportTest, NestedParentageAggregatesByName) {
+  {
+    telemetry::Span gen("generate");
+    { telemetry::Span inner("profile"); }
+  }
+  // The same stage name under a different parent still folds into one row.
+  { telemetry::Span profile_again("profile"); }
+  const StageReport report =
+      StageReport::FromSnapshot(telemetry::Capture());
+  ASSERT_TRUE(report.HasStage("generate"));
+  ASSERT_TRUE(report.HasStage("profile"));
+  for (const StageReport::Stage& stage : report.Stages()) {
+    if (stage.name == "profile") {
+      EXPECT_EQ(stage.count, 2u);
+    }
+    if (stage.name == "generate") {
+      EXPECT_EQ(stage.count, 1u);
+    }
+  }
+  // Canonical stages come first, in pipeline order.
+  ASSERT_GE(report.Stages().size(), 2u);
+  EXPECT_EQ(report.Stages()[0].name, "generate");
+  EXPECT_EQ(report.Stages()[1].name, "profile");
+}
+
+TEST_F(StageReportTest, DeeplyNestedSpansKeepDistinctParents) {
+  {
+    telemetry::Span a("a");
+    telemetry::Span b("b");
+    telemetry::Span c("c");
+    telemetry::Span d("d");
+  }
+  const telemetry::Snapshot snap = telemetry::Capture();
+  ASSERT_EQ(snap.Spans().count({"d", "c"}), 1u);
+  ASSERT_EQ(snap.Spans().count({"c", "b"}), 1u);
+  ASSERT_EQ(snap.Spans().count({"b", "a"}), 1u);
+  ASSERT_EQ(snap.Spans().count({"a", ""}), 1u);
+
+  std::string error;
+  std::vector<std::string> json_names;
+  ASSERT_TRUE(ValidateTelemetryJson(snap.ToJson(), &error, &json_names))
+      << error;
+  std::vector<std::string> csv_names;
+  ASSERT_TRUE(ValidateTelemetryCsv(snap.ToCsv(), &error, &csv_names))
+      << error;
+  EXPECT_EQ(json_names, csv_names);
+  EXPECT_EQ(csv_names, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST_F(StageReportTest, CsvRoundTripsThroughDisk) {
+  telemetry::Count("entries", 12);
+  telemetry::Record("latency", 1.5);
+  telemetry::Record("latency", 2.5);
+  { telemetry::Span span("cluster"); }
+  const telemetry::Snapshot snap = telemetry::Capture();
+
+  const std::string path =
+      ::testing::TempDir() + "/stage_report_roundtrip.csv";
+  WriteTelemetry(snap, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), snap.ToCsv());
+
+  std::string error;
+  std::vector<std::string> names;
+  EXPECT_TRUE(ValidateTelemetryCsv(buffer.str(), &error, &names)) << error;
+  EXPECT_EQ(names, (std::vector<std::string>{"cluster"}));
+  std::remove(path.c_str());
+}
+
+TEST_F(StageReportTest, CsvValidatorRejectsSchemaViolations) {
+  const std::string header =
+      "kind,name,parent,count,min,mean,max,p50,p99,total\n";
+  std::string error;
+  // Wrong header.
+  EXPECT_FALSE(ValidateTelemetryCsv("kind,name\n", &error));
+  EXPECT_FALSE(error.empty());
+  // Unknown row kind.
+  EXPECT_FALSE(
+      ValidateTelemetryCsv(header + "gauge,x,,1,,,,,,\n", &error));
+  // Wrong arity.
+  EXPECT_FALSE(ValidateTelemetryCsv(header + "counter,x,,1\n", &error));
+  // Counter with a non-numeric count.
+  EXPECT_FALSE(
+      ValidateTelemetryCsv(header + "counter,x,,abc,,,,,,\n", &error));
+  // Counter carrying a value in a must-be-empty column.
+  EXPECT_FALSE(
+      ValidateTelemetryCsv(header + "counter,x,,1,2.0,,,,,\n", &error));
+  // Span missing its numeric total column.
+  EXPECT_FALSE(
+      ValidateTelemetryCsv(header + "span,s,,1,0.5,,0.5,,,\n", &error));
+  // A well-formed document still passes.
+  EXPECT_TRUE(ValidateTelemetryCsv(
+      header + "counter,x,,1,,,,,,\nspan,s,,1,0.5,,0.5,,,2.0\n", &error))
+      << error;
+}
+
+TEST_F(StageReportTest, JsonPathWritesJsonCsvPathWritesCsv) {
+  telemetry::Count("c", 1);
+  const telemetry::Snapshot snap = telemetry::Capture();
+  const std::string json_path = ::testing::TempDir() + "/stage_report.json";
+  const std::string csv_path = ::testing::TempDir() + "/stage_report.csv";
+  WriteTelemetry(snap, json_path);
+  WriteTelemetry(snap, csv_path);
+  std::ifstream json_in(json_path);
+  std::ifstream csv_in(csv_path);
+  std::stringstream json_buf, csv_buf;
+  json_buf << json_in.rdbuf();
+  csv_buf << csv_in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(ValidateTelemetryJson(json_buf.str(), &error)) << error;
+  EXPECT_TRUE(ValidateTelemetryCsv(csv_buf.str(), &error)) << error;
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace stemroot::eval

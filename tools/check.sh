@@ -6,8 +6,10 @@
 # noise.
 #
 # After ctest, every mode smoke-runs the `stemroot run` pipeline with
-# --telemetry and gates on tools/telemetry_check: a malformed telemetry
-# JSON export or a missing pipeline stage span fails the sweep.
+# --telemetry (JSON and CSV, gated on tools/telemetry_check) and --trace
+# (gated on tools/trace_check), then `stemroot audit` with a 95%
+# within-budget floor: a malformed export, a missing pipeline stage span
+# or trace event, or a broken error model fails the sweep.
 #
 # Usage:
 #   tools/check.sh            # plain + tsan + asan, full ctest each
@@ -56,16 +58,39 @@ run_mode() {
   # Same sanitizer runtime options as the ctest runs above; in particular
   # detect_leaks=0 -- the telemetry span stacks are intentionally leaked
   # per-thread state (see src/common/telemetry.cc).
+  local san_env=(ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
+                 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1")
   local smoke="$dir/telemetry-smoke.json"
-  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
-    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  local smoke_csv="$dir/telemetry-smoke.csv"
+  local trace="$dir/trace-smoke.json"
+  env "${san_env[@]}" \
     "$dir/tools/stemroot" run --suite casio --workload bert_infer \
       --method stem --scale 0.02 --reps 2 --threads 4 \
-      --telemetry "$smoke" >/dev/null
+      --telemetry "$smoke" --trace "$trace" >/dev/null
   "$dir/tools/telemetry_check" "$smoke" \
       --require-stage generate --require-stage profile \
       --require-stage cluster --require-stage sample \
       --require-stage evaluate
+
+  echo "=== [$mode] trace smoke (trace_check on the --trace export) ==="
+  # --threads 4 above guarantees the parallel.chunk scopes exist; the
+  # stage scopes come from the pipeline spans feeding the trace layer.
+  "$dir/tools/trace_check" "$trace" \
+      --require-event cluster --require-event kkt.solve \
+      --require-event parallel.chunk --min-events 10
+
+  echo "=== [$mode] telemetry CSV round-trip (telemetry_check .csv) ==="
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 1 --threads 2 \
+      --telemetry "$smoke_csv" >/dev/null
+  "$dir/tools/telemetry_check" "$smoke_csv"
+
+  echo "=== [$mode] audit smoke (stemroot audit --min-within 0.95) ==="
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" audit --suite rodinia --workload bfs,hotspot \
+      --seed 42 --trials 3 --min-within 0.95 \
+      --json "$dir/audit-smoke.json" >/dev/null
   echo "=== [$mode] OK ==="
 }
 

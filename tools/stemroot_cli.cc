@@ -19,15 +19,19 @@
 /// (invocation, weight) -- the "sampling information" a simulator embeds.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "baselines/registry.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/str.h"
 #include "common/telemetry.h"
+#include "common/trace_events.h"
 #include "core/sampler_registry.h"
+#include "eval/audit.h"
 #include "eval/pipeline.h"
 #include "eval/stage_report.h"
 #include "hw/profile.h"
@@ -51,16 +55,27 @@ commands:
   evaluate  --in FILE [--method NAME] [--reps N] [--seed N]
   run       --suite SUITE --workload NAME [--gpu GPU] [--method NAME]
             [--reps N] [--seed N] [--scale X]
+  audit     --suite SUITE [--workload A,B,..] [--gpu GPU] [--method NAME]
+            [--trials N] [--seed N] [--scale X] [--json FILE]
+            [--min-within FRACTION]
 
 methods come from the sampler registry (stem random pka sieve photon
 tbpoint); sampler parameters (--epsilon, --probability, --confidence, ...)
 are forwarded to the method's factory.
+
+audit compares every ROOT cluster's predicted error bound (Eq. 2 under
+the KKT allocation) against the realized error of seeded sampling plans;
+--min-within makes the exit status gate on the within-budget fraction.
 
 every command accepts:
   --threads N        0 = auto; or set STEMROOT_THREADS. thread count never
                      changes results -- see DESIGN.md.
   --telemetry FILE   collect pipeline telemetry and write it on exit
                      (.csv extension selects CSV; anything else JSON).
+  --trace FILE       record Chrome trace events (pipeline stages, parallel
+                     chunks, ROOT recursion, k-means iterations, KKT
+                     rounds) and write chrome://tracing / Perfetto JSON.
+  --log-level L      silent|warn|inform|debug (default warn).
   --seed N           master seed; every stage derives its own stream.
 )");
   return 2;
@@ -258,6 +273,46 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+int CmdAudit(const Flags& flags) {
+  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
+
+  eval::AuditOptions options;
+  options.trials = static_cast<uint32_t>(flags.GetInt("trials", 10));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.size_scale = flags.GetDouble("scale", 1.0);
+  // The audit's reference budget uses the same epsilon/confidence flags
+  // the sampler factory consumes, so both sides see one configuration.
+  options.root.stem.epsilon =
+      flags.GetDouble("epsilon", options.root.stem.epsilon);
+  options.root.stem.confidence =
+      flags.GetDouble("confidence", options.root.stem.confidence);
+  if (flags.Has("workload"))
+    options.only_workloads = Split(flags.GetString("workload", ""), ',');
+  const std::string json_path = flags.GetString("json", "");
+  const double min_within = flags.GetDouble("min-within", 0.0);
+  flags.CheckAllRead();
+
+  const eval::AuditReport report =
+      eval::AuditSuite(suite, *sampler, spec, options);
+  std::printf("%s", report.ToText().c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+    out << report.ToJson();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (report.WithinBudgetFraction() < min_within) {
+    std::fprintf(stderr,
+                 "audit: within-budget fraction %.3f below --min-within "
+                 "%.3f\n",
+                 report.WithinBudgetFraction(), min_within);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,6 +322,17 @@ int main(int argc, char** argv) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
     const std::string telemetry_path = flags.GetString("telemetry", "");
     if (!telemetry_path.empty()) telemetry::SetEnabled(true);
+    const std::string trace_path = flags.GetString("trace", "");
+    if (!trace_path.empty()) trace_events::SetEnabled(true);
+    const std::string log_level = flags.GetString("log-level", "");
+    if (!log_level.empty()) {
+      const std::optional<LogLevel> level = LogLevelFromName(log_level);
+      if (!level)
+        throw std::invalid_argument(
+            "unknown --log-level '" + log_level +
+            "' (available: silent, warn, inform, debug)");
+      SetLogLevel(*level);
+    }
 
     const std::string command = argv[1];
     int rc = -1;
@@ -276,12 +342,22 @@ int main(int argc, char** argv) {
     else if (command == "sample") rc = CmdSample(flags);
     else if (command == "evaluate") rc = CmdEvaluate(flags);
     else if (command == "run") rc = CmdRun(flags);
+    else if (command == "audit") rc = CmdAudit(flags);
     else {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return Usage();
     }
     if (!telemetry_path.empty())
       eval::WriteTelemetry(telemetry::Capture(), telemetry_path);
+    if (!trace_path.empty()) {
+      trace_events::WriteTrace(trace_path);
+      const trace_events::Stats stats = trace_events::GetStats();
+      if (stats.dropped > 0)
+        std::fprintf(stderr,
+                     "trace: ring wrapped, %llu events dropped (raise "
+                     "capacity via trace_events::SetRingCapacity)\n",
+                     static_cast<unsigned long long>(stats.dropped));
+    }
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,12 +1,13 @@
 /// \file
-/// telemetry_check — validate a telemetry JSON export (tools/check.sh uses
-/// this to fail the build on malformed output from a smoke `stemroot run`).
+/// telemetry_check — validate a telemetry export (tools/check.sh uses this
+/// to fail the build on malformed output from a smoke `stemroot run`).
 ///
-///   telemetry_check FILE.json [--require-stage NAME]...
+///   telemetry_check FILE [--require-stage NAME]...
 ///
-/// Exits 0 when FILE parses, matches the stemroot-telemetry-v1 schema, and
-/// contains a span for every required stage; prints the reason and exits 1
-/// otherwise.
+/// A path ending in ".csv" is validated against the 10-column telemetry
+/// CSV schema, anything else against the stemroot-telemetry-v1 JSON
+/// schema. Exits 0 when FILE parses, matches its schema, and contains a
+/// span for every required stage; prints the reason and exits 1 otherwise.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,14 +33,14 @@ int main(int argc, char** argv) {
       path = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: telemetry_check FILE.json "
+                   "usage: telemetry_check FILE "
                    "[--require-stage NAME]...\n");
       return 2;
     }
   }
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: telemetry_check FILE.json "
+                 "usage: telemetry_check FILE "
                  "[--require-stage NAME]...\n");
     return 2;
   }
@@ -51,11 +52,16 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string json = buffer.str();
+  const std::string text = buffer.str();
 
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
   std::string error;
   std::vector<std::string> span_names;
-  if (!stemroot::eval::ValidateTelemetryJson(json, &error, &span_names)) {
+  const bool ok =
+      csv ? stemroot::eval::ValidateTelemetryCsv(text, &error, &span_names)
+          : stemroot::eval::ValidateTelemetryJson(text, &error, &span_names);
+  if (!ok) {
     std::fprintf(stderr, "telemetry_check: %s: %s\n", path.c_str(),
                  error.c_str());
     return 1;

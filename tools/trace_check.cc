@@ -1,0 +1,90 @@
+/// \file
+/// trace_check — validate a Chrome trace-event export written by --trace
+/// (tools/check.sh uses this to fail the build on malformed output from a
+/// smoke `stemroot run --trace`).
+///
+///   trace_check FILE.json [--require-event NAME]... [--min-events N]
+///
+/// Exits 0 when FILE parses, matches the stemroot-trace-v1 schema, every
+/// per-thread begin/end pair is balanced with matching names, per-thread
+/// timestamps are monotonically non-decreasing, and every required event
+/// name occurs; prints the reason and exits 1 otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_events.h"
+
+int main(int argc, char** argv) {
+  const char* const kUsage =
+      "usage: trace_check FILE.json [--require-event NAME]... "
+      "[--min-events N]\n";
+  std::string path;
+  std::vector<std::string> required;
+  long min_events = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-event") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--require-event needs a value\n");
+        return 2;
+      }
+      required.push_back(argv[++i]);
+    } else if (arg == "--min-events") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--min-events needs a value\n");
+        return 2;
+      }
+      min_events = std::atol(argv[++i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  std::vector<std::string> names;
+  stemroot::trace_events::TraceInfo info;
+  if (!stemroot::trace_events::ValidateTraceJson(buffer.str(), &error,
+                                                 &names, &info)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  for (const std::string& name : required) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      std::fprintf(stderr,
+                   "trace_check: %s: missing required event \"%s\"\n",
+                   path.c_str(), name.c_str());
+      return 1;
+    }
+  }
+  if (static_cast<long>(info.events) < min_events) {
+    std::fprintf(stderr,
+                 "trace_check: %s: %zu events, below --min-events %ld\n",
+                 path.c_str(), info.events, min_events);
+    return 1;
+  }
+  std::printf("trace_check: %s ok (%zu events, %zu threads)\n", path.c_str(),
+              info.events, info.threads);
+  return 0;
+}
