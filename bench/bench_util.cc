@@ -6,12 +6,13 @@
 #include <fstream>
 
 #include "baselines/registry.h"
-#include "common/json.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace_events.h"
 #include "core/sampler_registry.h"
+#include "eval/ledger.h"
+#include "eval/manifest.h"
 #include "eval/stage_report.h"
 
 namespace stemroot::bench {
@@ -20,7 +21,8 @@ namespace {
 
 /// The flag pairs Session consumes; shared with StripFlags.
 constexpr const char* kSessionFlags[] = {"--threads", "--telemetry",
-                                         "--trace", "--log-level"};
+                                         "--trace", "--log-level",
+                                         "--ledger"};
 
 bool IsSessionFlag(const char* arg) {
   for (const char* flag : kSessionFlags)
@@ -37,9 +39,13 @@ Session::Session(int argc, const char* const* argv) {
     name_ = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
   }
   if (name_.empty()) name_ = "bench";
+  ledger_path_ = eval::Ledger::DefaultPath();
 
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+    if (std::strcmp(argv[i], "--ledger") == 0) {
+      const std::string value = argv[i + 1];
+      ledger_path_ = value == "none" ? "" : value;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
       const int n = std::atoi(argv[i + 1]);
       if (n < 0) {
         std::fprintf(stderr, "bad --threads value '%s'\n", argv[i + 1]);
@@ -67,13 +73,43 @@ Session::Session(int argc, const char* const* argv) {
   if (!telemetry_path_.empty()) telemetry::SetEnabled(true);
   if (!trace_path_.empty()) trace_events::SetEnabled(true);
   start_ = std::chrono::steady_clock::now();
+  // Flush the manifest up front with completed=false: a bench that
+  // crashes, OOMs, or is killed by a CI timeout still leaves evidence.
+  WriteManifest(/*completed=*/false);
 }
 
-Session::~Session() {
-  const double wall_seconds =
+void Session::WriteManifest(bool completed) const {
+  eval::RunManifest manifest;
+  manifest.tool = name_;
+  manifest.command = "bench";
+  manifest.completed = completed;
+  manifest.StampBuild();
+  manifest.config.seed = kSeed;
+  manifest.config.threads = threads_;
+  manifest.wall_time_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_)
           .count();
+  if (telemetry::Enabled())
+    manifest.FillFromSnapshot(telemetry::Capture());
+
+  const std::string path = ResultsDir() + "/BENCH_" + name_ + ".json";
+  try {
+    manifest.Save(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench manifest export failed: %s\n", e.what());
+    return;
+  }
+  if (completed && !ledger_path_.empty()) {
+    try {
+      eval::Ledger::Append(manifest, ledger_path_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench ledger append failed: %s\n", e.what());
+    }
+  }
+}
+
+Session::~Session() {
   if (!telemetry_path_.empty()) {
     try {
       eval::WriteTelemetry(telemetry::Capture(), telemetry_path_);
@@ -91,20 +127,10 @@ Session::~Session() {
     }
   }
 
-  // Always-on wall-time summary for sweep scripts.
-  const std::string summary_path = ResultsDir() + "/BENCH_" + name_ + ".json";
-  std::string out = "{\n  \"schema\": \"stemroot-bench-v1\",\n  \"bench\": ";
-  json::AppendString(out, name_);
-  out += ",\n  \"threads\": " + json::Number(threads_);
-  out += ",\n  \"wall_time_seconds\": " + json::Number(wall_seconds);
-  out += "\n}\n";
-  std::ofstream file(summary_path, std::ios::binary);
-  if (file) {
-    file << out;
-  } else {
-    std::fprintf(stderr, "bench summary export failed: %s\n",
-                 summary_path.c_str());
-  }
+  // Finalize the run manifest (wall time, stages, counters) and append it
+  // to the perf ledger -- the always-on machine-readable summary sweep
+  // scripts and `stemroot regress` consume.
+  WriteManifest(/*completed=*/true);
 }
 
 void Session::StripFlags(int* argc, char** argv) {

@@ -53,13 +53,20 @@ struct SamplerSet {
 /// are bit-identical at any thread count), `--telemetry FILE` (enables
 /// the telemetry subsystem; the destructor captures and writes the export,
 /// .csv extension selecting CSV over JSON), `--trace FILE` (records Chrome
-/// trace events, written by the destructor), and `--log-level L`
-/// (silent|warn|inform|debug).
+/// trace events, written by the destructor), `--log-level L`
+/// (silent|warn|inform|debug), and `--ledger FILE` (override the run
+/// ledger path; `--ledger none` disables the append).
 ///
-/// The destructor also always writes a machine-readable wall-time summary
-/// to bench_results/BENCH_<name>.json (schema "stemroot-bench-v1"; the
-/// bench name is argv[0]'s basename), so sweep scripts can collect every
-/// bench's runtime without scraping stdout.
+/// Every bench run leaves a machine-readable stemroot-manifest-v1 run
+/// manifest at bench_results/BENCH_<name>.json (the bench name is
+/// argv[0]'s basename): the constructor flushes it immediately with
+/// `"completed": false`, and the destructor rewrites it with the final
+/// wall time, build stamp, telemetry stage/counter data (when enabled),
+/// and `"completed": true` -- so a crashed, OOM-killed, or timed-out
+/// bench still leaves evidence of what started and never finished. On
+/// clean completion the manifest is also appended to the perf ledger
+/// (bench_results/ledger.jsonl by default; see src/eval/ledger.h), which
+/// `stemroot regress` gates on.
 class Session {
  public:
   Session(int argc, const char* const* argv);
@@ -75,17 +82,22 @@ class Session {
   const std::string& name() const { return name_; }
 
   /// Remove the Session-consumed flag pairs (--threads, --telemetry,
-  /// --trace, --log-level) from argv in place, updating *argc: benches
+  /// --trace, --log-level, --ledger) from argv in place, updating *argc:
+  /// benches
   /// that forward argv to another parser (google-benchmark) call this
   /// after constructing the Session so the foreign parser never sees our
   /// flags.
   static void StripFlags(int* argc, char** argv);
 
  private:
+  /// Manifest skeleton for this run; completed=false until the destructor.
+  void WriteManifest(bool completed) const;
+
   int threads_ = 0;
   std::string name_;
   std::string telemetry_path_;
   std::string trace_path_;
+  std::string ledger_path_;  ///< empty = append disabled
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -26,7 +26,7 @@ class Parser {
       SkipWs();
       if (pos_ != text_.size()) Fail("trailing characters after document");
       return true;
-    } catch (const std::runtime_error& e) {
+    } catch (const std::exception& e) {
       if (error != nullptr)
         *error = Format("offset %zu: %s", pos_, e.what());
       return false;
@@ -34,9 +34,23 @@ class Parser {
   }
 
  private:
+  /// Recursion cap: ParseValue recurses once per container level, so a
+  /// hostile "[[[[..." document would otherwise overflow the stack. 200
+  /// levels is far beyond any manifest/telemetry payload.
+  static constexpr int kMaxDepth = 200;
+
   [[noreturn]] void Fail(const std::string& why) {
     throw std::runtime_error(why);
   }
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth)
+        throw std::runtime_error("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
 
   void SkipWs() {
     while (pos_ < text_.size() &&
@@ -160,11 +174,16 @@ class Parser {
     }
     Value v;
     v.kind = Value::Kind::kNumber;
-    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::out_of_range&) {
+      Fail("number out of range");
+    }
     return v;
   }
 
   Value ParseObject() {
+    DepthGuard guard(*this);
     Expect('{');
     Value v;
     v.kind = Value::Kind::kObject;
@@ -191,6 +210,7 @@ class Parser {
   }
 
   Value ParseArray() {
+    DepthGuard guard(*this);
     Expect('[');
     Value v;
     v.kind = Value::Kind::kArray;
@@ -214,6 +234,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

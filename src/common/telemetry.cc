@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/csv.h"
 #include "common/json.h"
 #include "common/str.h"
 #include "common/trace_events.h"
@@ -292,22 +293,26 @@ std::string Snapshot::ToJson() const {
 }
 
 std::string Snapshot::ToCsv() const {
+  // Names are usually code-controlled identifiers, but nothing stops a
+  // caller from embedding a comma or quote -- RFC 4180 quoting keeps the
+  // export parseable regardless.
   std::string out = "kind,name,parent,count,min,mean,max,p50,p99,total\n";
   for (const auto& [name, value] : counters_) {
-    out += "counter," + name + ",," +
+    out += "counter," + CsvWriter::Quote(name) + ",," +
            Format("%llu", static_cast<unsigned long long>(value)) +
            ",,,,,,\n";
   }
   for (const auto& [name, vals] : values_) {
     const DistSummary s = Summarize(vals);
-    out += "distribution," + name + ",," +
+    out += "distribution," + CsvWriter::Quote(name) + ",," +
            Format("%llu,%.17g,%.17g,%.17g,%.17g,%.17g,",
                   static_cast<unsigned long long>(s.count), s.min, s.mean,
                   s.max, s.p50, s.p99) +
            "\n";
   }
   for (const auto& [key, stats] : spans_) {
-    out += "span," + stats.name + "," + stats.parent + "," +
+    out += "span," + CsvWriter::Quote(stats.name) + "," +
+           CsvWriter::Quote(stats.parent) + "," +
            Format("%llu,%.3f,,%.3f,,,%.3f",
                   static_cast<unsigned long long>(stats.count),
                   stats.min_us, stats.max_us, stats.total_us) +

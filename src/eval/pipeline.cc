@@ -18,12 +18,17 @@ Pipeline Pipeline::Generate(workloads::SuiteId suite,
   KernelTrace trace = workloads::MakeWorkload(
       suite, workload, DeriveSeed(options.seed, HashString(workload)),
       options.size_scale);
-  return Pipeline(std::move(trace), options, /*profiled=*/false);
+  Pipeline pipeline(std::move(trace), options, /*profiled=*/false);
+  pipeline.suite_name_ = workloads::ToName(suite);
+  pipeline.workload_ = workload;
+  return pipeline;
 }
 
 Pipeline Pipeline::FromTrace(KernelTrace trace, const Options& options) {
   const bool profiled = trace.TotalDurationUs() > 0.0;
-  return Pipeline(std::move(trace), options, profiled);
+  Pipeline pipeline(std::move(trace), options, profiled);
+  pipeline.workload_ = pipeline.trace_.WorkloadName();
+  return pipeline;
 }
 
 Pipeline& Pipeline::Profile(const hw::HardwareModel& gpu) {
@@ -34,7 +39,16 @@ Pipeline& Pipeline::Profile(const hw::HardwareModel& gpu) {
 }
 
 Pipeline& Pipeline::Profile(const hw::GpuSpec& spec) {
+  gpu_name_ = spec.name;
   return Profile(hw::HardwareModel(spec));
+}
+
+void Pipeline::FillManifest(RunManifest& manifest) const {
+  manifest.config.suite = suite_name_;
+  manifest.config.workload = workload_;
+  manifest.config.gpu = gpu_name_;
+  manifest.config.seed = options_.seed;
+  manifest.config.scale = options_.size_scale;
 }
 
 void Pipeline::RequireProfiled(const char* stage) const {

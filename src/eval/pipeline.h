@@ -37,6 +37,7 @@
 
 #include "core/plan.h"
 #include "core/sampler.h"
+#include "eval/manifest.h"
 #include "eval/metrics.h"
 #include "hw/hardware_model.h"
 #include "trace/trace.h"
@@ -90,6 +91,21 @@ class Pipeline {
   const Options& Opts() const { return options_; }
   bool Profiled() const { return profiled_; }
 
+  /// Resolved provenance, recorded as the stages run: the suite name from
+  /// Generate ("" for FromTrace pipelines), the workload name (from
+  /// Generate, or the trace's own name for FromTrace), and the GPU preset
+  /// name from the Profile(GpuSpec) overload ("" when profiling went
+  /// through a bare HardwareModel or the trace arrived pre-profiled).
+  const std::string& SuiteName() const { return suite_name_; }
+  const std::string& WorkloadName() const { return workload_; }
+  const std::string& GpuName() const { return gpu_name_; }
+
+  /// Record this pipeline's resolved provenance and options into a run
+  /// manifest's config section (suite, workload, gpu, seed, scale). The
+  /// caller fills the sampler-side fields (method, epsilon, reps, ...) it
+  /// resolved itself -- see RunManifest.
+  void FillManifest(RunManifest& manifest) const;
+
  private:
   Pipeline(KernelTrace trace, const Options& options, bool profiled);
 
@@ -98,6 +114,9 @@ class Pipeline {
   KernelTrace trace_;
   Options options_;
   bool profiled_ = false;
+  std::string suite_name_;
+  std::string workload_;
+  std::string gpu_name_;
 };
 
 }  // namespace stemroot::eval

@@ -1,0 +1,138 @@
+/// \file
+/// The regression sentinel: manifest-vs-manifest diffing (`stemroot
+/// compare`) and noise-aware ledger gating (`stemroot regress`).
+///
+/// compare splits a manifest into two kinds of fields and treats them
+/// differently:
+///
+///   - *Deterministic* fields -- config, accuracy metrics, sample/cluster
+///     counts, telemetry counters -- are governed by the determinism
+///     contract (DESIGN.md): for a fixed seed they are identical at any
+///     thread count. Any difference between two same-config runs is a
+///     result change, flagged as drift regardless of magnitude.
+///   - *Wall-time* fields -- per-stage totals, total wall seconds -- are
+///     noisy by nature. compare reports their deltas but never gates on
+///     them.
+///
+/// regress gates wall time too, using a rolling baseline from the ledger:
+/// the newest entry is checked against up to `window` prior completed
+/// entries with the same fingerprint. The per-gate threshold is
+///
+///   median + max(mad_factor * MAD, rel_slack * median)
+///
+/// (median/MAD from common/stats; MAD is scaled to be sigma-consistent
+/// under normality). The MAD term absorbs whatever run-to-run noise the
+/// baseline actually exhibits; the rel_slack floor (default 2%) keeps a
+/// zero-MAD baseline -- e.g. replayed identical manifests in CI -- from
+/// flagging sub-noise jitter, while still catching the >= 5% slowdowns
+/// the acceptance gate requires. Accuracy runs through two separate
+/// gates: a drift gate against the baseline (deterministic, so near-zero
+/// slack) and an absolute budget gate, realized error vs the Eq. 2 bound
+/// carried in the manifest -- a run that blows its own epsilon budget
+/// regresses even with no history at all.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/ledger.h"
+#include "eval/manifest.h"
+
+namespace stemroot::eval {
+
+/// Exit codes shared by the compare/regress CLI commands (0 = clean,
+/// 1 = usage/runtime error as elsewhere in the CLI).
+inline constexpr int kExitNotComparable = 2;
+inline constexpr int kExitRegression = 3;
+
+// ---------------------------------------------------------------------------
+// compare
+
+struct CompareOptions {
+  /// Diff manifests even when their configs differ (the exit code then
+  /// reports kExitNotComparable drift semantics only for same-config
+  /// pairs; a cross-config diff is informational).
+  bool allow_config_diff = false;
+};
+
+/// One wall-time row of the comparison table.
+struct StageDelta {
+  std::string name;
+  double a_us = 0.0;
+  double b_us = 0.0;  ///< 0 when the stage is missing on one side
+  bool in_both = false;
+};
+
+struct CompareReport {
+  /// Tool, command, and every config field except threads agree.
+  bool comparable = false;
+  /// Deterministic fields differ between two comparable runs.
+  bool deterministic_drift = false;
+  std::vector<std::string> config_diffs;  ///< human-readable field diffs
+  std::vector<std::string> drift_notes;   ///< which deterministic fields moved
+  std::vector<StageDelta> stage_deltas;   ///< union of both stage lists
+  double a_wall_seconds = 0.0;
+  double b_wall_seconds = 0.0;
+
+  /// Full report: config diff block, deterministic verdict, wall-time
+  /// table with signed deltas and percentages.
+  std::string ToText() const;
+
+  /// 0 clean; kExitNotComparable for config mismatch (unless allowed);
+  /// kExitRegression for deterministic drift.
+  int ExitCode(const CompareOptions& options) const;
+};
+
+/// Diff two manifests (A = baseline, B = candidate).
+CompareReport CompareManifests(const RunManifest& a, const RunManifest& b);
+
+// ---------------------------------------------------------------------------
+// regress
+
+struct RegressOptions {
+  size_t window = 8;       ///< baseline entries considered (0 = all)
+  size_t min_history = 2;  ///< gates need at least this many baseline runs
+  double mad_factor = 3.0; ///< c in median + c*MAD
+  double rel_slack = 0.02; ///< relative floor on perf thresholds
+  /// Absolute floor (percentage points) on the accuracy drift threshold.
+  /// Near zero: same-fingerprint accuracy is deterministic, so any real
+  /// movement is a result change.
+  double accuracy_slack_pct = 1e-6;
+};
+
+/// One gate's verdict. `gate` is "perf:<stage>", "perf:wall_time",
+/// "accuracy:drift", "accuracy:budget", "budget:samples", or "completed".
+struct GateResult {
+  std::string gate;
+  size_t history = 0;  ///< baseline observations behind the threshold
+  double baseline_median = 0.0;
+  double baseline_mad = 0.0;
+  double threshold = 0.0;
+  double observed = 0.0;
+  bool regressed = false;
+};
+
+struct RegressReport {
+  /// False when the ledger was empty or history was insufficient; `reason`
+  /// says why and no gates were evaluated.
+  bool checked = false;
+  std::string reason;
+  std::string newest_fingerprint;
+  std::string newest_git_hash;
+  size_t baseline_size = 0;
+  std::vector<GateResult> gates;
+
+  bool HasRegression() const;
+  /// Gate table plus a one-line verdict.
+  std::string ToText() const;
+  /// 0 clean (including unchecked); kExitRegression on any tripped gate.
+  int ExitCode() const;
+};
+
+/// Check the newest ledger entry against its rolling baseline.
+RegressReport CheckRegression(const Ledger& ledger,
+                              const RegressOptions& options);
+
+}  // namespace stemroot::eval

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/csv.h"
 #include "common/json.h"
 #include "common/str.h"
 #include "common/table.h"
@@ -150,25 +151,11 @@ bool ValidateTelemetryJson(std::string_view text, std::string* error,
 
 // ---------------------------------------------------------------------------
 // CSV validation. The export is the fixed 10-column schema Snapshot::ToCsv
-// writes; telemetry names are code-controlled identifiers, so the format
-// needs (and the validator enforces) no quoting.
+// writes; cells are parsed with the shared RFC-4180 reader, so names
+// carrying commas/quotes/newlines survive a round trip through the
+// exporter.
 
 namespace {
-
-/// Split one CSV line on plain commas (no quoting in this schema).
-std::vector<std::string> SplitCsvLine(std::string_view line) {
-  std::vector<std::string> fields;
-  size_t start = 0;
-  while (true) {
-    const size_t comma = line.find(',', start);
-    if (comma == std::string_view::npos) {
-      fields.emplace_back(line.substr(start));
-      return fields;
-    }
-    fields.emplace_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
-}
 
 bool IsNumericField(const std::string& field) {
   if (field.empty()) return false;
@@ -198,30 +185,25 @@ const std::vector<KindSchema>& KindSchemas() {
 
 bool ValidateTelemetryCsv(std::string_view csv, std::string* error,
                           std::vector<std::string>* span_names) {
-  constexpr std::string_view kHeader =
-      "kind,name,parent,count,min,mean,max,p50,p99,total";
+  static const std::vector<std::string> kHeader = {
+      "kind", "name", "parent", "count", "min",
+      "mean", "max",  "p50",    "p99",   "total"};
 
-  size_t line_no = 0;
-  size_t start = 0;
-  bool saw_header = false;
-  while (start <= csv.size()) {
-    const size_t nl = csv.find('\n', start);
-    const std::string_view line =
-        csv.substr(start, nl == std::string_view::npos ? std::string_view::npos
-                                                       : nl - start);
-    start = nl == std::string_view::npos ? csv.size() + 1 : nl + 1;
-    ++line_no;
+  CsvTable table;
+  try {
+    table = CsvTable::Parse(std::string(csv));
+  } catch (const std::exception& e) {
+    return SchemaFail(error, std::string("CSV parse failed: ") + e.what());
+  }
+  if (table.rows.empty()) return SchemaFail(error, "empty document");
+  if (table.rows.front() != kHeader)
+    return SchemaFail(error, "row 1 is not the telemetry CSV header");
 
-    if (!saw_header) {
-      if (line != kHeader)
-        return SchemaFail(error, "line 1 is not the telemetry CSV header");
-      saw_header = true;
-      continue;
-    }
-    if (line.empty()) continue;  // trailing newline
+  for (size_t row_no = 1; row_no < table.rows.size(); ++row_no) {
+    const std::vector<std::string>& fields = table.rows[row_no];
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
 
-    const std::vector<std::string> fields = SplitCsvLine(line);
-    const std::string where = "line " + std::to_string(line_no);
+    const std::string where = "row " + std::to_string(row_no + 1);
     if (fields.size() != 10)
       return SchemaFail(error, where + ": expected 10 columns, got " +
                                    std::to_string(fields.size()));
@@ -245,7 +227,6 @@ bool ValidateTelemetryCsv(std::string_view csv, std::string* error,
     if (fields[0] == std::string_view("span") && span_names != nullptr)
       span_names->push_back(fields[1]);
   }
-  if (!saw_header) return SchemaFail(error, "empty document");
   return true;
 }
 

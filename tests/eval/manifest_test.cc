@@ -1,0 +1,210 @@
+#include "eval/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace stemroot::eval {
+namespace {
+
+RunManifest MakeManifest() {
+  RunManifest m;
+  m.tool = "stemroot";
+  m.command = "run";
+  m.completed = true;
+  m.StampBuild();
+  m.config.suite = "rodinia";
+  m.config.workload = "hotspot";
+  m.config.gpu = "RTX2080";
+  m.config.method = "stem";
+  m.config.epsilon = 0.05;
+  m.config.confidence = 0.95;
+  m.config.scale = 1.0;
+  m.config.seed = 42;
+  m.config.reps = 10;
+  m.config.threads = 4;
+  m.wall_time_seconds = 1.25;
+  m.stages = {{"generate", 1, 100.0},
+              {"cluster", 10, 2500.5},
+              {"evaluate", 1, 321.0}};
+  m.counters = {{"core.kkt.solves", 100}, {"eval.evaluations", 1}};
+  m.metrics.present = true;
+  m.metrics.error_pct = 0.81;
+  m.metrics.theoretical_error_pct = 5.0;
+  m.metrics.speedup = 123.5;
+  m.metrics.num_samples = 17;
+  m.metrics.num_clusters = 9;
+  return m;
+}
+
+void ExpectEqual(const RunManifest& a, const RunManifest& b) {
+  EXPECT_EQ(a.tool, b.tool);
+  EXPECT_EQ(a.command, b.command);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.build.git_hash, b.build.git_hash);
+  EXPECT_EQ(a.build.git_dirty, b.build.git_dirty);
+  EXPECT_EQ(a.build.compiler, b.build.compiler);
+  EXPECT_EQ(a.config.suite, b.config.suite);
+  EXPECT_EQ(a.config.workload, b.config.workload);
+  EXPECT_EQ(a.config.gpu, b.config.gpu);
+  EXPECT_EQ(a.config.method, b.config.method);
+  EXPECT_DOUBLE_EQ(a.config.epsilon, b.config.epsilon);
+  EXPECT_DOUBLE_EQ(a.config.confidence, b.config.confidence);
+  EXPECT_DOUBLE_EQ(a.config.scale, b.config.scale);
+  EXPECT_EQ(a.config.seed, b.config.seed);
+  EXPECT_EQ(a.config.reps, b.config.reps);
+  EXPECT_EQ(a.config.threads, b.config.threads);
+  EXPECT_DOUBLE_EQ(a.wall_time_seconds, b.wall_time_seconds);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].name, b.stages[i].name);
+    EXPECT_EQ(a.stages[i].count, b.stages[i].count);
+    EXPECT_DOUBLE_EQ(a.stages[i].total_us, b.stages[i].total_us);
+  }
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.metrics.present, b.metrics.present);
+  EXPECT_DOUBLE_EQ(a.metrics.error_pct, b.metrics.error_pct);
+  EXPECT_DOUBLE_EQ(a.metrics.theoretical_error_pct,
+                   b.metrics.theoretical_error_pct);
+  EXPECT_DOUBLE_EQ(a.metrics.speedup, b.metrics.speedup);
+  EXPECT_EQ(a.metrics.num_samples, b.metrics.num_samples);
+  EXPECT_EQ(a.metrics.num_clusters, b.metrics.num_clusters);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST(ManifestTest, RoundTripsPrettyAndCompact) {
+  const RunManifest m = MakeManifest();
+  for (bool pretty : {true, false}) {
+    const std::string text = m.ToJson(pretty);
+    RunManifest back;
+    std::string error;
+    ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+    ExpectEqual(m, back);
+  }
+  // The compact form is one line (the ledger encoding).
+  const std::string compact = m.ToJson(/*pretty=*/false);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+TEST(ManifestTest, RoundTripsFailedRunWithErrorAndNoMetrics) {
+  RunManifest m = MakeManifest();
+  m.completed = false;
+  m.metrics = {};
+  m.error = "something \"quoted\"\nbroke";
+  const std::string text = m.ToJson(/*pretty=*/true);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_FALSE(back.completed);
+  EXPECT_FALSE(back.metrics.present);
+  EXPECT_EQ(back.error, m.error);
+}
+
+TEST(ManifestTest, ValidationRejectsNonConformingDocuments) {
+  std::string error;
+  EXPECT_FALSE(ValidateManifestJson("not json at all", &error));
+  EXPECT_FALSE(ValidateManifestJson("[]", &error));
+  EXPECT_FALSE(ValidateManifestJson("{}", &error));
+  EXPECT_FALSE(
+      ValidateManifestJson(R"({"schema": "some-other-schema"})", &error));
+
+  // Field-level violations: start from a valid doc and break one thing.
+  const RunManifest m = MakeManifest();
+  const std::string good = m.ToJson(/*pretty=*/false);
+  ASSERT_TRUE(ValidateManifestJson(good, &error)) << error;
+
+  auto broke = [&](const std::string& from, const std::string& to) {
+    std::string doc = good;
+    const size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return doc;
+  };
+  // Missing build stamp member.
+  EXPECT_FALSE(
+      ValidateManifestJson(broke("\"git_hash\"", "\"nope\""), &error));
+  // completed must be a bool.
+  EXPECT_FALSE(
+      ValidateManifestJson(broke("\"completed\":true", "\"completed\":1"),
+                           &error));
+  // Negative wall time.
+  EXPECT_FALSE(ValidateManifestJson(
+      broke("\"wall_time_seconds\":1.25", "\"wall_time_seconds\":-1"),
+      &error));
+  // Stage entry missing its count.
+  EXPECT_FALSE(
+      ValidateManifestJson(broke("\"count\":1,", "\"clowns\":1,"), &error));
+  // Non-numeric counter value.
+  EXPECT_FALSE(ValidateManifestJson(
+      broke("\"core.kkt.solves\":100", "\"core.kkt.solves\":\"x\""),
+      &error));
+  // Metrics present but incomplete.
+  EXPECT_FALSE(
+      ValidateManifestJson(broke("\"speedup\"", "\"speedip\""), &error));
+}
+
+TEST(ManifestTest, FingerprintCoversConfigButNotBuild) {
+  const RunManifest a = MakeManifest();
+  RunManifest b = a;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // The build stamp is deliberately excluded: the ledger compares runs
+  // across revisions.
+  b.build.git_hash = "deadbeef0000";
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // Every config knob (threads included) is part of the identity.
+  b = a; b.config.workload = "lud";
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b = a; b.config.seed = 43;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b = a; b.config.threads = 8;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b = a; b.config.epsilon = 0.10;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b = a; b.command = "evaluate";
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ManifestTest, FindStage) {
+  const RunManifest m = MakeManifest();
+  ASSERT_NE(m.FindStage("cluster"), nullptr);
+  EXPECT_DOUBLE_EQ(m.FindStage("cluster")->total_us, 2500.5);
+  EXPECT_EQ(m.FindStage("warp_drive"), nullptr);
+}
+
+TEST(ManifestTest, FillFromSnapshotAggregatesStagesAndCounters) {
+  telemetry::SetEnabled(true);
+  telemetry::Reset();
+  {
+    telemetry::Span gen("generate");
+    telemetry::Count("widgets", 3);
+  }
+  { telemetry::Span eval_span("evaluate"); }
+  RunManifest m;
+  m.FillFromSnapshot(telemetry::Capture());
+  telemetry::Reset();
+  telemetry::SetEnabled(false);
+
+  ASSERT_EQ(m.stages.size(), 2u);
+  // Canonical pipeline order, not alphabetical.
+  EXPECT_EQ(m.stages[0].name, "generate");
+  EXPECT_EQ(m.stages[1].name, "evaluate");
+  EXPECT_EQ(m.counters.at("widgets"), 3u);
+}
+
+TEST(ManifestTest, SaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/manifest_test.json";
+  const RunManifest m = MakeManifest();
+  m.Save(path);
+  const RunManifest back = RunManifest::Load(path);
+  ExpectEqual(m, back);
+  std::remove(path.c_str());
+  EXPECT_THROW(RunManifest::Load(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stemroot::eval

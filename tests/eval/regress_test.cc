@@ -1,0 +1,266 @@
+#include "eval/regress.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stemroot::eval {
+namespace {
+
+RunManifest MakeRun(double wall_seconds = 1.0) {
+  RunManifest m;
+  m.tool = "stemroot";
+  m.command = "run";
+  m.completed = true;
+  m.config.suite = "rodinia";
+  m.config.workload = "hotspot";
+  m.config.gpu = "RTX2080";
+  m.config.method = "stem";
+  m.config.epsilon = 0.05;
+  m.config.confidence = 0.95;
+  m.config.seed = 42;
+  m.config.reps = 10;
+  m.config.threads = 1;
+  m.wall_time_seconds = wall_seconds;
+  m.stages = {{"generate", 1, 100.0},
+              {"cluster", 10, 2000.0},
+              {"evaluate", 1, 3000.0}};
+  m.counters = {{"core.kkt.solves", 100}, {"eval.evaluations", 1}};
+  m.metrics.present = true;
+  m.metrics.error_pct = 0.8;
+  m.metrics.theoretical_error_pct = 5.0;
+  m.metrics.speedup = 150.0;
+  m.metrics.num_samples = 17;
+  m.metrics.num_clusters = 9;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// compare
+
+TEST(CompareTest, IdenticalManifestsAreClean) {
+  const RunManifest a = MakeRun();
+  const CompareReport report = CompareManifests(a, a);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_FALSE(report.deterministic_drift);
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+  EXPECT_FALSE(report.ToText().empty());
+}
+
+TEST(CompareTest, ThreadCountAndWallTimesNeverGate) {
+  // The determinism contract: same seed at different --threads must
+  // compare clean even when every wall time moved.
+  const RunManifest a = MakeRun(1.0);
+  RunManifest b = MakeRun(2.0);
+  b.config.threads = 8;
+  for (auto& stage : b.stages) stage.total_us *= 3.0;
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_FALSE(report.deterministic_drift);
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+}
+
+TEST(CompareTest, ConfigMismatchIsNotComparable) {
+  const RunManifest a = MakeRun();
+  RunManifest b = MakeRun();
+  b.config.seed = 43;
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_FALSE(report.comparable);
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), kExitNotComparable);
+  EXPECT_EQ(report.ExitCode(CompareOptions{.allow_config_diff = true}), 0);
+}
+
+TEST(CompareTest, MetricDriftTripsTheExitCode) {
+  const RunManifest a = MakeRun();
+  RunManifest b = MakeRun();
+  b.metrics.error_pct = 0.81;
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_TRUE(report.deterministic_drift);
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), kExitRegression);
+}
+
+TEST(CompareTest, CounterDriftTripsTheExitCode) {
+  const RunManifest a = MakeRun();
+  RunManifest b = MakeRun();
+  b.counters["core.kkt.solves"] = 101;
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.deterministic_drift);
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), kExitRegression);
+}
+
+TEST(CompareTest, StageTableCoversTheUnion) {
+  const RunManifest a = MakeRun();
+  RunManifest b = MakeRun();
+  b.stages.push_back({"extra", 1, 50.0});
+  const CompareReport report = CompareManifests(a, b);
+  ASSERT_EQ(report.stage_deltas.size(), 4u);
+  EXPECT_EQ(report.stage_deltas.back().name, "extra");
+  EXPECT_FALSE(report.stage_deltas.back().in_both);
+}
+
+// ---------------------------------------------------------------------------
+// regress
+
+TEST(RegressTest, EmptyLedgerIsUncheckedAndClean) {
+  const Ledger ledger;
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_FALSE(report.checked);
+  EXPECT_FALSE(report.HasRegression());
+  EXPECT_EQ(report.ExitCode(), 0);
+}
+
+TEST(RegressTest, InsufficientHistoryReportsReason) {
+  Ledger ledger;
+  RunManifest only = MakeRun();
+  only.metrics.present = false;  // no standalone gates either
+  ledger.Add(only);
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_FALSE(report.checked);
+  EXPECT_NE(report.reason.find("insufficient history"), std::string::npos);
+  EXPECT_EQ(report.ExitCode(), 0);
+}
+
+TEST(RegressTest, IdenticalRunsAreClean) {
+  Ledger ledger;
+  for (int i = 0; i < 4; ++i) ledger.Add(MakeRun());
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_TRUE(report.checked);
+  EXPECT_FALSE(report.HasRegression()) << report.ToText();
+  EXPECT_EQ(report.ExitCode(), 0);
+}
+
+TEST(RegressTest, FivePercentStageSlowdownRegresses) {
+  // Zero-MAD baseline (replayed identical manifests): the threshold is
+  // the rel_slack floor (2%), so a 5% injected slowdown must trip.
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeRun());
+  RunManifest slow = MakeRun();
+  for (auto& stage : slow.stages)
+    if (stage.name == "evaluate") stage.total_us *= 1.05;
+  slow.wall_time_seconds *= 1.05;
+  ledger.Add(slow);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  EXPECT_TRUE(report.HasRegression()) << report.ToText();
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+  bool evaluate_tripped = false, cluster_tripped = false;
+  for (const GateResult& gate : report.gates) {
+    if (gate.gate == "perf:evaluate") evaluate_tripped = gate.regressed;
+    if (gate.gate == "perf:cluster") cluster_tripped = gate.regressed;
+  }
+  EXPECT_TRUE(evaluate_tripped);
+  EXPECT_FALSE(cluster_tripped);
+}
+
+TEST(RegressTest, NoisyBaselineAbsorbsJitterViaMad) {
+  // With real noise in the baseline the MAD term dominates the 2% floor:
+  // a wobble inside the noise band must NOT regress.
+  Ledger ledger;
+  const double walls[] = {1.0, 1.3, 0.9, 1.2, 0.8, 1.1};
+  for (double w : walls) {
+    RunManifest m = MakeRun(w);
+    for (auto& stage : m.stages) stage.total_us *= w;
+    ledger.Add(m);
+  }
+  RunManifest probe = MakeRun(1.25);
+  for (auto& stage : probe.stages) stage.total_us *= 1.25;
+  ledger.Add(probe);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  for (const GateResult& gate : report.gates)
+    if (gate.gate.rfind("perf:", 0) == 0)
+      EXPECT_FALSE(gate.regressed) << gate.gate << "\n" << report.ToText();
+}
+
+TEST(RegressTest, AccuracyBudgetGateNeedsNoHistory) {
+  Ledger ledger;
+  RunManifest blown = MakeRun();
+  blown.metrics.error_pct = 6.0;  // above its own 5.0 theoretical bound
+  ledger.Add(blown);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_TRUE(report.checked);
+  EXPECT_TRUE(report.HasRegression());
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+  ASSERT_FALSE(report.gates.empty());
+  EXPECT_EQ(report.gates[0].gate, "accuracy:budget");
+  EXPECT_TRUE(report.gates[0].regressed);
+}
+
+TEST(RegressTest, AccuracyDriftRegressesOnAnyMovement) {
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeRun());
+  RunManifest drifted = MakeRun();
+  drifted.metrics.error_pct = 0.8001;  // tiny but real (deterministic field)
+  ledger.Add(drifted);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  bool drift_tripped = false;
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "accuracy:drift") drift_tripped = gate.regressed;
+  EXPECT_TRUE(drift_tripped) << report.ToText();
+}
+
+TEST(RegressTest, IncompleteNewestRunAlwaysRegresses) {
+  Ledger ledger;
+  RunManifest crashed = MakeRun();
+  crashed.completed = false;
+  ledger.Add(crashed);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_TRUE(report.HasRegression());
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+  ASSERT_FALSE(report.gates.empty());
+  EXPECT_EQ(report.gates[0].gate, "completed");
+}
+
+TEST(RegressTest, WindowLimitsTheBaseline) {
+  Ledger ledger;
+  // Ancient slow history, then a fast recent regime.
+  for (int i = 0; i < 5; ++i) ledger.Add(MakeRun(10.0));
+  for (int i = 0; i < 4; ++i) ledger.Add(MakeRun(1.0));
+  RunManifest probe = MakeRun(1.06);  // 6% over the recent regime
+  ledger.Add(probe);
+
+  RegressOptions options;
+  options.window = 4;  // recent regime only
+  const RegressReport report = CheckRegression(ledger, options);
+  ASSERT_TRUE(report.checked);
+  EXPECT_EQ(report.baseline_size, 4u);
+  bool wall_tripped = false;
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "perf:wall_time") wall_tripped = gate.regressed;
+  EXPECT_TRUE(wall_tripped) << report.ToText();
+
+  // The full window dilutes the baseline with the slow regime; the probe
+  // sits under that median, so nothing trips.
+  options.window = 0;
+  const RegressReport full = CheckRegression(ledger, options);
+  for (const GateResult& gate : full.gates)
+    if (gate.gate == "perf:wall_time")
+      EXPECT_FALSE(gate.regressed) << full.ToText();
+}
+
+TEST(RegressTest, BaselineIgnoresOtherFingerprintsAndCrashedRuns) {
+  Ledger ledger;
+  RunManifest other = MakeRun(100.0);
+  other.config.workload = "lud";
+  ledger.Add(other);
+  RunManifest crashed = MakeRun(100.0);
+  crashed.completed = false;
+  ledger.Add(crashed);
+  for (int i = 0; i < 2; ++i) ledger.Add(MakeRun(1.0));
+  ledger.Add(MakeRun(1.0));
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  EXPECT_EQ(report.baseline_size, 2u);
+  EXPECT_FALSE(report.HasRegression()) << report.ToText();
+}
+
+}  // namespace
+}  // namespace stemroot::eval

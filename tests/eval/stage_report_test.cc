@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/telemetry.h"
 
 namespace stemroot::eval {
@@ -112,6 +113,26 @@ TEST_F(StageReportTest, CsvRoundTripsThroughDisk) {
   EXPECT_TRUE(ValidateTelemetryCsv(buffer.str(), &error, &names)) << error;
   EXPECT_EQ(names, (std::vector<std::string>{"cluster"}));
   std::remove(path.c_str());
+}
+
+TEST_F(StageReportTest, CsvRoundTripsHostileNames) {
+  // RFC 4180: names carrying commas, quotes, and newlines must survive
+  // export -> parse -> validate with the original bytes intact.
+  telemetry::Count("hits,per,\"phase\"", 2);
+  telemetry::Record("lat\nency", 1.0);
+  { telemetry::Span span("stage, with \"quotes\""); }
+  const telemetry::Snapshot snap = telemetry::Capture();
+
+  std::string error;
+  std::vector<std::string> names;
+  ASSERT_TRUE(ValidateTelemetryCsv(snap.ToCsv(), &error, &names)) << error;
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "stage, with \"quotes\"");
+
+  const CsvTable table = CsvTable::Parse(snap.ToCsv());
+  ASSERT_EQ(table.rows.size(), 4u);  // header + counter + dist + span
+  EXPECT_EQ(table.rows[1][1], "hits,per,\"phase\"");
+  EXPECT_EQ(table.rows[2][1], "lat\nency");
 }
 
 TEST_F(StageReportTest, CsvValidatorRejectsSchemaViolations) {

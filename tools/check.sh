@@ -91,6 +91,60 @@ run_mode() {
     "$dir/tools/stemroot" audit --suite rodinia --workload bfs,hotspot \
       --seed 42 --trials 3 --min-within 0.95 \
       --json "$dir/audit-smoke.json" >/dev/null
+
+  echo "=== [$mode] manifest smoke (run manifests + manifest_check) ==="
+  # Two identical-seed runs at different --threads: the manifests must
+  # validate, and `stemroot compare` must find zero deterministic drift
+  # (the determinism contract made machine-checkable).
+  local man_a="$dir/manifest-a.json" man_b="$dir/manifest-b.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 42 --threads 1 \
+      --manifest "$man_a" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 42 --threads 4 \
+      --manifest "$man_b" >/dev/null
+  "$dir/tools/manifest_check" "$man_a" "$man_b" \
+      --require-stage generate --require-stage profile \
+      --require-stage cluster --require-stage sample \
+      --require-stage evaluate --require-completed
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_a" "$man_b" >/dev/null
+
+  echo "=== [$mode] regress drill (ledger gating catches forged faults) ==="
+  # Build a synthetic zero-noise ledger by replaying one real manifest,
+  # then forge (a) a 5% evaluate-stage slowdown and (b) an
+  # accuracy-budget violation, and assert `stemroot regress` exits
+  # nonzero on each. Replayed clones keep the drill deterministic: the
+  # baseline MAD is 0, so the threshold is the 2% rel_slack floor.
+  local drill="$dir/regress-drill"
+  rm -rf "$drill"; mkdir -p "$drill"
+  for _ in 1 2 3; do
+    "$dir/tools/manifest_check" "$man_a" \
+        --append-to "$drill/ledger.jsonl" >/dev/null
+  done
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" regress --ledger "$drill/ledger.jsonl" >/dev/null
+
+  cp "$drill/ledger.jsonl" "$drill/slow.jsonl"
+  "$dir/tools/manifest_check" "$man_a" --scale-stage evaluate=1.05 \
+      --append-to "$drill/slow.jsonl" >/dev/null
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" regress --ledger "$drill/slow.jsonl" >/dev/null
+  then
+    echo "regress drill FAILED: 5% slowdown not detected" >&2; exit 1
+  fi
+
+  cp "$drill/ledger.jsonl" "$drill/inaccurate.jsonl"
+  "$dir/tools/manifest_check" "$man_a" --set-error-pct 99 \
+      --append-to "$drill/inaccurate.jsonl" >/dev/null
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" regress --ledger "$drill/inaccurate.jsonl" \
+      >/dev/null
+  then
+    echo "regress drill FAILED: accuracy violation not detected" >&2; exit 1
+  fi
   echo "=== [$mode] OK ==="
 }
 

@@ -1,0 +1,176 @@
+/// \file
+/// manifest_check — validate stemroot-manifest-v1 run manifests, and (for
+/// the CI regression drills in tools/check.sh) apply controlled
+/// perturbations to one.
+///
+///   manifest_check FILE... [--require-stage NAME]... [--require-completed]
+///   manifest_check FILE [--scale-stage NAME=FACTOR] [--set-error-pct X]
+///                  [--out FILE] [--append-to LEDGER]
+///
+/// Validation mode checks every FILE parses and conforms to the schema,
+/// optionally requiring named stages and the completed flag. Exits 0 when
+/// all files pass, 1 otherwise.
+///
+/// Perturbation mode (single FILE) loads the manifest, multiplies one
+/// stage's total_us by FACTOR and/or overwrites the realized error
+/// metric, then writes the result to --out and/or appends it as a compact
+/// line to --append-to. check.sh uses this to forge a known slowdown or
+/// accuracy-budget violation and assert `stemroot regress` catches it --
+/// without shell JSON editing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eval/ledger.h"
+#include "eval/manifest.h"
+
+namespace {
+
+int UsageError() {
+  std::fprintf(stderr,
+               "usage: manifest_check FILE... [--require-stage NAME]... "
+               "[--require-completed]\n"
+               "       manifest_check FILE [--scale-stage NAME=FACTOR] "
+               "[--set-error-pct X]\n"
+               "                      [--out FILE] [--append-to LEDGER]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> required_stages;
+  bool require_completed = false;
+  std::string scale_stage;
+  double scale_factor = 1.0;
+  bool set_error = false;
+  double error_pct = 0.0;
+  std::string out_path;
+  std::string append_to;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--require-stage") {
+      required_stages.push_back(value());
+    } else if (arg == "--require-completed") {
+      require_completed = true;
+    } else if (arg == "--scale-stage") {
+      const std::string spec = value();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--scale-stage wants NAME=FACTOR, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      scale_stage = spec.substr(0, eq);
+      scale_factor = std::atof(spec.c_str() + eq + 1);
+      if (scale_stage.empty() || scale_factor <= 0.0) {
+        std::fprintf(stderr, "bad --scale-stage '%s'\n", spec.c_str());
+        return 2;
+      }
+    } else if (arg == "--set-error-pct") {
+      set_error = true;
+      error_pct = std::atof(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--append-to") {
+      append_to = value();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return UsageError();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return UsageError();
+
+  const bool perturbing = !scale_stage.empty() || set_error ||
+                          !out_path.empty() || !append_to.empty();
+  if (perturbing && paths.size() != 1) {
+    std::fprintf(stderr,
+                 "perturbation mode takes exactly one manifest file\n");
+    return 2;
+  }
+
+  int rc = 0;
+  for (const std::string& path : paths) {
+    stemroot::eval::RunManifest manifest;
+    try {
+      manifest = stemroot::eval::RunManifest::Load(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "manifest_check: %s\n", e.what());
+      rc = 1;
+      continue;
+    }
+    bool ok = true;
+    for (const std::string& stage : required_stages) {
+      if (manifest.FindStage(stage) == nullptr) {
+        std::fprintf(stderr,
+                     "manifest_check: %s: missing required stage \"%s\"\n",
+                     path.c_str(), stage.c_str());
+        ok = false;
+      }
+    }
+    if (require_completed && !manifest.completed) {
+      std::fprintf(stderr, "manifest_check: %s: not a completed run\n",
+                   path.c_str());
+      ok = false;
+    }
+    if (!ok) {
+      rc = 1;
+      continue;
+    }
+    std::printf("manifest_check: %s ok (%s %s, %zu stages, completed=%s)\n",
+                path.c_str(), manifest.tool.c_str(),
+                manifest.command.c_str(), manifest.stages.size(),
+                manifest.completed ? "true" : "false");
+
+    if (!perturbing) continue;
+    try {
+      if (!scale_stage.empty()) {
+        bool found = false;
+        for (auto& stage : manifest.stages) {
+          if (stage.name != scale_stage) continue;
+          stage.total_us *= scale_factor;
+          found = true;
+        }
+        if (!found) {
+          std::fprintf(stderr,
+                       "manifest_check: %s: no stage \"%s\" to scale\n",
+                       path.c_str(), scale_stage.c_str());
+          return 1;
+        }
+        // Keep the manifest self-consistent: the total moves with its
+        // slowest stage.
+        manifest.wall_time_seconds *= scale_factor;
+      }
+      if (set_error) {
+        manifest.metrics.present = true;
+        manifest.metrics.error_pct = error_pct;
+      }
+      if (!out_path.empty()) {
+        manifest.Save(out_path);
+        std::printf("manifest_check: wrote %s\n", out_path.c_str());
+      }
+      if (!append_to.empty()) {
+        stemroot::eval::Ledger::Append(manifest, append_to);
+        std::printf("manifest_check: appended to %s\n", append_to.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "manifest_check: %s\n", e.what());
+      return 1;
+    }
+  }
+  return rc;
+}

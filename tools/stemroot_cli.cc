@@ -8,6 +8,8 @@
 ///   stemroot sample   --in t.bin --method stem --epsilon 0.05 --out p.csv
 ///   stemroot evaluate --in t.bin --method stem --reps 10
 ///   stemroot run      --suite casio --workload bert_infer --method stem
+///   stemroot compare  A.json B.json
+///   stemroot regress  --ledger bench_results/ledger.jsonl --window 8
 ///
 /// Stage wiring goes through eval::Pipeline (one master --seed per command;
 /// per-stage seeds are derived from it — see src/eval/pipeline.h) and
@@ -15,14 +17,22 @@
 /// and tests share one code path. `--telemetry FILE.json|.csv` on any
 /// command enables the telemetry subsystem and exports on exit.
 ///
+/// Every pipeline command can emit a stemroot-manifest-v1 run manifest
+/// (`--manifest FILE`, written as completed=false up front so crashes
+/// leave evidence) and append it to the perf/accuracy ledger
+/// (`--ledger FILE`, JSONL). `compare` diffs two manifests; `regress`
+/// gates the newest ledger entry against its rolling baseline.
+///
 /// Traces use the library's binary format; sampling plans are CSVs of
 /// (invocation, weight) -- the "sampling information" a simulator embeds.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
 #include "baselines/registry.h"
+#include "common/build_info.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/log.h"
@@ -31,8 +41,12 @@
 #include "common/telemetry.h"
 #include "common/trace_events.h"
 #include "core/sampler_registry.h"
+#include "core/stem.h"
 #include "eval/audit.h"
+#include "eval/ledger.h"
+#include "eval/manifest.h"
 #include "eval/pipeline.h"
+#include "eval/regress.h"
 #include "eval/stage_report.h"
 #include "hw/profile.h"
 #include "trace/serialize.h"
@@ -58,6 +72,9 @@ commands:
   audit     --suite SUITE [--workload A,B,..] [--gpu GPU] [--method NAME]
             [--trials N] [--seed N] [--scale X] [--json FILE]
             [--min-within FRACTION]
+  compare   A.json B.json [--allow-config-diff true]
+  regress   --ledger FILE [--window K] [--min-history N] [--mad-factor C]
+            [--rel-slack X] [--accuracy-slack PP]
 
 methods come from the sampler registry (stem random pka sieve photon
 tbpoint); sampler parameters (--epsilon, --probability, --confidence, ...)
@@ -66,6 +83,20 @@ are forwarded to the method's factory.
 audit compares every ROOT cluster's predicted error bound (Eq. 2 under
 the KKT allocation) against the realized error of seeded sampling plans;
 --min-within makes the exit status gate on the within-budget fraction.
+
+compare diffs two run manifests: deterministic fields (config, accuracy,
+samples, counters) gate the exit status (3 on drift, 2 on config
+mismatch); wall times are reported but never gated. regress checks the
+newest ledger entry against up to --window prior same-config runs with
+noise-aware thresholds (median + max(C*MAD, slack)); exit 3 on any
+perf/accuracy regression, so CI can gate on it.
+
+pipeline commands (generate .. audit) also accept:
+  --manifest FILE    write a stemroot-manifest-v1 run manifest (resolved
+                     config, build stamp, per-stage wall time, telemetry
+                     counters, headline metrics). written completed=false
+                     up front, finalized on success.
+  --ledger FILE      append the manifest to this JSONL ledger on success.
 
 every command accepts:
   --threads N        0 = auto; or set STEMROOT_THREADS. thread count never
@@ -141,7 +172,31 @@ eval::Pipeline::Options PipelineOptions(const Flags& flags) {
   return options;
 }
 
-int CmdGenerate(const Flags& flags) {
+/// Record the sampler-side configuration in the manifest: the registry
+/// method name plus the epsilon/confidence the error model resolves (flag
+/// values when given, StemConfig defaults for the stem method, 0 for
+/// baselines that have no epsilon contract).
+void FillSamplerConfig(eval::RunManifest& manifest, const Flags& flags) {
+  manifest.config.method = flags.GetString("method", "stem");
+  const core::StemConfig defaults;
+  const bool stem = manifest.config.method == "stem";
+  manifest.config.epsilon =
+      flags.GetDouble("epsilon", stem ? defaults.epsilon : 0.0);
+  manifest.config.confidence =
+      flags.GetDouble("confidence", stem ? defaults.confidence : 0.0);
+}
+
+void FillMetrics(eval::RunManifest& manifest,
+                 const eval::EvalResult& result) {
+  manifest.metrics.present = true;
+  manifest.metrics.error_pct = result.error_pct;
+  manifest.metrics.theoretical_error_pct = result.theoretical_error_pct;
+  manifest.metrics.speedup = result.speedup;
+  manifest.metrics.num_samples = result.num_samples;
+  manifest.metrics.num_clusters = result.num_clusters;
+}
+
+int CmdGenerate(const Flags& flags, eval::RunManifest& manifest) {
   const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
   const std::string workload = flags.Require("workload");
   const std::string out = flags.Require("out");
@@ -150,6 +205,7 @@ int CmdGenerate(const Flags& flags) {
 
   const eval::Pipeline pipeline =
       eval::Pipeline::Generate(suite, workload, options);
+  pipeline.FillManifest(manifest);
   SaveTraceBinary(pipeline.Trace(), out);
   std::printf("wrote %s: %zu invocations, %zu kernel types (unprofiled)\n",
               out.c_str(), pipeline.Trace().NumInvocations(),
@@ -157,7 +213,7 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-int CmdProfile(const Flags& flags) {
+int CmdProfile(const Flags& flags, eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
   const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
@@ -168,6 +224,7 @@ int CmdProfile(const Flags& flags) {
   eval::Pipeline pipeline =
       eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
   pipeline.Profile(spec);
+  pipeline.FillManifest(manifest);
   SaveTraceBinary(pipeline.Trace(), out);
   if (!csv.empty()) ExportTimelineCsv(pipeline.Trace(), csv);
   std::printf("profiled %zu invocations on %s: total %s\n",
@@ -176,12 +233,13 @@ int CmdProfile(const Flags& flags) {
   return 0;
 }
 
-int CmdInfo(const Flags& flags) {
+int CmdInfo(const Flags& flags, eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const int64_t top = flags.GetInt("top", 10);
   flags.CheckAllRead();
 
   const KernelTrace trace = LoadTraceBinary(in);
+  manifest.config.workload = trace.WorkloadName();
   std::printf("%s: %zu invocations, %zu kernel types\n",
               trace.WorkloadName().c_str(), trace.NumInvocations(),
               trace.NumKernelTypes());
@@ -205,15 +263,17 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
-int CmdSample(const Flags& flags) {
+int CmdSample(const Flags& flags, eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
   const eval::Pipeline::Options options = PipelineOptions(flags);
+  FillSamplerConfig(manifest, flags);
   flags.CheckAllRead();
 
   const eval::Pipeline pipeline =
       eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  pipeline.FillManifest(manifest);
   const core::SamplingPlan plan = pipeline.Sample(*sampler);
   CsvWriter csv(out);
   csv.WriteHeader({"invocation", "weight"});
@@ -239,32 +299,42 @@ void PrintResult(const eval::EvalResult& result) {
               result.num_clusters);
 }
 
-int CmdEvaluate(const Flags& flags) {
+int CmdEvaluate(const Flags& flags, eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
   const eval::Pipeline::Options options = PipelineOptions(flags);
+  FillSamplerConfig(manifest, flags);
+  manifest.config.reps = reps;
   flags.CheckAllRead();
 
   const eval::Pipeline pipeline =
       eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
-  PrintResult(pipeline.Evaluate(*sampler, reps));
+  pipeline.FillManifest(manifest);
+  const eval::EvalResult result = pipeline.Evaluate(*sampler, reps);
+  FillMetrics(manifest, result);
+  PrintResult(result);
   return 0;
 }
 
-int CmdRun(const Flags& flags) {
+int CmdRun(const Flags& flags, eval::RunManifest& manifest) {
   const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
   const std::string workload = flags.Require("workload");
   const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
   const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
   const eval::Pipeline::Options options = PipelineOptions(flags);
+  FillSamplerConfig(manifest, flags);
+  manifest.config.reps = reps;
   flags.CheckAllRead();
 
   eval::Pipeline pipeline = eval::Pipeline::Generate(suite, workload,
                                                      options);
   pipeline.Profile(spec);
-  PrintResult(pipeline.Evaluate(*sampler, reps));
+  pipeline.FillManifest(manifest);
+  const eval::EvalResult result = pipeline.Evaluate(*sampler, reps);
+  FillMetrics(manifest, result);
+  PrintResult(result);
   if (telemetry::Enabled()) {
     const eval::StageReport report =
         eval::StageReport::FromSnapshot(telemetry::Capture());
@@ -273,7 +343,7 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
-int CmdAudit(const Flags& flags) {
+int CmdAudit(const Flags& flags, eval::RunManifest& manifest) {
   const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
   const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
@@ -292,6 +362,14 @@ int CmdAudit(const Flags& flags) {
     options.only_workloads = Split(flags.GetString("workload", ""), ',');
   const std::string json_path = flags.GetString("json", "");
   const double min_within = flags.GetDouble("min-within", 0.0);
+  FillSamplerConfig(manifest, flags);
+  manifest.config.suite = flags.GetString("suite", "");
+  manifest.config.gpu = spec.name;
+  manifest.config.seed = options.seed;
+  manifest.config.scale = options.size_scale;
+  manifest.config.reps = options.trials;
+  manifest.config.epsilon = options.root.stem.epsilon;
+  manifest.config.confidence = options.root.stem.confidence;
   flags.CheckAllRead();
 
   const eval::AuditReport report =
@@ -313,10 +391,74 @@ int CmdAudit(const Flags& flags) {
   return 0;
 }
 
+int CmdCompare(const Flags& flags) {
+  const std::vector<std::string>& paths = flags.Positional();
+  if (paths.size() != 2)
+    throw std::invalid_argument(
+        "compare needs exactly two manifest files: stemroot compare "
+        "A.json B.json");
+  eval::CompareOptions options;
+  options.allow_config_diff = flags.GetBool("allow-config-diff", false);
+  flags.CheckAllRead();
+
+  const eval::RunManifest a = eval::RunManifest::Load(paths[0]);
+  const eval::RunManifest b = eval::RunManifest::Load(paths[1]);
+  const eval::CompareReport report = eval::CompareManifests(a, b);
+  std::printf("A: %s\nB: %s\n%s", paths[0].c_str(), paths[1].c_str(),
+              report.ToText().c_str());
+  const int rc = report.ExitCode(options);
+  if (rc == eval::kExitNotComparable)
+    std::fprintf(stderr,
+                 "compare: configs differ (pass --allow-config-diff true "
+                 "for an informational diff)\n");
+  else if (rc == eval::kExitRegression)
+    std::fprintf(stderr, "compare: deterministic drift detected\n");
+  return rc;
+}
+
+int CmdRegress(const Flags& flags) {
+  const std::string ledger_path = flags.Require("ledger");
+  eval::RegressOptions options;
+  options.window = static_cast<size_t>(flags.GetInt("window", 8));
+  options.min_history =
+      static_cast<size_t>(flags.GetInt("min-history", 2));
+  options.mad_factor = flags.GetDouble("mad-factor", 3.0);
+  options.rel_slack = flags.GetDouble("rel-slack", 0.02);
+  options.accuracy_slack_pct = flags.GetDouble("accuracy-slack", 1e-6);
+  flags.CheckAllRead();
+
+  const eval::Ledger ledger = eval::Ledger::Load(ledger_path);
+  if (ledger.num_skipped() > 0)
+    std::fprintf(stderr, "regress: skipped %zu unparseable ledger line(s)\n",
+                 ledger.num_skipped());
+  const eval::RegressReport report =
+      eval::CheckRegression(ledger, options);
+  std::printf("%s", report.ToText().c_str());
+  if (report.HasRegression())
+    std::fprintf(stderr, "regress: regression detected\n");
+  return report.ExitCode();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  const auto start = std::chrono::steady_clock::now();
+  const std::string command = argv[1];
+  const bool pipeline_command =
+      command == "generate" || command == "profile" || command == "info" ||
+      command == "sample" || command == "evaluate" || command == "run" ||
+      command == "audit";
+
+  // Manifest skeleton: stamped and written completed=false before any real
+  // work, so even a crashed command leaves provenance evidence behind.
+  eval::RunManifest manifest;
+  manifest.tool = "stemroot";
+  manifest.command = command;
+  manifest.StampBuild();
+  std::string manifest_path;
+  std::string ledger_path;
+
   try {
     const Flags flags = Flags::Parse(argc - 2, argv + 2);
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
@@ -333,16 +475,29 @@ int main(int argc, char** argv) {
             "' (available: silent, warn, inform, debug)");
       SetLogLevel(*level);
     }
+    if (pipeline_command) {
+      manifest_path = flags.GetString("manifest", "");
+      ledger_path = flags.GetString("ledger", "");
+      // Stage wall times and counters come from telemetry, so manifest
+      // emission implies collection even without --telemetry.
+      if (!manifest_path.empty() || !ledger_path.empty())
+        telemetry::SetEnabled(true);
+      manifest.config.threads = NumThreads();
+      manifest.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+      manifest.config.scale = flags.GetDouble("scale", 1.0);
+      if (!manifest_path.empty()) manifest.Save(manifest_path);
+    }
 
-    const std::string command = argv[1];
     int rc = -1;
-    if (command == "generate") rc = CmdGenerate(flags);
-    else if (command == "profile") rc = CmdProfile(flags);
-    else if (command == "info") rc = CmdInfo(flags);
-    else if (command == "sample") rc = CmdSample(flags);
-    else if (command == "evaluate") rc = CmdEvaluate(flags);
-    else if (command == "run") rc = CmdRun(flags);
-    else if (command == "audit") rc = CmdAudit(flags);
+    if (command == "generate") rc = CmdGenerate(flags, manifest);
+    else if (command == "profile") rc = CmdProfile(flags, manifest);
+    else if (command == "info") rc = CmdInfo(flags, manifest);
+    else if (command == "sample") rc = CmdSample(flags, manifest);
+    else if (command == "evaluate") rc = CmdEvaluate(flags, manifest);
+    else if (command == "run") rc = CmdRun(flags, manifest);
+    else if (command == "audit") rc = CmdAudit(flags, manifest);
+    else if (command == "compare") rc = CmdCompare(flags);
+    else if (command == "regress") rc = CmdRegress(flags);
     else {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return Usage();
@@ -358,9 +513,41 @@ int main(int argc, char** argv) {
                      "capacity via trace_events::SetRingCapacity)\n",
                      static_cast<unsigned long long>(stats.dropped));
     }
+
+    if (!manifest_path.empty() || !ledger_path.empty()) {
+      manifest.completed = rc == 0;
+      manifest.wall_time_seconds = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       start)
+                                       .count();
+      manifest.FillFromSnapshot(telemetry::Capture());
+      if (!manifest_path.empty()) {
+        manifest.Save(manifest_path);
+        std::printf("manifest: %s\n", manifest_path.c_str());
+      }
+      if (!ledger_path.empty() && manifest.completed) {
+        eval::Ledger::Append(manifest, ledger_path);
+        std::printf("ledger: appended to %s\n", ledger_path.c_str());
+      }
+    }
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Leave crash evidence: finalize the manifest as a failed run.
+    if (!manifest_path.empty()) {
+      try {
+        manifest.completed = false;
+        manifest.error = e.what();
+        manifest.wall_time_seconds = std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() -
+                                         start)
+                                         .count();
+        manifest.FillFromSnapshot(telemetry::Capture());
+        manifest.Save(manifest_path);
+      } catch (const std::exception&) {
+        // The original error is the one worth reporting.
+      }
+    }
     return 1;
   }
 }
