@@ -14,6 +14,7 @@
 #include "eval/ledger.h"
 #include "eval/manifest.h"
 #include "eval/stage_report.h"
+#include "eval/trace_cache.h"
 
 namespace stemroot::bench {
 
@@ -22,7 +23,7 @@ namespace {
 /// The flag pairs Session consumes; shared with StripFlags.
 constexpr const char* kSessionFlags[] = {"--threads", "--telemetry",
                                          "--trace", "--log-level",
-                                         "--ledger"};
+                                         "--ledger", "--cache"};
 
 bool IsSessionFlag(const char* arg) {
   for (const char* flag : kSessionFlags)
@@ -40,11 +41,14 @@ Session::Session(int argc, const char* const* argv) {
   }
   if (name_.empty()) name_ = "bench";
   ledger_path_ = eval::Ledger::DefaultPath();
+  std::string cache_dir = eval::DefaultTraceCacheDir();
 
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--ledger") == 0) {
       const std::string value = argv[i + 1];
       ledger_path_ = value == "none" ? "" : value;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache_dir = argv[i + 1];
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const int n = std::atoi(argv[i + 1]);
       if (n < 0) {
@@ -68,6 +72,9 @@ Session::Session(int argc, const char* const* argv) {
     }
   }
   threads_ = NumThreads();
+  // Same default the CLI uses: benches hit the profiled-trace cache
+  // transparently; results are cached-vs-uncached invariant by contract.
+  eval::SetTraceCacheDir(cache_dir);
   std::printf("[threads: %d -- results are thread-count invariant]\n",
               threads_);
   if (!telemetry_path_.empty()) telemetry::SetEnabled(true);

@@ -54,8 +54,11 @@ struct SamplerSet {
 /// the telemetry subsystem; the destructor captures and writes the export,
 /// .csv extension selecting CSV over JSON), `--trace FILE` (records Chrome
 /// trace events, written by the destructor), `--log-level L`
-/// (silent|warn|inform|debug), and `--ledger FILE` (override the run
-/// ledger path; `--ledger none` disables the append).
+/// (silent|warn|inform|debug), `--ledger FILE` (override the run
+/// ledger path; `--ledger none` disables the append), and
+/// `--cache DIR|none` (relocate or disable the content-addressed
+/// profiled-trace cache, default bench_results/cache -- a warm cache
+/// skips the generate+profile stages with byte-identical results).
 ///
 /// Every bench run leaves a machine-readable stemroot-manifest-v1 run
 /// manifest at bench_results/BENCH_<name>.json (the bench name is
@@ -82,7 +85,8 @@ class Session {
   const std::string& name() const { return name_; }
 
   /// Remove the Session-consumed flag pairs (--threads, --telemetry,
-  /// --trace, --log-level, --ledger) from argv in place, updating *argc:
+  /// --trace, --log-level, --ledger, --cache) from argv in place,
+  /// updating *argc:
   /// benches
   /// that forward argv to another parser (google-benchmark) call this
   /// after constructing the Session so the foreign parser never sees our

@@ -47,31 +47,26 @@ double Flags::GetDouble(const std::string& key, double fallback) const {
   read_.insert(key);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  // ParseDouble (from_chars) rather than std::stod: stod reads the global
+  // locale's decimal point, so "--scale 1.5" would parse as 1 under a
+  // comma-decimal locale.
+  const std::optional<double> value = ParseDouble(it->second);
+  if (!value)
     throw std::invalid_argument("Flags: --" + key + " expects a number, got '" +
                                 it->second + "'");
-  }
+  return *value;
 }
 
 int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
   read_.insert(key);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    size_t used = 0;
-    const int64_t value = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  const std::optional<int64_t> value = ParseInt(it->second);
+  if (!value)
     throw std::invalid_argument("Flags: --" + key +
                                 " expects an integer, got '" + it->second +
                                 "'");
-  }
+  return *value;
 }
 
 bool Flags::GetBool(const std::string& key, bool fallback) const {

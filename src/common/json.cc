@@ -1,7 +1,9 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 #include "common/str.h"
 
@@ -174,11 +176,16 @@ class Parser {
     }
     Value v;
     v.kind = Value::Kind::kNumber;
-    try {
-      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::out_of_range&) {
-      Fail("number out of range");
-    }
+    // from_chars, not std::stod: stod honors the global locale's decimal
+    // point, so a comma-decimal locale would silently truncate "1.5" to 1.
+    // The span was validated against the JSON grammar above, which is a
+    // subset of what from_chars accepts.
+    const std::string_view span = text_.substr(start, pos_ - start);
+    const auto [ptr, ec] =
+        std::from_chars(span.data(), span.data() + span.size(), v.number);
+    if (ec == std::errc::result_out_of_range) Fail("number out of range");
+    if (ec != std::errc() || ptr != span.data() + span.size())
+      Fail("bad number");
     return v;
   }
 
@@ -262,6 +269,10 @@ void AppendString(std::string& out, std::string_view s) {
   out += '"';
 }
 
-std::string Number(double v) { return Format("%.17g", v); }
+// FormatDouble (std::to_chars), not "%.17g": snprintf's %g goes through
+// the C locale's decimal point, and the shortest round-trip form also
+// keeps manifests, fingerprints, and cache keys free of %.17g's trailing
+// digit noise ("0.1" instead of "0.10000000000000001").
+std::string Number(double v) { return FormatDouble(v); }
 
 }  // namespace stemroot::json

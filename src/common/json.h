@@ -50,8 +50,9 @@ bool Parse(std::string_view text, Value& out, std::string* error);
 /// Append `s` as a quoted JSON string with the mandatory escapes.
 void AppendString(std::string& out, std::string_view s);
 
-/// Shortest round-trip decimal form of a double ("%.17g"): byte-stable
-/// for identical bits, so deterministic exports stay byte-identical.
+/// Shortest round-trip decimal form of a double (std::to_chars):
+/// byte-stable for identical bits and locale-independent, so
+/// deterministic exports stay byte-identical.
 std::string Number(double v);
 
 }  // namespace stemroot::json

@@ -1,7 +1,9 @@
 #include "common/str.h"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
+#include <system_error>
 
 #include "common/log.h"
 
@@ -13,6 +15,47 @@ std::string Format(const char* fmt, ...) {
   std::string out = VFormat(fmt, args);
   va_end(args);
   return out;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> ParseFullString(std::string_view s) {
+  // from_chars rejects a leading '+' that strtol/strtod accepted; keep
+  // accepting it so "+1.5" flag values stay valid.
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> ParseDouble(std::string_view s) {
+  return ParseFullString<double>(s);
+}
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  return ParseFullString<int64_t>(s);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ec == std::errc() ? ptr : buf);
+}
+
+std::string FormatDoubleFixed(double v, int precision) {
+  // Fixed notation of the largest doubles runs ~310 digits plus the
+  // fraction; 512 covers any sane precision.
+  char buf[512];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed,
+                    precision);
+  if (ec != std::errc()) return FormatDouble(v);
+  return std::string(buf, ptr);
 }
 
 std::vector<std::string> Split(std::string_view s, char delim) {

@@ -3,15 +3,33 @@
 
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace stemroot {
 
-/// printf-style std::string formatting.
+/// printf-style std::string formatting. Note %f/%g/%e go through the C
+/// locale's decimal point; machine-readable output (JSON, CSV, cache keys,
+/// fingerprints) must use FormatDouble/FormatDoubleFixed below instead.
 std::string Format(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Locale-independent full-string parse (std::from_chars, plus an optional
+/// leading '+'). std::nullopt on empty input, trailing characters, or
+/// out-of-range values -- never affected by the global locale, unlike
+/// std::stod/strtod which honor its decimal point.
+std::optional<double> ParseDouble(std::string_view s);
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// Locale-independent shortest round-trip formatting (std::to_chars):
+/// the shortest decimal string that parses back to exactly `v`.
+std::string FormatDouble(double v);
+
+/// Locale-independent fixed-precision formatting ("%.3f"-style).
+std::string FormatDoubleFixed(double v, int precision);
 
 /// Split on a delimiter; empty fields preserved.
 std::vector<std::string> Split(std::string_view s, char delim);

@@ -304,19 +304,21 @@ std::string Snapshot::ToCsv() const {
   }
   for (const auto& [name, vals] : values_) {
     const DistSummary s = Summarize(vals);
+    // FormatDouble, not %.17g: snprintf would write the global locale's
+    // decimal point into the CSV cells.
     out += "distribution," + CsvWriter::Quote(name) + ",," +
-           Format("%llu,%.17g,%.17g,%.17g,%.17g,%.17g,",
-                  static_cast<unsigned long long>(s.count), s.min, s.mean,
-                  s.max, s.p50, s.p99) +
-           "\n";
+           Format("%llu", static_cast<unsigned long long>(s.count)) + "," +
+           FormatDouble(s.min) + "," + FormatDouble(s.mean) + "," +
+           FormatDouble(s.max) + "," + FormatDouble(s.p50) + "," +
+           FormatDouble(s.p99) + ",\n";
   }
   for (const auto& [key, stats] : spans_) {
     out += "span," + CsvWriter::Quote(stats.name) + "," +
            CsvWriter::Quote(stats.parent) + "," +
-           Format("%llu,%.3f,,%.3f,,,%.3f",
-                  static_cast<unsigned long long>(stats.count),
-                  stats.min_us, stats.max_us, stats.total_us) +
-           "\n";
+           Format("%llu", static_cast<unsigned long long>(stats.count)) +
+           "," + FormatDoubleFixed(stats.min_us, 3) + ",," +
+           FormatDoubleFixed(stats.max_us, 3) + ",,," +
+           FormatDoubleFixed(stats.total_us, 3) + "\n";
   }
   return out;
 }

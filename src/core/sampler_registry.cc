@@ -19,7 +19,9 @@ SamplerParams& SamplerParams::Set(const std::string& key,
 }
 
 SamplerParams& SamplerParams::Set(const std::string& key, double value) {
-  values_[key] = Format("%.17g", value);
+  // Locale-independent shortest round-trip form: the stored string must
+  // parse back to exactly `value` regardless of the global locale.
+  values_[key] = FormatDouble(value);
   return *this;
 }
 
@@ -47,32 +49,26 @@ double SamplerParams::GetDouble(const std::string& key,
                                 double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  // from_chars-backed parse: std::stod honors the global locale's decimal
+  // point and would misread "0.05" under a comma-decimal locale.
+  const std::optional<double> value = ParseDouble(it->second);
+  if (!value)
     throw std::invalid_argument("SamplerParams: '" + key +
                                 "' expects a number, got '" + it->second +
                                 "'");
-  }
+  return *value;
 }
 
 int64_t SamplerParams::GetInt(const std::string& key,
                               int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    size_t used = 0;
-    const int64_t value = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  const std::optional<int64_t> value = ParseInt(it->second);
+  if (!value)
     throw std::invalid_argument("SamplerParams: '" + key +
                                 "' expects an integer, got '" + it->second +
                                 "'");
-  }
+  return *value;
 }
 
 bool SamplerParams::GetBool(const std::string& key, bool fallback) const {

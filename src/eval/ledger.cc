@@ -1,5 +1,7 @@
 #include "eval/ledger.h"
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -16,11 +18,19 @@ void Ledger::Append(const RunManifest& manifest, const std::string& path) {
     std::error_code ec;
     std::filesystem::create_directories(parent, ec);  // best effort
   }
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("ledger: cannot open " + path);
+  if (!out)
+    throw std::runtime_error("ledger: cannot open " + path + ": " +
+                             std::strerror(errno));
+  // A silently dropped ledger line would poison every later regression
+  // baseline, so the append is flushed and the stream state checked before
+  // the run is allowed to report success.
   out << manifest.ToJson(/*pretty=*/false) << '\n';
   out.flush();
-  if (!out) throw std::runtime_error("ledger: append failed: " + path);
+  if (!out)
+    throw std::runtime_error("ledger: append to " + path +
+                             " failed (disk full or permission lost?)");
 }
 
 Ledger Ledger::Load(const std::string& path) {

@@ -1,6 +1,9 @@
 #include "eval/manifest.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -308,11 +311,32 @@ RunManifest RunManifest::Load(const std::string& path) {
 }
 
 void RunManifest::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("manifest: cannot write " + path);
-  out << ToJson(/*pretty=*/true);
-  out.flush();
-  if (!out) throw std::runtime_error("manifest: write failed: " + path);
+  // Crash-safe write: the JSON lands in a same-directory temp file that is
+  // atomically renamed over `path` only after a checked flush. A crash or
+  // full disk mid-write leaves either the previous manifest or no file --
+  // never a torn half-JSON that downstream tools (regress, compare, the
+  // ledger) would choke on.
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("manifest: cannot write " + tmp_path);
+    out << ToJson(/*pretty=*/true);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      throw std::runtime_error("manifest: write failed: " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp_path, ignore);
+    throw std::runtime_error("manifest: rename into " + path +
+                             " failed: " + ec.message());
+  }
 }
 
 std::string RunManifest::Fingerprint() const {

@@ -65,6 +65,27 @@ class Pipeline {
     return Generate(suite, workload, Options{});
   }
 
+  /// Stages 1+2 with transparent caching: generate the workload and
+  /// profile it on `gpu`, consulting the process-wide trace cache
+  /// (eval/trace_cache.h) when one is configured. On a verified hit the
+  /// profiled trace is loaded instead of recomputed; the pipeline still
+  /// emits (near-zero) "generate"/"profile" spans plus the stand-in
+  /// workloads.*/hw.* counters those stages would have produced, so
+  /// cold-run and warm-run manifests stay byte-identical in every
+  /// deterministic field. On a miss the result is stored best-effort.
+  /// With no cache configured this is exactly Generate(...).Profile(gpu).
+  /// `gpu_name` is the provenance label for GpuName() (the spec overload
+  /// passes its preset name).
+  static Pipeline GenerateProfiled(workloads::SuiteId suite,
+                                   const std::string& workload,
+                                   const hw::HardwareModel& gpu,
+                                   const Options& options,
+                                   const std::string& gpu_name = "");
+  static Pipeline GenerateProfiled(workloads::SuiteId suite,
+                                   const std::string& workload,
+                                   const hw::GpuSpec& spec,
+                                   const Options& options);
+
   /// Start from an existing trace (e.g. loaded from disk). If the trace
   /// already carries profiled durations, Profile() is optional.
   static Pipeline FromTrace(KernelTrace trace, const Options& options);

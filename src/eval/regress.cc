@@ -31,6 +31,24 @@ void DiffField(std::vector<std::string>& diffs, const char* name, double a,
   if (a != b) diffs.push_back(Format("%s: %g vs %g", name, a, b));
 }
 
+/// The cache.* counters (hit/miss/store/bytes) describe the run's
+/// environment, not its computation -- a cold run and a warm run of the
+/// same config legitimately differ in them while producing byte-identical
+/// results. Like wall times, they are excluded from the determinism gate.
+std::map<std::string, uint64_t> DeterministicCounters(
+    const std::map<std::string, uint64_t>& counters) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, value] : counters)
+    if (name.rfind("cache.", 0) != 0) out.emplace(name, value);
+  return out;
+}
+
+/// True when the run was served from the profiled-trace cache.
+bool IsCacheWarm(const RunManifest& manifest) {
+  const auto it = manifest.counters.find("cache.hit");
+  return it != manifest.counters.end() && it->second > 0;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -81,10 +99,10 @@ CompareReport CompareManifests(const RunManifest& a, const RunManifest& b) {
                 static_cast<double>(a.metrics.num_clusters),
                 static_cast<double>(b.metrics.num_clusters));
     }
-    if (a.counters != b.counters)
+    if (DeterministicCounters(a.counters) != DeterministicCounters(b.counters))
       report.drift_notes.push_back(
           "telemetry counters differ (determinism contract violation for "
-          "same-seed runs)");
+          "same-seed runs; cache.* counters excluded as environmental)");
     if (a.completed != b.completed)
       report.drift_notes.push_back("completed flags differ");
     report.deterministic_drift = !report.drift_notes.empty();
@@ -217,10 +235,21 @@ RegressReport CheckRegression(const Ledger& ledger,
   }
   report.checked = true;
 
+  // Warmth matching for the wall-clock gates: a warm (cache-hit) run's
+  // generate/profile stages collapse to near zero, so mixing cold and warm
+  // history would make a legitimate cold run look like a massive perf
+  // regression (and a warm baseline absurdly fast). Deterministic gates
+  // below still use the full baseline -- results are warmth-invariant by
+  // contract.
+  const bool newest_warm = IsCacheWarm(newest);
+  std::vector<const RunManifest*> perf_baseline;
+  for (const RunManifest* entry : baseline)
+    if (IsCacheWarm(*entry) == newest_warm) perf_baseline.push_back(entry);
+
   // Per-stage perf gates.
   for (const RunManifest::Stage& stage : newest.stages) {
     std::vector<double> values;
-    for (const RunManifest* entry : baseline)
+    for (const RunManifest* entry : perf_baseline)
       if (const RunManifest::Stage* s = entry->FindStage(stage.name))
         values.push_back(s->total_us);
     if (values.size() < options.min_history) continue;
@@ -235,19 +264,22 @@ RegressReport CheckRegression(const Ledger& ledger,
     report.gates.push_back(gate);
   }
 
-  // Total wall-time gate.
+  // Total wall-time gate (warmth-matched like the stage gates; skipped
+  // when no same-warmth history exists yet).
   {
     std::vector<double> values;
-    for (const RunManifest* entry : baseline)
+    for (const RunManifest* entry : perf_baseline)
       values.push_back(entry->wall_time_seconds);
-    GateResult gate;
-    gate.gate = "perf:wall_time";
-    FillThreshold(gate, values, options.mad_factor,
-                  options.rel_slack * Percentile(values, 50.0));
-    gate.observed = newest.wall_time_seconds;
-    gate.regressed =
-        gate.baseline_median > 0.0 && gate.observed > gate.threshold;
-    report.gates.push_back(gate);
+    if (values.size() >= options.min_history) {
+      GateResult gate;
+      gate.gate = "perf:wall_time";
+      FillThreshold(gate, values, options.mad_factor,
+                    options.rel_slack * Percentile(values, 50.0));
+      gate.observed = newest.wall_time_seconds;
+      gate.regressed =
+          gate.baseline_median > 0.0 && gate.observed > gate.threshold;
+      report.gates.push_back(gate);
+    }
   }
 
   // Accuracy drift + sample-budget gates (deterministic quantities).

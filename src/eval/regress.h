@@ -12,7 +12,16 @@
 ///     result change, flagged as drift regardless of magnitude.
 ///   - *Wall-time* fields -- per-stage totals, total wall seconds -- are
 ///     noisy by nature. compare reports their deltas but never gates on
-///     them.
+///     them. The cache.* telemetry counters (profiled-trace cache
+///     hit/miss/bytes) belong to this environmental class too: a cold and
+///     a warm run of the same config are byte-identical in results but
+///     not in cache traffic, so compare excludes them from the counter
+///     gate.
+///
+/// regress applies the same split when building its baseline: wall-clock
+/// gates only compare the newest entry against prior runs of the same
+/// cache warmth (cache.hit > 0 or not), since a warm run's
+/// generate/profile stages legitimately collapse to near zero.
 ///
 /// regress gates wall time too, using a rolling baseline from the ledger:
 /// the newest entry is checked against up to `window` prior completed

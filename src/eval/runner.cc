@@ -57,10 +57,9 @@ KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
                                  const std::string& name,
                                  const hw::HardwareModel& gpu, uint64_t seed,
                                  double size_scale) {
-  Pipeline pipeline = Pipeline::Generate(
-      suite, name, {.seed = seed, .size_scale = size_scale});
-  pipeline.Profile(gpu);
-  return pipeline.Trace();
+  return Pipeline::GenerateProfiled(suite, name, gpu,
+                                    {.seed = seed, .size_scale = size_scale})
+      .Trace();
 }
 
 SuiteResults RunSuite(const SuiteRunConfig& config,
@@ -89,10 +88,10 @@ SuiteResults RunSuite(const SuiteRunConfig& config,
       names.size(), [&](size_t w) {
         Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
                names[w].c_str());
-        Pipeline pipeline = Pipeline::Generate(
-            config.suite, names[w],
-            {.seed = config.seed, .size_scale = config.size_scale});
-        pipeline.Profile(gpu);
+        Pipeline pipeline = Pipeline::GenerateProfiled(
+            config.suite, names[w], gpu,
+            {.seed = config.seed, .size_scale = config.size_scale},
+            gpu.Spec().name);
         std::vector<EvalResult> rows;
         rows.reserve(samplers.size());
         for (const core::Sampler* sampler : samplers)

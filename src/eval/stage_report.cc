@@ -158,10 +158,9 @@ bool ValidateTelemetryJson(std::string_view text, std::string* error,
 namespace {
 
 bool IsNumericField(const std::string& field) {
-  if (field.empty()) return false;
-  char* end = nullptr;
-  std::strtod(field.c_str(), &end);
-  return end == field.c_str() + field.size();
+  // ParseDouble (from_chars), not std::strtod: the validator must accept
+  // the exporter's locale-independent cells no matter the global locale.
+  return ParseDouble(field).has_value();
 }
 
 /// Per-kind required (numeric) and forbidden (empty) column indices in the

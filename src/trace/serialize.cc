@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/csv.h"
@@ -15,24 +16,24 @@ constexpr char kMagic[4] = {'S', 'R', 'T', 'R'};
 constexpr uint32_t kVersion = 2;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-T ReadPod(std::ifstream& in) {
+T ReadPod(std::istream& in) {
   T value;
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!in) throw std::runtime_error("LoadTraceBinary: truncated file");
   return value;
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string ReadString(std::ifstream& in) {
+std::string ReadString(std::istream& in) {
   const uint32_t len = ReadPod<uint32_t>(in);
   if (len > (1u << 20))
     throw std::runtime_error("LoadTraceBinary: implausible string length");
@@ -42,12 +43,7 @@ std::string ReadString(std::ifstream& in) {
   return s;
 }
 
-}  // namespace
-
-void SaveTraceBinary(const KernelTrace& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("SaveTraceBinary: cannot open " + path);
-
+void WriteTrace(std::ostream& out, const KernelTrace& trace) {
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
   WriteString(out, trace.WorkloadName());
@@ -69,13 +65,9 @@ void SaveTraceBinary(const KernelTrace& trace, const std::string& path) {
     WritePod(out, inv.behavior);
     WritePod(out, inv.duration_us);
   }
-  if (!out) throw std::runtime_error("SaveTraceBinary: write failed");
 }
 
-KernelTrace LoadTraceBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("LoadTraceBinary: cannot open " + path);
-
+KernelTrace ReadTrace(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
@@ -109,6 +101,41 @@ KernelTrace LoadTraceBinary(const std::string& path) {
     trace.Add(inv);
   }
   return trace;
+}
+
+}  // namespace
+
+uint32_t TraceFormatVersion() { return kVersion; }
+
+std::string SerializeTrace(const KernelTrace& trace) {
+  std::ostringstream out(std::ios::binary);
+  WriteTrace(out, trace);
+  if (!out) throw std::runtime_error("SerializeTrace: stream failure");
+  return std::move(out).str();
+}
+
+KernelTrace DeserializeTrace(std::string_view bytes) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
+  KernelTrace trace = ReadTrace(in);
+  // Reject trailing garbage: a cache payload must be exactly one trace.
+  in.peek();
+  if (!in.eof())
+    throw std::runtime_error("DeserializeTrace: trailing bytes after trace");
+  return trace;
+}
+
+void SaveTraceBinary(const KernelTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("SaveTraceBinary: cannot open " + path);
+  WriteTrace(out, trace);
+  out.flush();
+  if (!out) throw std::runtime_error("SaveTraceBinary: write failed");
+}
+
+KernelTrace LoadTraceBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("LoadTraceBinary: cannot open " + path);
+  return ReadTrace(in);
 }
 
 void ExportTimelineCsv(const KernelTrace& trace, const std::string& path) {

@@ -1,20 +1,38 @@
 /// \file
 /// Trace (de)serialization.
 ///
-/// Two formats:
-///  - a compact binary format ("SRTR") for round-tripping full traces, so
-///    expensive generated workloads can be cached on disk;
+/// Three forms over one binary format ("SRTR"):
+///  - file round-trips (SaveTraceBinary / LoadTraceBinary), so expensive
+///    generated workloads can be kept on disk;
+///  - in-memory round-trips (SerializeTrace / DeserializeTrace), the
+///    payload representation of the content-addressed profile cache
+///    (src/eval/trace_cache.h);
 ///  - a CSV export of the profiled timeline (name, seq, duration, launch
 ///    geometry), mirroring what an Nsight Systems export looks like and
 ///    feeding external plotting.
+///
+/// The binary format is versioned; readers reject other versions, and the
+/// profile cache keys on TraceFormatVersion() so a format bump invalidates
+/// cached artifacts instead of misreading them.
 
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "trace/trace.h"
 
 namespace stemroot {
+
+/// Version tag of the "SRTR" binary trace format.
+uint32_t TraceFormatVersion();
+
+/// Serialize a full trace to an in-memory byte string.
+std::string SerializeTrace(const KernelTrace& trace);
+
+/// Parse bytes produced by SerializeTrace. Throws std::runtime_error on
+/// truncation or format violation.
+KernelTrace DeserializeTrace(std::string_view bytes);
 
 /// Write a full trace to a binary file. Throws std::runtime_error on I/O
 /// failure.

@@ -61,6 +61,22 @@ TEST(LedgerTest, LoadSkipsTornTailAndJunkLines) {
   std::remove(path.c_str());
 }
 
+TEST(LedgerTest, AppendToUnwritablePathThrows) {
+  // A regular file where a directory is needed blocks the open for any
+  // user (chmod-based unwritability is a no-op under root). A dropped
+  // append must surface as an error, never silently succeed.
+  const std::string blocker = TempLedger("ledger_blocker");
+  { std::ofstream(blocker) << "not a directory"; }
+  try {
+    Ledger::Append(MakeRun(1.0), blocker + "/ledger.jsonl");
+    FAIL() << "append into a non-directory should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos)
+        << e.what();
+  }
+  std::remove(blocker.c_str());
+}
+
 TEST(LedgerTest, LoadThrowsOnMissingFile) {
   EXPECT_THROW(Ledger::Load(::testing::TempDir() + "/no_such_ledger.jsonl"),
                std::runtime_error);

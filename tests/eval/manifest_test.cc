@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "common/telemetry.h"
@@ -204,6 +206,64 @@ TEST(ManifestTest, SaveAndLoad) {
   ExpectEqual(m, back);
   std::remove(path.c_str());
   EXPECT_THROW(RunManifest::Load(path), std::runtime_error);
+}
+
+// Count the `<name>.tmp.<pid>` staging files Save leaves behind in `dir`
+// (there must never be any once Save returns, success or not).
+size_t TempResidue(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos)
+      ++n;
+  return n;
+}
+
+TEST(ManifestTest, SaveLeavesNoTempResidueAndOverwritesAtomically) {
+  const std::string dir = ::testing::TempDir() + "/manifest_atomic_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/m.json";
+
+  RunManifest m = MakeManifest();
+  m.Save(path);
+  EXPECT_EQ(TempResidue(dir), 0u);
+
+  // Overwriting an existing manifest goes through the same staged rename.
+  m.wall_time_seconds = 9.0;
+  m.Save(path);
+  EXPECT_EQ(TempResidue(dir), 0u);
+  EXPECT_DOUBLE_EQ(RunManifest::Load(path).wall_time_seconds, 9.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, SaveToUnwritablePathThrowsWithoutResidue) {
+  // A regular file where a directory is needed makes the temp-file open
+  // fail for any user (chmod-based tests are no-ops under root).
+  const std::string dir = ::testing::TempDir() + "/manifest_blocked_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string blocker = dir + "/blocker";
+  { std::ofstream(blocker) << "not a directory"; }
+
+  EXPECT_THROW(MakeManifest().Save(blocker + "/m.json"),
+               std::runtime_error);
+  EXPECT_EQ(TempResidue(dir), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestTest, FailedRenamePreservesTheDestination) {
+  // Renaming a file over an existing directory fails after the temp file
+  // was fully written: Save must clean up the temp and leave the
+  // destination untouched.
+  const std::string dir = ::testing::TempDir() + "/manifest_rename_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/m.json";
+  std::filesystem::create_directories(path);  // destination is a directory
+
+  EXPECT_THROW(MakeManifest().Save(path), std::runtime_error);
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+  EXPECT_EQ(TempResidue(dir), 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -89,6 +89,26 @@ TEST(CompareTest, CounterDriftTripsTheExitCode) {
   EXPECT_EQ(report.ExitCode(CompareOptions{}), kExitRegression);
 }
 
+TEST(CompareTest, CacheCountersAreEnvironmental) {
+  // A cold and a warm run of the same config are byte-identical in
+  // results but not in cache traffic: cache.* counters must not gate.
+  RunManifest cold = MakeRun();
+  cold.counters["cache.miss"] = 1;
+  cold.counters["cache.store"] = 1;
+  cold.counters["cache.write_bytes"] = 4096;
+  RunManifest warm = MakeRun();
+  warm.counters["cache.hit"] = 1;
+  warm.counters["cache.read_bytes"] = 4096;
+  const CompareReport report = CompareManifests(cold, warm);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_FALSE(report.deterministic_drift) << report.ToText();
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+
+  // But a non-cache counter difference still trips.
+  warm.counters["core.kkt.solves"] = 101;
+  EXPECT_TRUE(CompareManifests(cold, warm).deterministic_drift);
+}
+
 TEST(CompareTest, StageTableCoversTheUnion) {
   const RunManifest a = MakeRun();
   RunManifest b = MakeRun();
@@ -243,6 +263,46 @@ TEST(RegressTest, WindowLimitsTheBaseline) {
   for (const GateResult& gate : full.gates)
     if (gate.gate == "perf:wall_time")
       EXPECT_FALSE(gate.regressed) << full.ToText();
+}
+
+TEST(RegressTest, PerfBaselineIsWarmthMatched) {
+  // Cold history, then a first warm-cache run whose generate/profile
+  // stages collapse to near zero: the wall-time drop is environmental,
+  // not a perf signal. With no same-warmth history the perf gates skip
+  // instead of comparing warm apples to cold oranges.
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) {
+    RunManifest cold = MakeRun(10.0);
+    cold.counters["cache.miss"] = 1;
+    ledger.Add(cold);
+  }
+  RunManifest warm = MakeRun(0.5);
+  warm.counters["cache.hit"] = 1;
+  for (auto& stage : warm.stages)
+    if (stage.name == "generate") stage.total_us = 1.0;
+  ledger.Add(warm);
+
+  const RegressReport skip = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(skip.checked);
+  for (const GateResult& gate : skip.gates)
+    EXPECT_NE(gate.gate.rfind("perf:", 0), 0u)
+        << gate.gate << " gated against a cold baseline\n" << skip.ToText();
+
+  // Once warm history accumulates, a slow warm run gates against the
+  // warm regime (and the cold entries stay out of that baseline).
+  for (int i = 0; i < 2; ++i) {
+    RunManifest fast = warm;
+    ledger.Add(fast);
+  }
+  RunManifest slow = warm;
+  slow.wall_time_seconds = 0.6;  // 20% over the warm regime
+  ledger.Add(slow);
+  const RegressReport gated = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(gated.checked);
+  bool wall_tripped = false;
+  for (const GateResult& gate : gated.gates)
+    if (gate.gate == "perf:wall_time") wall_tripped = gate.regressed;
+  EXPECT_TRUE(wall_tripped) << gated.ToText();
 }
 
 TEST(RegressTest, BaselineIgnoresOtherFingerprintsAndCrashedRuns) {

@@ -9,7 +9,11 @@
 # --telemetry (JSON and CSV, gated on tools/telemetry_check) and --trace
 # (gated on tools/trace_check), then `stemroot audit` with a 95%
 # within-budget floor: a malformed export, a missing pipeline stage span
-# or trace event, or a broken error model fails the sweep.
+# or trace event, or a broken error model fails the sweep. Each mode then
+# drills the content-addressed profile cache: a cold run must store, a
+# warm run must hit (and compare byte-identical to the cold run at a
+# different thread count), and a deliberately truncated entry must fall
+# back to a clean recompute.
 #
 # Usage:
 #   tools/check.sh            # plain + tsan + asan, full ctest each
@@ -60,12 +64,17 @@ run_mode() {
   # per-thread state (see src/common/telemetry.cc).
   local san_env=(ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1"
                  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1")
+  # Smoke runs share one per-mode cache directory (never the repo-level
+  # default bench_results/cache) so the sweep is hermetic; the dedicated
+  # cache drill below uses a separate directory it corrupts on purpose.
+  local smoke_cache="$dir/cache-smoke"
   local smoke="$dir/telemetry-smoke.json"
   local smoke_csv="$dir/telemetry-smoke.csv"
   local trace="$dir/trace-smoke.json"
   env "${san_env[@]}" \
     "$dir/tools/stemroot" run --suite casio --workload bert_infer \
       --method stem --scale 0.02 --reps 2 --threads 4 \
+      --cache "$smoke_cache" \
       --telemetry "$smoke" --trace "$trace" >/dev/null
   "$dir/tools/telemetry_check" "$smoke" \
       --require-stage generate --require-stage profile \
@@ -83,13 +92,14 @@ run_mode() {
   env "${san_env[@]}" \
     "$dir/tools/stemroot" run --suite casio --workload bert_infer \
       --method stem --scale 0.02 --reps 1 --threads 2 \
+      --cache "$smoke_cache" \
       --telemetry "$smoke_csv" >/dev/null
   "$dir/tools/telemetry_check" "$smoke_csv"
 
   echo "=== [$mode] audit smoke (stemroot audit --min-within 0.95) ==="
   env "${san_env[@]}" \
     "$dir/tools/stemroot" audit --suite rodinia --workload bfs,hotspot \
-      --seed 42 --trials 3 --min-within 0.95 \
+      --seed 42 --trials 3 --min-within 0.95 --cache "$smoke_cache" \
       --json "$dir/audit-smoke.json" >/dev/null
 
   echo "=== [$mode] manifest smoke (run manifests + manifest_check) ==="
@@ -100,11 +110,11 @@ run_mode() {
   env "${san_env[@]}" \
     "$dir/tools/stemroot" run --suite casio --workload bert_infer \
       --method stem --scale 0.02 --reps 2 --seed 42 --threads 1 \
-      --manifest "$man_a" >/dev/null
+      --cache "$smoke_cache" --manifest "$man_a" >/dev/null
   env "${san_env[@]}" \
     "$dir/tools/stemroot" run --suite casio --workload bert_infer \
       --method stem --scale 0.02 --reps 2 --seed 42 --threads 4 \
-      --manifest "$man_b" >/dev/null
+      --cache "$smoke_cache" --manifest "$man_b" >/dev/null
   "$dir/tools/manifest_check" "$man_a" "$man_b" \
       --require-stage generate --require-stage profile \
       --require-stage cluster --require-stage sample \
@@ -145,6 +155,61 @@ run_mode() {
   then
     echo "regress drill FAILED: accuracy violation not detected" >&2; exit 1
   fi
+
+  echo "=== [$mode] cache drill (cold store, warm hit, corrupt fallback) ==="
+  # Cold run into a fresh cache: misses, then stores the profiled trace.
+  local cdir="$dir/cache-drill"
+  rm -rf "$cdir"
+  local man_cold="$dir/manifest-cold.json" man_warm="$dir/manifest-warm.json"
+  local man_recover="$dir/manifest-recover.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 7 --threads 2 \
+      --cache "$cdir" --manifest "$man_cold" >/dev/null
+  "$dir/tools/manifest_check" "$man_cold" --require-completed \
+      --require-counter cache.miss --require-counter cache.store >/dev/null
+  env "${san_env[@]}" "$dir/tools/stemroot" cache stats --cache "$cdir"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" cache verify --cache "$cdir" >/dev/null
+
+  # Warm run at a different thread count: generate+profile must hit the
+  # cache, spend no more stage time than the cold run, and stay
+  # byte-identical in every deterministic manifest field.
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 7 --threads 4 \
+      --cache "$cdir" --manifest "$man_warm" >/dev/null
+  "$dir/tools/manifest_check" "$man_warm" --require-completed \
+      --require-counter cache.hit \
+      --stage-leq generate="$man_cold" \
+      --stage-leq profile="$man_cold" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_cold" "$man_warm" >/dev/null
+
+  # Corrupt the entry (truncate to the header); verify must flag it, and
+  # the next run must fall back to a clean recompute with zero drift.
+  local centry
+  centry="$(ls "$cdir"/*.srce | head -n 1)"
+  head -c 16 "$centry" > "$centry.cut" && mv "$centry.cut" "$centry"
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" cache verify --cache "$cdir" >/dev/null
+  then
+    echo "cache drill FAILED: verify accepted a truncated entry" >&2; exit 1
+  fi
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 7 --threads 2 \
+      --cache "$cdir" --manifest "$man_recover" >/dev/null
+  "$dir/tools/manifest_check" "$man_recover" --require-completed \
+      --require-counter cache.corrupt >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_cold" "$man_recover" >/dev/null
+  # The recompute re-stored a clean entry; evict everything and confirm.
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" cache verify --cache "$cdir" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" cache evict --cache "$cdir" --max-bytes 0 \
+      >/dev/null
   echo "=== [$mode] OK ==="
 }
 

@@ -4,11 +4,17 @@
 /// perturbations to one.
 ///
 ///   manifest_check FILE... [--require-stage NAME]... [--require-completed]
+///                  [--require-counter NAME]... [--stage-leq NAME=OTHER.json]...
 ///   manifest_check FILE [--scale-stage NAME=FACTOR] [--set-error-pct X]
 ///                  [--out FILE] [--append-to LEDGER]
 ///
 /// Validation mode checks every FILE parses and conforms to the schema,
-/// optionally requiring named stages and the completed flag. Exits 0 when
+/// optionally requiring named stages and the completed flag.
+/// --require-counter demands the named telemetry counter is present and
+/// nonzero (check.sh uses `--require-counter cache.hit` to prove a warm
+/// run actually hit the profile cache). --stage-leq NAME=OTHER.json
+/// demands this manifest's stage NAME spent no more wall time than the
+/// same stage in OTHER.json (warm generate/profile <= cold). Exits 0 when
 /// all files pass, 1 otherwise.
 ///
 /// Perturbation mode (single FILE) loads the manifest, multiplies one
@@ -22,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/ledger.h"
@@ -33,6 +40,8 @@ int UsageError() {
   std::fprintf(stderr,
                "usage: manifest_check FILE... [--require-stage NAME]... "
                "[--require-completed]\n"
+               "                      [--require-counter NAME]... "
+               "[--stage-leq NAME=OTHER.json]...\n"
                "       manifest_check FILE [--scale-stage NAME=FACTOR] "
                "[--set-error-pct X]\n"
                "                      [--out FILE] [--append-to LEDGER]\n");
@@ -44,6 +53,8 @@ int UsageError() {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::vector<std::string> required_stages;
+  std::vector<std::string> required_counters;
+  std::vector<std::pair<std::string, std::string>> stage_leq;  // stage, file
   bool require_completed = false;
   std::string scale_stage;
   double scale_factor = 1.0;
@@ -63,6 +74,17 @@ int main(int argc, char** argv) {
     };
     if (arg == "--require-stage") {
       required_stages.push_back(value());
+    } else if (arg == "--require-counter") {
+      required_counters.push_back(value());
+    } else if (arg == "--stage-leq") {
+      const std::string spec = value();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--stage-leq wants NAME=OTHER.json, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      stage_leq.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (arg == "--require-completed") {
       require_completed = true;
     } else if (arg == "--scale-stage") {
@@ -119,6 +141,41 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "manifest_check: %s: missing required stage \"%s\"\n",
                      path.c_str(), stage.c_str());
+        ok = false;
+      }
+    }
+    for (const std::string& counter : required_counters) {
+      const auto it = manifest.counters.find(counter);
+      if (it == manifest.counters.end() || it->second == 0) {
+        std::fprintf(stderr,
+                     "manifest_check: %s: counter \"%s\" missing or zero\n",
+                     path.c_str(), counter.c_str());
+        ok = false;
+      }
+    }
+    for (const auto& [stage_name, other_path] : stage_leq) {
+      stemroot::eval::RunManifest other;
+      try {
+        other = stemroot::eval::RunManifest::Load(other_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "manifest_check: %s\n", e.what());
+        ok = false;
+        continue;
+      }
+      const auto* mine = manifest.FindStage(stage_name);
+      const auto* theirs = other.FindStage(stage_name);
+      if (mine == nullptr || theirs == nullptr) {
+        std::fprintf(stderr,
+                     "manifest_check: --stage-leq %s: stage missing in %s\n",
+                     stage_name.c_str(),
+                     mine == nullptr ? path.c_str() : other_path.c_str());
+        ok = false;
+      } else if (mine->total_us > theirs->total_us) {
+        std::fprintf(stderr,
+                     "manifest_check: %s: stage \"%s\" took %.1f us, more "
+                     "than %.1f us in %s\n",
+                     path.c_str(), stage_name.c_str(), mine->total_us,
+                     theirs->total_us, other_path.c_str());
         ok = false;
       }
     }

@@ -10,6 +10,7 @@
 ///   stemroot run      --suite casio --workload bert_infer --method stem
 ///   stemroot compare  A.json B.json
 ///   stemroot regress  --ledger bench_results/ledger.jsonl --window 8
+///   stemroot cache    stats|verify|evict [--cache DIR] [--max-bytes N]
 ///
 /// Stage wiring goes through eval::Pipeline (one master --seed per command;
 /// per-stage seeds are derived from it — see src/eval/pipeline.h) and
@@ -23,6 +24,11 @@
 /// (`--ledger FILE`, JSONL). `compare` diffs two manifests; `regress`
 /// gates the newest ledger entry against its rolling baseline.
 ///
+/// Pipeline commands memoize the generate->profile prefix in a
+/// content-addressed on-disk cache (default bench_results/cache/;
+/// `--cache DIR|none`; see src/eval/trace_cache.h for the key contract).
+/// `stemroot cache` inspects and maintains it.
+///
 /// Traces use the library's binary format; sampling plans are CSVs of
 /// (invocation, weight) -- the "sampling information" a simulator embeds.
 
@@ -33,6 +39,7 @@
 
 #include "baselines/registry.h"
 #include "common/build_info.h"
+#include "common/cache.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/log.h"
@@ -48,6 +55,7 @@
 #include "eval/pipeline.h"
 #include "eval/regress.h"
 #include "eval/stage_report.h"
+#include "eval/trace_cache.h"
 #include "hw/profile.h"
 #include "trace/serialize.h"
 #include "workloads/suite.h"
@@ -75,6 +83,7 @@ commands:
   compare   A.json B.json [--allow-config-diff true]
   regress   --ledger FILE [--window K] [--min-history N] [--mad-factor C]
             [--rel-slack X] [--accuracy-slack PP]
+  cache     stats|verify|evict [--cache DIR] [--max-bytes N]
 
 methods come from the sampler registry (stem random pka sieve photon
 tbpoint); sampler parameters (--epsilon, --probability, --confidence, ...)
@@ -91,7 +100,16 @@ newest ledger entry against up to --window prior same-config runs with
 noise-aware thresholds (median + max(C*MAD, slack)); exit 3 on any
 perf/accuracy regression, so CI can gate on it.
 
+cache manages the content-addressed profiled-trace cache: stats prints
+entry count and bytes, verify checks every entry's header and checksum
+(exit 1 if any entry is defective), evict removes entries oldest-first
+until the cache fits --max-bytes (default 0: remove everything).
+
 pipeline commands (generate .. audit) also accept:
+  --cache DIR|none   directory of the profiled-trace cache consulted by
+                     `run` (default bench_results/cache). a warm cache
+                     skips the generate+profile stages byte-identically;
+                     "none" disables caching for this invocation.
   --manifest FILE    write a stemroot-manifest-v1 run manifest (resolved
                      config, build stamp, per-stage wall time, telemetry
                      counters, headline metrics). written completed=false
@@ -328,9 +346,8 @@ int CmdRun(const Flags& flags, eval::RunManifest& manifest) {
   manifest.config.reps = reps;
   flags.CheckAllRead();
 
-  eval::Pipeline pipeline = eval::Pipeline::Generate(suite, workload,
-                                                     options);
-  pipeline.Profile(spec);
+  eval::Pipeline pipeline =
+      eval::Pipeline::GenerateProfiled(suite, workload, spec, options);
   pipeline.FillManifest(manifest);
   const eval::EvalResult result = pipeline.Evaluate(*sampler, reps);
   FillMetrics(manifest, result);
@@ -389,6 +406,63 @@ int CmdAudit(const Flags& flags, eval::RunManifest& manifest) {
     return 1;
   }
   return 0;
+}
+
+int CmdCache(const Flags& flags) {
+  const std::vector<std::string>& pos = flags.Positional();
+  const std::string action = pos.empty() ? "stats" : pos[0];
+  const std::string dir =
+      flags.GetString("cache", eval::DefaultTraceCacheDir());
+  const uint64_t max_bytes =
+      static_cast<uint64_t>(flags.GetInt("max-bytes", 0));
+  flags.CheckAllRead();
+  if (dir == "none" || dir.empty())
+    throw std::invalid_argument("cache: --cache none names no directory");
+  const ArtifactCache cache(dir);
+
+  if (action == "stats") {
+    const ArtifactCache::Stats stats = cache.GetStats();
+    std::printf("%s: %llu entries, %llu bytes (%s)\n", dir.c_str(),
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.bytes),
+                HumanCount(static_cast<double>(stats.bytes)).c_str());
+    return 0;
+  }
+  if (action == "verify") {
+    size_t bad = 0;
+    for (const ArtifactCache::EntryInfo& info : cache.Verify()) {
+      if (info.valid) {
+        std::printf("ok      %s (%llu bytes)\n", info.file.c_str(),
+                    static_cast<unsigned long long>(info.bytes));
+      } else {
+        ++bad;
+        std::printf("corrupt %s (%llu bytes): %s\n", info.file.c_str(),
+                    static_cast<unsigned long long>(info.bytes),
+                    info.problem.c_str());
+      }
+    }
+    if (bad > 0) {
+      std::fprintf(stderr,
+                   "cache: %zu defective entr%s (each is treated as a "
+                   "miss; evict to reclaim the space)\n",
+                   bad, bad == 1 ? "y" : "ies");
+      return 1;
+    }
+    std::printf("cache: all entries verify clean\n");
+    return 0;
+  }
+  if (action == "evict") {
+    const uint64_t removed = cache.Evict(max_bytes);
+    const ArtifactCache::Stats stats = cache.GetStats();
+    std::printf("evicted %llu entr%s; %llu entries, %llu bytes remain\n",
+                static_cast<unsigned long long>(removed),
+                removed == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.bytes));
+    return 0;
+  }
+  throw std::invalid_argument("cache: unknown action '" + action +
+                              "' (stats, verify, evict)");
 }
 
 int CmdCompare(const Flags& flags) {
@@ -476,6 +550,10 @@ int main(int argc, char** argv) {
       SetLogLevel(*level);
     }
     if (pipeline_command) {
+      // The profiled-trace cache is on by default for pipeline commands;
+      // --cache none opts out, --cache DIR relocates it.
+      eval::SetTraceCacheDir(
+          flags.GetString("cache", eval::DefaultTraceCacheDir()));
       manifest_path = flags.GetString("manifest", "");
       ledger_path = flags.GetString("ledger", "");
       // Stage wall times and counters come from telemetry, so manifest
@@ -496,6 +574,7 @@ int main(int argc, char** argv) {
     else if (command == "evaluate") rc = CmdEvaluate(flags, manifest);
     else if (command == "run") rc = CmdRun(flags, manifest);
     else if (command == "audit") rc = CmdAudit(flags, manifest);
+    else if (command == "cache") rc = CmdCache(flags);
     else if (command == "compare") rc = CmdCompare(flags);
     else if (command == "regress") rc = CmdRegress(flags);
     else {
