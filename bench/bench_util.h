@@ -11,6 +11,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -81,6 +82,17 @@ class Session {
   /// Resolved parallelism after --threads / STEMROOT_THREADS.
   int threads() const { return threads_; }
 
+  /// Record the simulator sharding knobs in the run manifest (benches that
+  /// drive the cycle-level engine call this once after parsing their
+  /// flags). sim_shards joins the manifest fingerprint, so ledger
+  /// baselines split per shard count; the default 0 omits the block.
+  void SetShardConfig(uint32_t sim_shards, int sim_threads,
+                      uint64_t epoch_cycles) {
+    sim_shards_ = sim_shards;
+    sim_threads_ = sim_threads;
+    epoch_cycles_ = epoch_cycles;
+  }
+
   /// Bench name derived from argv[0] (basename, no directories).
   const std::string& name() const { return name_; }
 
@@ -98,6 +110,9 @@ class Session {
   void WriteManifest(bool completed) const;
 
   int threads_ = 0;
+  uint32_t sim_shards_ = 0;
+  int sim_threads_ = 0;
+  uint64_t epoch_cycles_ = 0;
   std::string name_;
   std::string telemetry_path_;
   std::string trace_path_;

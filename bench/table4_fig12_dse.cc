@@ -1,23 +1,31 @@
 /// \file
 /// Table 4 + Figure 12 reproduction: design-space exploration on the
-/// cycle-level simulator. Sampling plans are built from the *baseline*
-/// hardware profile; ground truth comes from FULL cycle simulation of
-/// every kernel on five microarchitecture variants (baseline, cache x2,
-/// cache x1/2, #SM x2, #SM x1/2). Workloads are reduced (Sec. 5.4) so the
-/// full simulations complete here: 11 Rodinia-like workloads plus the 6
-/// HuggingFace-like LLM/ML workloads with truncated graphs and scaled
-/// per-kernel work.
+/// cycle-level simulator, driven by the batched eval::DseSweep. Sampling
+/// plans are built from the *baseline* hardware profile; ground truth
+/// comes from FULL cycle simulation of every kernel on five
+/// microarchitecture variants (baseline, cache x2, cache x1/2, #SM x2,
+/// #SM x1/2). All (variant, workload) points run concurrently over the
+/// shared profiled traces -- results are byte-identical to a serial
+/// point-by-point loop at any --threads / --sim-threads (the sweep's
+/// determinism contract, DESIGN.md section 12). Workloads are reduced
+/// (Sec. 5.4) so the full simulations complete here: 11 Rodinia-like
+/// workloads plus the 6 HuggingFace-like LLM/ML workloads with truncated
+/// graphs and scaled per-kernel work.
+///
+/// Extra flags (after the standard Session set): --sim-shards N,
+/// --sim-threads N, --epoch-cycles N forward to the engine's shard
+/// options; --sweep-threads N caps the concurrently evaluated points.
 
+#include <chrono>
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "eval/dse.h"
-#include "eval/runner.h"
-#include "sim/sampled_sim.h"
 #include "workloads/huggingface.h"
 #include "workloads/rodinia.h"
 
@@ -54,10 +62,33 @@ std::vector<KernelTrace> ReducedWorkloads(const hw::HardwareModel& gpu) {
   return traces;
 }
 
+int64_t IntFlag(int argc, char** argv, const char* flag, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Session session(argc, argv);
+
+  eval::DseSweepOptions sweep_options;
+  sweep_options.seed = bench::kSeed;
+  sweep_options.shard.sim_shards = static_cast<uint32_t>(IntFlag(
+      argc, argv, "--sim-shards", sweep_options.shard.sim_shards));
+  sweep_options.shard.sim_threads = static_cast<int>(IntFlag(
+      argc, argv, "--sim-threads", sweep_options.shard.sim_threads));
+  sweep_options.shard.epoch_cycles = static_cast<uint64_t>(
+      IntFlag(argc, argv, "--epoch-cycles",
+              static_cast<int64_t>(sweep_options.shard.epoch_cycles)));
+  sweep_options.sweep_threads = static_cast<int>(
+      IntFlag(argc, argv, "--sweep-threads", sweep_options.sweep_threads));
+  sweep_options.shard.Validate();
+  session.SetShardConfig(sweep_options.shard.sim_shards,
+                         sweep_options.shard.sim_threads,
+                         sweep_options.shard.epoch_cycles);
+
   std::printf("=== Table 4 + Figure 12: DSE on the cycle-level simulator "
               "===\n(11 reduced Rodinia + 6 reduced LLM workloads; full "
               "vs sampled cycle simulation)\n\n");
@@ -67,51 +98,36 @@ int main(int argc, char** argv) {
 
   // Plans come from the baseline profile only (the Sec. 5.4 protocol).
   bench::SamplerSet samplers = bench::MakeStandardSamplers(0.10, true);
-  struct PlannedWorkload {
-    const KernelTrace* trace;
-    std::vector<core::SamplingPlan> plans;
-  };
-  std::vector<PlannedWorkload> planned;
-  for (const KernelTrace& trace : traces) {
-    PlannedWorkload pw;
-    pw.trace = &trace;
+  std::vector<std::vector<core::SamplingPlan>> plans(traces.size());
+  for (size_t w = 0; w < traces.size(); ++w)
     for (const core::Sampler* sampler : samplers.pointers)
-      pw.plans.push_back(sampler->BuildPlan(trace, bench::kSeed));
-    planned.push_back(std::move(pw));
-  }
+      plans[w].push_back(sampler->BuildPlan(traces[w], bench::kSeed));
+  std::vector<eval::DseWorkload> sweep_workloads;
+  for (size_t w = 0; w < traces.size(); ++w)
+    sweep_workloads.push_back({&traces[w], plans[w]});
+
+  const eval::DseSweep sweep(eval::StandardDseVariants(base_spec),
+                             sweep_options);
+  std::printf("-- sweeping %zu points (%zu variants x %zu workloads) "
+              "concurrently...\n",
+              sweep.Variants().size() * sweep_workloads.size(),
+              sweep.Variants().size(), sweep_workloads.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const eval::DseSweepResult result = sweep.Run(sweep_workloads);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
 
   CsvWriter csv(bench::ResultsDir() + "/table4_fig12_dse.csv");
   csv.WriteHeader({"variant", "workload", "method", "full_megacycles",
                    "estimated_megacycles", "error_pct"});
-
-  // error_sums[variant][method] accumulates per-workload errors.
-  std::map<std::string, std::map<std::string, double>> error_sums;
-  std::vector<std::string> variant_order;
-
-  for (const eval::DseVariant& variant :
-       eval::StandardDseVariants(base_spec)) {
-    variant_order.push_back(variant.name);
-    const sim::SimConfig sim_config = sim::SimConfig::FromSpec(variant.spec);
-    std::printf("-- %-10s : full-simulating %zu workloads...\n",
-                variant.name.c_str(), planned.size());
-
-    for (const PlannedWorkload& pw : planned) {
-      const sim::TraceSimResult full =
-          sim::SimulateTraceFull(*pw.trace, sim_config);
-      for (const core::SamplingPlan& plan : pw.plans) {
-        const sim::SampledSimResult sampled =
-            sim::SimulateSampled(*pw.trace, plan, sim_config);
-        const double error =
-            std::abs(sampled.estimated_total_cycles - full.total_cycles) /
-            full.total_cycles * 100.0;
-        error_sums[variant.name][plan.method] += error;
-        csv.WriteRow({variant.name, pw.trace->WorkloadName(), plan.method,
-                      Format("%.4f", full.total_cycles / 1e6),
-                      Format("%.4f", sampled.estimated_total_cycles / 1e6),
-                      Format("%.4f", error)});
-      }
-    }
-  }
+  for (const eval::DsePointResult& point : result.points)
+    for (const eval::DsePointMethod& row : point.methods)
+      csv.WriteRow({point.variant, point.workload, row.method,
+                    Format("%.4f", point.full_cycles / 1e6),
+                    Format("%.4f", row.estimated_cycles / 1e6),
+                    Format("%.4f", row.error_pct)});
 
   // --- Table 4 layout: rows = uarch change, columns = methods. ---
   std::vector<std::string> methods;
@@ -122,14 +138,19 @@ int main(int argc, char** argv) {
   TextTable table(headers);
   table.SetTitle("\nTable 4: average sampled-simulation error (%) across "
                  "microarchitecture variants");
-  for (const std::string& variant : variant_order) {
-    std::vector<std::string> cells = {variant};
+  for (size_t v = 0; v < sweep.Variants().size(); ++v) {
+    std::vector<std::string> cells = {sweep.Variants()[v].name};
     for (const std::string& m : methods)
-      cells.push_back(TextTable::Num(
-          error_sums[variant][m] / static_cast<double>(planned.size()), 2));
+      cells.push_back(TextTable::Num(result.MeanErrorPct(v, m), 2));
     table.AddRow(std::move(cells));
   }
   std::printf("%s\n", table.Render().c_str());
+  std::printf("sweep wall time: %.2fs at %d threads (sim-shards %u, "
+              "sim-threads %d, epoch-cycles %llu)\n",
+              sweep_seconds, session.threads(),
+              sweep_options.shard.sim_shards, sweep_options.shard.sim_threads,
+              static_cast<unsigned long long>(
+                  sweep_options.shard.epoch_cycles));
   std::printf("Figure 12's per-workload full-vs-estimated cycle counts "
               "are in %s/table4_fig12_dse.csv\n",
               bench::ResultsDir().c_str());

@@ -202,21 +202,18 @@ void RunChunks(ForState& state) {
   --tls_region_depth;
 }
 
-}  // namespace
-
-void ParallelFor(size_t begin, size_t end,
-                 const std::function<void(size_t)>& body, size_t grain) {
-  if (end <= begin) return;
+/// Shared driver behind ParallelFor and ParallelLanes: the caller plus up
+/// to `lanes - 1` pool helpers claim chunks of [begin, end) from one
+/// atomic cursor. `exact_pool` keeps the global pool sized to exactly
+/// `lanes - 1` workers (ParallelFor tracks SetNumThreads this way);
+/// otherwise the pool only grows when it has too few workers for the
+/// requested cap (ParallelLanes must not shrink a pool another region
+/// relies on).
+void RunRegion(size_t begin, size_t end, size_t grain, size_t lanes,
+               const std::function<void(size_t)>& body, bool exact_pool) {
   const size_t n = end - begin;
-  const size_t threads = static_cast<size_t>(NumThreads());
-  if (n == 1 || threads == 1 || InParallelRegion()) {
-    for (size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
-  if (grain == 0) grain = std::max<size_t>(1, n / (threads * 8));
   const size_t chunks = (n + grain - 1) / grain;
-  const size_t helpers = std::min(threads, chunks) - 1;
+  const size_t helpers = std::min(lanes, chunks) - 1;
 
   auto state = std::make_shared<ForState>();
   state->next.store(begin, std::memory_order_relaxed);
@@ -227,7 +224,9 @@ void ParallelFor(size_t begin, size_t end,
 
   if (helpers > 0) {
     ThreadPool& pool = ThreadPool::Global();
-    if (pool.NumWorkers() + 1 != threads) pool.Resize(threads - 1);
+    if (exact_pool ? pool.NumWorkers() + 1 != lanes
+                   : pool.NumWorkers() < helpers)
+      pool.Resize(exact_pool ? lanes - 1 : helpers);
     for (size_t h = 0; h < helpers; ++h) {
       pool.Submit([state] {
         RunChunks(*state);
@@ -247,6 +246,35 @@ void ParallelFor(size_t begin, size_t end,
     state->done_cv.wait(lock, [&] { return state->helpers_left == 0; });
   }
   if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body, size_t grain) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t threads = static_cast<size_t>(NumThreads());
+  if (n == 1 || threads == 1 || InParallelRegion()) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  if (grain == 0) grain = std::max<size_t>(1, n / (threads * 8));
+  RunRegion(begin, end, grain, threads, body, /*exact_pool=*/true);
+}
+
+void ParallelLanes(size_t lanes, size_t max_concurrency,
+                   const std::function<void(size_t)>& body) {
+  if (lanes == 0) return;
+  const size_t cap = max_concurrency == 0
+                         ? static_cast<size_t>(NumThreads())
+                         : max_concurrency;
+  if (lanes == 1 || cap == 1 || InParallelRegion()) {
+    for (size_t i = 0; i < lanes; ++i) body(i);
+    return;
+  }
+  RunRegion(0, lanes, /*grain=*/1, cap, body, /*exact_pool=*/false);
 }
 
 }  // namespace stemroot

@@ -127,6 +127,14 @@ std::string RunManifest::ToJson(bool pretty) const {
     cfg += ",\"seed\":" + U64(config.seed);
     cfg += ",\"reps\":" + U64(config.reps);
     cfg += ",\"threads\":" + Format("%d", config.threads);
+    if (config.sim_shards > 0) {
+      // Serialized only when simulator sharding is in play so manifests
+      // (and ledger baselines) from pre-sharding builds keep parsing and
+      // fingerprinting unchanged.
+      cfg += ",\"sim_shards\":" + U64(config.sim_shards);
+      cfg += ",\"sim_threads\":" + Format("%d", config.sim_threads);
+      cfg += ",\"epoch_cycles\":" + U64(config.epoch_cycles);
+    }
     cfg += '}';
     w.Field("config", cfg);
   }
@@ -238,6 +246,20 @@ bool RunManifest::FromJson(std::string_view text, RunManifest& out,
   m.config.seed = static_cast<uint64_t>(seed);
   m.config.reps = static_cast<uint32_t>(reps);
   m.config.threads = static_cast<int>(threads);
+  // Optional sharding block (absent in pre-sharding manifests -> stays 0).
+  if (const json::Value* v = config->Find("sim_shards")) {
+    if (!v->IsNumber())
+      return SchemaFail(error, "config \"sim_shards\" is not a number");
+    m.config.sim_shards = static_cast<uint32_t>(v->number);
+    double sim_threads = 0.0, epoch_cycles = 0.0;
+    if (!GetNumberField(*config, "sim_threads", sim_threads, error,
+                        "config") ||
+        !GetNumberField(*config, "epoch_cycles", epoch_cycles, error,
+                        "config"))
+      return false;
+    m.config.sim_threads = static_cast<int>(sim_threads);
+    m.config.epoch_cycles = static_cast<uint64_t>(epoch_cycles);
+  }
 
   if (!GetNumberField(root, "wall_time_seconds", m.wall_time_seconds, error,
                       "manifest"))
@@ -348,6 +370,14 @@ std::string RunManifest::Fingerprint() const {
         Format("%d", config.threads)}) {
     fp += '|';
     fp += part;
+  }
+  if (config.sim_shards > 0) {
+    // sim_shards changes results and epoch_cycles changes wall time, so
+    // both split baselines. sim_threads is deliberately absent: the §12
+    // determinism contract makes results byte-identical at any lane
+    // concurrency, so runs at different --sim-threads share a baseline.
+    fp += "|sim_shards=" + U64(config.sim_shards);
+    fp += "|epoch_cycles=" + U64(config.epoch_cycles);
   }
   return fp;
 }

@@ -14,7 +14,10 @@
 ///     "completed": true,             // false = partial/abnormal-exit flush
 ///     "build": { git_hash, git_dirty, compiler, build_type, sanitizer },
 ///     "config": { suite, workload, gpu, method, epsilon, confidence,
-///                 scale, seed, reps, threads },
+///                 scale, seed, reps, threads,
+///                 sim_shards, sim_threads, epoch_cycles },  // sim_* only
+///                                        // when simulator sharding is in
+///                                        // play (sim_shards >= 1)
 ///     "wall_time_seconds": 1.23,
 ///     "stages": [ { "name": "generate", "count": 1,
 ///                   "total_us": 123.4 }, ... ],
@@ -76,6 +79,16 @@ struct RunManifest {
     uint64_t seed = 0;
     uint32_t reps = 0;
     int threads = 0;
+    /// Simulator sharding (0 = sharding not in play for this command).
+    /// sim_shards is a modeling knob: it changes results, so it gates
+    /// comparability and joins the fingerprint. sim_threads is a pacing
+    /// knob excluded from both by the §12 determinism contract;
+    /// epoch_cycles likewise never changes results but does change wall
+    /// time, so it joins the fingerprint (perf baselines are only
+    /// comparable at equal pacing) while staying out of the compare gate.
+    uint32_t sim_shards = 0;
+    int sim_threads = 0;
+    uint64_t epoch_cycles = 0;
   };
 
   /// Headline accuracy/budget metrics (EvalResult view).

@@ -1,5 +1,6 @@
 #include "sim/cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -67,6 +68,37 @@ void Cache::Flush() {
 void Cache::ResetStats() {
   hits_ = 0;
   misses_ = 0;
+}
+
+uint64_t Cache::ContentDigest() const {
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t digest = kOffset;
+  const auto mix = [&digest](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest ^= (v >> (byte * 8)) & 0xFF;
+      digest *= kPrime;
+    }
+  };
+  std::vector<uint32_t> ways(assoc_);
+  for (uint32_t set = 0; set < num_sets_; ++set) {
+    const Line* base = &lines_[static_cast<size_t>(set) * assoc_];
+    // Valid ways in LRU-rank order (oldest first): the digest captures
+    // replacement priority, not the absolute clock values.
+    uint32_t valid = 0;
+    for (uint32_t way = 0; way < assoc_; ++way)
+      if (base[way].valid) ways[valid++] = way;
+    std::sort(ways.begin(), ways.begin() + valid,
+              [base](uint32_t a, uint32_t b) {
+                if (base[a].lru != base[b].lru)
+                  return base[a].lru < base[b].lru;
+                return a < b;
+              });
+    mix(set);
+    mix(valid);
+    for (uint32_t k = 0; k < valid; ++k) mix(base[ways[k]].tag);
+  }
+  return digest;
 }
 
 }  // namespace stemroot::sim

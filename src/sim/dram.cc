@@ -16,12 +16,14 @@ double DramModel::Request(double now, uint32_t bytes) {
   const double transfer = static_cast<double>(bytes) / bytes_per_cycle_;
   bus_free_ = start + transfer;
   bytes_transferred_ += bytes;
+  busy_cycles_ += transfer;
   return bus_free_ + static_cast<double>(latency_cycles_);
 }
 
 void DramModel::Reset() {
   bus_free_ = 0.0;
   bytes_transferred_ = 0;
+  busy_cycles_ = 0.0;
 }
 
 }  // namespace stemroot::sim

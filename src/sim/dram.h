@@ -25,6 +25,12 @@ class DramModel {
   /// Total bytes transferred.
   uint64_t BytesTransferred() const { return bytes_transferred_; }
 
+  /// Cycles the bus spent actually transferring data (sum of transfer
+  /// times, excluding the fixed latency). With the serialized-bus model
+  /// this is the bandwidth-bound lower bound on memory time; the sharded
+  /// determinism tests compare it across pacing configurations.
+  double BusyCycles() const { return busy_cycles_; }
+
   /// Reset queue and stats (between kernels if desired).
   void Reset();
 
@@ -33,6 +39,7 @@ class DramModel {
   uint32_t latency_cycles_;
   double bus_free_ = 0.0;  ///< next cycle the bus can start a transfer
   uint64_t bytes_transferred_ = 0;
+  double busy_cycles_ = 0.0;
 };
 
 }  // namespace stemroot::sim

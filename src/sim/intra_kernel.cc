@@ -1,7 +1,8 @@
 #include "sim/intra_kernel.h"
 
 #include <stdexcept>
-#include <unordered_map>
+
+#include "sim/sharded.h"
 
 namespace stemroot::sim {
 
@@ -66,60 +67,10 @@ CombinedSimResult SimulateSampledIntra(
     const KernelTrace& trace, const core::SamplingPlan& plan,
     const SimConfig& config, const TraceSimOptions& trace_options,
     const IntraKernelOptions& intra_options) {
-  plan.Validate(trace.NumInvocations());
-  intra_options.Validate();
-  Simulator simulator(config);
-
-  // Previous same-kernel invocation (see SimulateSampled).
-  std::vector<int64_t> prev_same_kernel(trace.NumInvocations(), -1);
-  {
-    std::unordered_map<uint32_t, uint32_t> last_of_kernel;
-    for (uint32_t i = 0; i < trace.NumInvocations(); ++i) {
-      const uint32_t kernel_id = trace.At(i).kernel_id;
-      auto it = last_of_kernel.find(kernel_id);
-      if (it != last_of_kernel.end()) prev_same_kernel[i] = it->second;
-      last_of_kernel[kernel_id] = i;
-    }
-  }
-
-  std::unordered_map<uint32_t, double> cycles_by_invocation;
-  CombinedSimResult result;
-  for (uint32_t idx : plan.DistinctInvocations()) {
-    if (trace_options.flush_l2_between_kernels) {
-      simulator.FlushL2();
-    } else {
-      const int64_t same = prev_same_kernel[idx];
-      const bool warm_same =
-          trace_options.warmup == WarmupPolicy::kSameKernel ||
-          trace_options.warmup ==
-              WarmupPolicy::kSameKernelThenPredecessor;
-      const bool warm_pred =
-          trace_options.warmup == WarmupPolicy::kPredecessor ||
-          trace_options.warmup ==
-              WarmupPolicy::kSameKernelThenPredecessor;
-      // Warmups are themselves wave-sampled: a prefix suffices to warm
-      // the L2 region, and the point of intra sampling is to avoid
-      // full-kernel costs everywhere.
-      if (warm_same && same >= 0)
-        (void)SimulateKernelIntra(simulator,
-                                  trace.At(static_cast<uint32_t>(same)),
-                                  trace_options.seed, intra_options);
-      if (warm_pred && idx > 0 && static_cast<int64_t>(idx) - 1 != same)
-        (void)SimulateKernelIntra(simulator, trace.At(idx - 1),
-                                  trace_options.seed, intra_options);
-    }
-    const IntraKernelResult one = SimulateKernelIntra(
-        simulator, trace.At(idx), trace_options.seed, intra_options);
-    cycles_by_invocation.emplace(idx, one.estimated_cycles);
-    result.simulated_cost_cycles += one.simulated_cycles;
-    ++result.kernels_simulated;
-    if (one.sampled) ++result.kernels_wave_sampled;
-  }
-
-  for (const core::SampleEntry& entry : plan.entries)
-    result.estimated_total_cycles +=
-        entry.weight * cycles_by_invocation.at(entry.invocation);
-  return result;
+  // Thin wrapper over the sharded engine (src/sim/sharded.cc): one lane
+  // is exactly the legacy serial loop; trace_options.shard scales out.
+  return ShardedSimulateSampledIntra(trace, plan, config, trace_options,
+                                     intra_options);
 }
 
 }  // namespace stemroot::sim

@@ -1,81 +1,25 @@
 #include "sim/sampled_sim.h"
 
-#include <unordered_map>
+#include "sim/sharded.h"
 
 namespace stemroot::sim {
+
+// Both drivers are thin wrappers over the sharded engine: one lane
+// stepping the whole timeline in order on one Simulator is exactly the
+// serial algorithm (tests/sim/determinism_test.cc pins the equivalence
+// against hand-rolled serial loops), and options.shard scales it out.
 
 TraceSimResult SimulateTraceFull(const KernelTrace& trace,
                                  const SimConfig& config,
                                  const TraceSimOptions& options) {
-  Simulator simulator(config);
-  TraceSimResult result;
-  result.per_invocation_cycles.reserve(trace.NumInvocations());
-  for (const KernelInvocation& inv : trace.Invocations()) {
-    if (options.flush_l2_between_kernels) simulator.FlushL2();
-    const KernelSimResult one = simulator.SimulateKernel(inv, options.seed);
-    result.per_invocation_cycles.push_back(one.cycles);
-    result.total_cycles += one.cycles;
-    result.stats.Merge(one.stats);
-  }
-  return result;
+  return ShardedSimulateTraceFull(trace, config, options);
 }
 
 SampledSimResult SimulateSampled(const KernelTrace& trace,
                                  const core::SamplingPlan& plan,
                                  const SimConfig& config,
                                  const TraceSimOptions& options) {
-  plan.Validate(trace.NumInvocations());
-  Simulator simulator(config);
-
-  // Previous invocation of the same kernel type, per invocation (-1 if
-  // none): the dominant source of inherited L2 warmth, since repeated
-  // launches of a kernel touch the same data region.
-  std::vector<int64_t> prev_same_kernel(trace.NumInvocations(), -1);
-  {
-    std::unordered_map<uint32_t, uint32_t> last_of_kernel;
-    for (uint32_t i = 0; i < trace.NumInvocations(); ++i) {
-      const uint32_t kernel_id = trace.At(i).kernel_id;
-      auto it = last_of_kernel.find(kernel_id);
-      if (it != last_of_kernel.end()) prev_same_kernel[i] = it->second;
-      last_of_kernel[kernel_id] = i;
-    }
-  }
-
-  // Simulate each distinct invocation once, in timeline order (matching
-  // the L2 state evolution a sampling-aware simulator would see).
-  std::unordered_map<uint32_t, double> cycles_by_invocation;
-  SampledSimResult result;
-  for (uint32_t idx : plan.DistinctInvocations()) {
-    if (options.flush_l2_between_kernels) {
-      simulator.FlushL2();
-    } else {
-      // Short warmup runs (Sec. 6.2's "short warmup kernels"): the
-      // previous same-kernel launch warms this kernel's data region; the
-      // immediate predecessor reproduces its cache pollution.
-      const int64_t same = prev_same_kernel[idx];
-      const bool warm_same =
-          options.warmup == WarmupPolicy::kSameKernel ||
-          options.warmup == WarmupPolicy::kSameKernelThenPredecessor;
-      const bool warm_pred =
-          options.warmup == WarmupPolicy::kPredecessor ||
-          options.warmup == WarmupPolicy::kSameKernelThenPredecessor;
-      if (warm_same && same >= 0)
-        (void)simulator.SimulateKernel(
-            trace.At(static_cast<uint32_t>(same)), options.seed);
-      if (warm_pred && idx > 0 && static_cast<int64_t>(idx) - 1 != same)
-        (void)simulator.SimulateKernel(trace.At(idx - 1), options.seed);
-    }
-    const KernelSimResult one =
-        simulator.SimulateKernel(trace.At(idx), options.seed);
-    cycles_by_invocation.emplace(idx, one.cycles);
-    result.simulated_cost_cycles += one.cycles;
-    ++result.kernels_simulated;
-  }
-
-  for (const core::SampleEntry& entry : plan.entries)
-    result.estimated_total_cycles +=
-        entry.weight * cycles_by_invocation.at(entry.invocation);
-  return result;
+  return ShardedSimulateSampled(trace, plan, config, options);
 }
 
 }  // namespace stemroot::sim

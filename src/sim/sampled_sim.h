@@ -46,6 +46,10 @@ struct TraceSimOptions {
   /// Warmup strategy for sampled simulation (ignored by full simulation,
   /// which is always naturally warm).
   WarmupPolicy warmup = WarmupPolicy::kSameKernelThenPredecessor;
+  /// Lane sharding and pacing (src/sim/sharded.h). The default --
+  /// sim_shards == 1 -- is the exact legacy serial path; sim_threads and
+  /// epoch_cycles never change results, only wall time.
+  ShardOptions shard;
 };
 
 /// Full-simulation result.

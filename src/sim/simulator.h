@@ -60,6 +60,17 @@ class Simulator {
   /// Invalidate the persistent L2 slice (warmup ablation).
   void FlushL2();
 
+  /// Content digest of the persistent L2 slice (see Cache::ContentDigest):
+  /// the determinism tests compare microarchitectural state, not just
+  /// cycle counts, across sharding/pacing configurations.
+  uint64_t L2Digest() const { return l2_.ContentDigest(); }
+
+  /// Content digest of the SM's private L1.
+  uint64_t L1Digest() const { return sm_.L1Digest(); }
+
+  /// The DRAM channel share (busy-cycle and byte accounting).
+  const DramModel& Dram() const { return dram_; }
+
  private:
   SimConfig config_;
   Cache l2_;

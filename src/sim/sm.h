@@ -63,6 +63,9 @@ class SmModel {
   /// Invalidate the private L1 (fresh per kernel).
   void ResetL1();
 
+  /// Content digest of the private L1 (see Cache::ContentDigest).
+  uint64_t L1Digest() const { return l1_.ContentDigest(); }
+
  private:
   const SimConfig& config_;
   Cache l1_;

@@ -156,6 +156,47 @@ run_mode() {
     echo "regress drill FAILED: accuracy violation not detected" >&2; exit 1
   fi
 
+  echo "=== [$mode] sim-determinism drill (sharded engine, DESIGN.md §12) ==="
+  # The sharded cycle simulator's contract, machine-checked end to end:
+  # a DSE sweep at --sim-threads 1 vs 4 must produce manifests with zero
+  # deterministic drift (`stemroot compare` exit 0), and so must an
+  # extreme --epoch-cycles setting -- thread count and epoch length are
+  # pacing knobs, never modeling knobs.
+  local sim_a="$dir/sim-manifest-a.json" sim_b="$dir/sim-manifest-b.json"
+  local sim_c="$dir/sim-manifest-c.json"
+  local dse_args=(dse --suite rodinia --workload hotspot,lud --seed 11
+                  --scale 0.05 --sim-shards 4 --cache "$smoke_cache")
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${dse_args[@]}" --sim-threads 1 \
+      --manifest "$sim_a" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${dse_args[@]}" --sim-threads 4 \
+      --manifest "$sim_b" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${dse_args[@]}" --sim-threads 4 \
+      --epoch-cycles 4096 --manifest "$sim_c" >/dev/null
+  "$dir/tools/manifest_check" "$sim_a" "$sim_b" "$sim_c" \
+      --require-completed \
+      --require-counter sim.kernels_simulated \
+      --require-counter dse.points >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$sim_a" "$sim_b" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$sim_b" "$sim_c" >/dev/null
+
+  if [ "$mode" = tsan ]; then
+    echo "=== [$mode] race drill (TSan positive control) ==="
+    # tools/race_drill races on purpose; a TSan build that does NOT
+    # report it would also miss real engine races, so a zero exit here
+    # fails the sweep.
+    if env TSAN_OPTIONS="halt_on_error=1" "$dir/tools/race_drill" \
+        >/dev/null 2>&1
+    then
+      echo "race drill FAILED: TSan did not trip on a known race" >&2
+      exit 1
+    fi
+  fi
+
   echo "=== [$mode] cache drill (cold store, warm hit, corrupt fallback) ==="
   # Cold run into a fresh cache: misses, then stores the profiled trace.
   local cdir="$dir/cache-drill"

@@ -45,11 +45,13 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/str.h"
+#include "common/table.h"
 #include "common/telemetry.h"
 #include "common/trace_events.h"
 #include "core/sampler_registry.h"
 #include "core/stem.h"
 #include "eval/audit.h"
+#include "eval/dse.h"
 #include "eval/ledger.h"
 #include "eval/manifest.h"
 #include "eval/pipeline.h"
@@ -80,6 +82,10 @@ commands:
   audit     --suite SUITE [--workload A,B,..] [--gpu GPU] [--method NAME]
             [--trials N] [--seed N] [--scale X] [--json FILE]
             [--min-within FRACTION]
+  dse       --suite SUITE --workload A[,B,..] [--gpu GPU] [--method A,B,..]
+            [--variants baseline,cache_x2,cache_half,sm_x2,sm_half]
+            [--seed N] [--scale X] [--sim-shards N] [--sim-threads N]
+            [--epoch-cycles N] [--csv FILE]
   compare   A.json B.json [--allow-config-diff true]
   regress   --ledger FILE [--window K] [--min-history N] [--mad-factor C]
             [--rel-slack X] [--accuracy-slack PP]
@@ -88,6 +94,14 @@ commands:
 methods come from the sampler registry (stem random pka sieve photon
 tbpoint); sampler parameters (--epsilon, --probability, --confidence, ...)
 are forwarded to the method's factory.
+
+dse runs the Table 4 protocol on the cycle-level simulator: plans are
+built from the baseline profile, then every (variant, workload) point --
+full simulation plus one sampled simulation per method -- is evaluated
+concurrently over the shared cached traces. --sim-shards partitions each
+simulation's kernels into independent lanes (a modeling knob: it changes
+results and gates `stemroot compare`); --sim-threads and --epoch-cycles
+only pace the lanes and never change results (DESIGN.md section 12).
 
 audit compares every ROOT cluster's predicted error bound (Eq. 2 under
 the KKT allocation) against the realized error of seeded sampling plans;
@@ -408,6 +422,149 @@ int CmdAudit(const Flags& flags, eval::RunManifest& manifest) {
   return 0;
 }
 
+/// Resolve --variants (a comma list of tokens) against the standard
+/// Table 4 variant set; absent means all five.
+std::vector<eval::DseVariant> ParseVariants(const Flags& flags,
+                                            const hw::GpuSpec& base) {
+  std::vector<eval::DseVariant> all = eval::StandardDseVariants(base);
+  if (!flags.Has("variants")) return all;
+  static const struct {
+    const char* token;
+    size_t index;
+  } kTokens[] = {{"baseline", 0},
+                 {"cache_x2", 1},
+                 {"cache_half", 2},
+                 {"sm_x2", 3},
+                 {"sm_half", 4}};
+  std::vector<eval::DseVariant> out;
+  for (const std::string& token :
+       Split(flags.GetString("variants", ""), ',')) {
+    bool found = false;
+    for (const auto& entry : kTokens) {
+      if (token == entry.token) {
+        out.push_back(all[entry.index]);
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument(
+          "unknown variant '" + token +
+          "' (available: baseline, cache_x2, cache_half, sm_x2, sm_half)");
+  }
+  return out;
+}
+
+int CmdDse(const Flags& flags, eval::RunManifest& manifest) {
+  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+  const std::vector<std::string> workload_names =
+      Split(flags.Require("workload"), ',');
+  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const std::vector<std::string> methods =
+      Split(flags.GetString("method", "stem,random"), ',');
+  const eval::Pipeline::Options options = PipelineOptions(flags);
+
+  eval::DseSweepOptions sweep_options;
+  sweep_options.seed = options.seed;
+  sweep_options.shard.sim_shards = static_cast<uint32_t>(flags.GetInt(
+      "sim-shards", static_cast<int64_t>(sweep_options.shard.sim_shards)));
+  sweep_options.shard.sim_threads = static_cast<int>(flags.GetInt(
+      "sim-threads", sweep_options.shard.sim_threads));
+  sweep_options.shard.epoch_cycles = static_cast<uint64_t>(flags.GetInt(
+      "epoch-cycles", static_cast<int64_t>(sweep_options.shard.epoch_cycles)));
+  sweep_options.shard.Validate();
+  const std::vector<eval::DseVariant> variants = ParseVariants(flags, spec);
+  const std::string csv_path = flags.GetString("csv", "");
+
+  std::string joined_methods;
+  for (const std::string& m : methods) {
+    if (!joined_methods.empty()) joined_methods += '+';
+    joined_methods += m;
+  }
+  manifest.config.suite = workloads::ToName(suite);
+  manifest.config.workload = flags.GetString("workload", "");
+  manifest.config.gpu = spec.name;
+  manifest.config.method = joined_methods;
+  manifest.config.sim_shards = sweep_options.shard.sim_shards;
+  manifest.config.sim_threads = sweep_options.shard.sim_threads;
+  manifest.config.epoch_cycles = sweep_options.shard.epoch_cycles;
+
+  baselines::EnsureBuiltinSamplers();
+  std::vector<std::unique_ptr<core::Sampler>> samplers;
+  for (const std::string& method : methods)
+    samplers.push_back(core::SamplerRegistry::Global().Create(
+        method, SamplerParamsFromFlags(flags)));
+  flags.CheckAllRead();
+
+  // Generate + profile every workload once (served by the trace cache on
+  // warm runs) and build the plans from the baseline profile -- the
+  // Sec. 5.4 protocol. Traces stay alive in the pipelines for the sweep.
+  std::vector<eval::Pipeline> pipelines;
+  std::vector<std::vector<core::SamplingPlan>> plans(workload_names.size());
+  for (size_t w = 0; w < workload_names.size(); ++w) {
+    pipelines.push_back(eval::Pipeline::GenerateProfiled(
+        suite, workload_names[w], spec, options));
+    for (const std::unique_ptr<core::Sampler>& sampler : samplers)
+      plans[w].push_back(pipelines.back().Sample(*sampler));
+  }
+  std::vector<eval::DseWorkload> sweep_workloads;
+  for (size_t w = 0; w < pipelines.size(); ++w)
+    sweep_workloads.push_back({&pipelines[w].Trace(), plans[w]});
+
+  const eval::DseSweep sweep(variants, sweep_options);
+  const eval::DseSweepResult result = sweep.Run(sweep_workloads);
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path);
+    csv.WriteHeader({"variant", "workload", "method", "full_megacycles",
+                     "estimated_megacycles", "error_pct"});
+    for (const eval::DsePointResult& point : result.points)
+      for (const eval::DsePointMethod& row : point.methods)
+        csv.WriteRow({point.variant, point.workload, row.method,
+                      Format("%.4f", point.full_cycles / 1e6),
+                      Format("%.4f", row.estimated_cycles / 1e6),
+                      Format("%.4f", row.error_pct)});
+    csv.Flush();
+    std::printf("per-point results: %s\n", csv_path.c_str());
+  }
+
+  // Plans carry the samplers' display names (e.g. "STEM"), not the
+  // registry keys the flags use.
+  std::vector<std::string> method_names;
+  for (const std::unique_ptr<core::Sampler>& sampler : samplers)
+    method_names.push_back(sampler->Name());
+  std::vector<std::string> headers = {"uarch change"};
+  for (const std::string& m : method_names) headers.push_back(m + " err(%)");
+  TextTable table(headers);
+  table.SetTitle("DSE: average sampled-simulation error (%) per variant");
+  for (size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> cells = {variants[v].name};
+    for (const std::string& m : method_names)
+      cells.push_back(TextTable::Num(result.MeanErrorPct(v, m), 2));
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  double error_sum = 0.0;
+  uint64_t kernels = 0;
+  for (const eval::DsePointResult& point : result.points) {
+    error_sum += point.MeanErrorPct();
+    for (const eval::DsePointMethod& row : point.methods)
+      kernels += row.kernels_simulated;
+  }
+  manifest.metrics.present = true;
+  manifest.metrics.error_pct =
+      result.points.empty()
+          ? 0.0
+          : error_sum / static_cast<double>(result.points.size());
+  manifest.metrics.num_samples = kernels;
+  std::printf("%zu points (%zu variants x %zu workloads), mean error "
+              "%.4f%%\n",
+              result.points.size(), result.num_variants,
+              result.num_workloads, manifest.metrics.error_pct);
+  return 0;
+}
+
 int CmdCache(const Flags& flags) {
   const std::vector<std::string>& pos = flags.Positional();
   const std::string action = pos.empty() ? "stats" : pos[0];
@@ -522,7 +679,7 @@ int main(int argc, char** argv) {
   const bool pipeline_command =
       command == "generate" || command == "profile" || command == "info" ||
       command == "sample" || command == "evaluate" || command == "run" ||
-      command == "audit";
+      command == "audit" || command == "dse";
 
   // Manifest skeleton: stamped and written completed=false before any real
   // work, so even a crashed command leaves provenance evidence behind.
@@ -574,6 +731,7 @@ int main(int argc, char** argv) {
     else if (command == "evaluate") rc = CmdEvaluate(flags, manifest);
     else if (command == "run") rc = CmdRun(flags, manifest);
     else if (command == "audit") rc = CmdAudit(flags, manifest);
+    else if (command == "dse") rc = CmdDse(flags, manifest);
     else if (command == "cache") rc = CmdCache(flags);
     else if (command == "compare") rc = CmdCompare(flags);
     else if (command == "regress") rc = CmdRegress(flags);
