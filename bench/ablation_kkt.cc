@@ -11,6 +11,7 @@
 #include "common/table.h"
 #include "core/kkt.h"
 #include "core/root.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 using namespace stemroot;
@@ -34,8 +35,12 @@ int main(int argc, char** argv) {
   size_t count = 0;
   for (const std::string& name :
        workloads::SuiteWorkloads(workloads::SuiteId::kCasio)) {
-    const KernelTrace trace = eval::MakeProfiledWorkload(
-        workloads::SuiteId::kCasio, name, gpu, bench::kSeed, 1.0);
+    const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+        {.suite = workloads::SuiteId::kCasio,
+         .workload = name,
+         .options = {.seed = bench::kSeed, .size_scale = 1.0}},
+        gpu);
+    const KernelTrace& trace = pipeline.Trace();
 
     // ROOT clustering, then size with both strategies.
     std::vector<core::ClusterStats> clusters;

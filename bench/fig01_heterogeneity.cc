@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/csv.h"
 #include "common/str.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 #include "hw/profile.h"
 
@@ -35,9 +36,12 @@ int main(int argc, char** argv) {
   csv.WriteHeader({"workload", "kernel", "bin_center_us", "count"});
 
   for (const Subject& subject : subjects) {
-    const KernelTrace trace = eval::MakeProfiledWorkload(
-        workloads::SuiteId::kCasio, subject.workload, gpu, bench::kSeed,
-        0.5);
+    const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+        {.suite = workloads::SuiteId::kCasio,
+         .workload = subject.workload,
+         .options = {.seed = bench::kSeed, .size_scale = 0.5}},
+        gpu);
+    const KernelTrace& trace = pipeline.Trace();
     const hw::WorkloadProfile profile = hw::WorkloadProfile::FromTrace(trace);
     for (const hw::KernelProfile& kp : profile.kernels) {
       if (kp.name != subject.kernel) continue;

@@ -14,6 +14,7 @@
 #include "common/histogram.h"
 #include "common/str.h"
 #include "core/root.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 using namespace stemroot;
@@ -65,8 +66,12 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 10: kernels grouped as 'identical' by previous "
               "signatures (DLRM) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
-  const KernelTrace trace = eval::MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "dlrm_train", gpu, bench::kSeed, 0.5);
+  const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+      {.suite = workloads::SuiteId::kCasio,
+       .workload = "dlrm_train",
+       .options = {.seed = bench::kSeed, .size_scale = 0.5}},
+      gpu);
+  const KernelTrace& trace = pipeline.Trace();
 
   CsvWriter csv(bench::ResultsDir() + "/fig10_identical.csv");
   csv.WriteHeader({"method", "bin_center_us", "count"});

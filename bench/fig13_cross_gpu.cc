@@ -12,6 +12,7 @@
 #include "common/str.h"
 #include "common/table.h"
 #include "eval/dse.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 using namespace stemroot;
@@ -35,8 +36,13 @@ int main(int argc, char** argv) {
   std::string worst_workload;
   const auto& names = workloads::SuiteWorkloads(workloads::SuiteId::kCasio);
   for (const std::string& name : names) {
-    KernelTrace trace = eval::MakeProfiledWorkload(
-        workloads::SuiteId::kCasio, name, h100, bench::kSeed, 1.0);
+    KernelTrace trace = eval::Pipeline::GenerateProfiled(
+                            {.suite = workloads::SuiteId::kCasio,
+                             .workload = name,
+                             .options = {.seed = bench::kSeed,
+                                         .size_scale = 1.0}},
+                            h100)
+                            .Trace();
     const core::SamplingPlan plan = stem->BuildPlan(trace, bench::kSeed);
 
     // Same-hardware reference error.

@@ -13,6 +13,7 @@
 #include "common/str.h"
 #include "common/table.h"
 #include "core/estimator.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 using namespace stemroot;
@@ -22,8 +23,13 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 14: microarchitectural metrics, full vs sampled "
               "(bert_infer, eps = 5%%) ===\n\n");
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
-  KernelTrace trace = eval::MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", gpu, bench::kSeed, 1.0);
+  KernelTrace trace = eval::Pipeline::GenerateProfiled(
+                          {.suite = workloads::SuiteId::kCasio,
+                           .workload = "bert_infer",
+                           .options = {.seed = bench::kSeed,
+                                       .size_scale = 1.0}},
+                          gpu)
+                          .Trace();
 
   std::vector<KernelMetrics> metrics;
   metrics.reserve(trace.NumInvocations());

@@ -19,6 +19,7 @@
 #include "core/kmeans.h"
 #include "core/sampler.h"
 #include "eval/dse.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 #include "hw/hardware_model.h"
 #include "sim/sampled_sim.h"
@@ -174,8 +175,13 @@ BENCHMARK(BM_SuiteSweepThreads)
 void BM_EvaluateRepeatedThreads(benchmark::State& state) {
   ScopedThreads scoped(static_cast<int>(state.range(0)));
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
-  const KernelTrace trace = eval::MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", gpu, bench::kSeed, 0.2);
+  const KernelTrace trace =
+      eval::Pipeline::GenerateProfiled(
+          {.suite = workloads::SuiteId::kCasio,
+           .workload = "bert_infer",
+           .options = {.seed = bench::kSeed, .size_scale = 0.2}},
+          gpu)
+          .Trace();
   core::StemRootSampler sampler;
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -12,6 +12,7 @@
 #include "common/csv.h"
 #include "common/str.h"
 #include "common/table.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 #include "profiler/overhead.h"
 
@@ -40,8 +41,12 @@ int main(int argc, char** argv) {
   for (SuiteCost& suite : suites) {
     const auto& names = workloads::SuiteWorkloads(suite.id);
     for (const std::string& name : names) {
-      const KernelTrace trace = eval::MakeProfiledWorkload(
-          suite.id, name, gpu, bench::kSeed, suite.scale);
+      const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+          {.suite = suite.id,
+           .workload = name,
+           .options = {.seed = bench::kSeed, .size_scale = suite.scale}},
+          gpu);
+      const KernelTrace& trace = pipeline.Trace();
       const profiler::TraceCost cost = profiler::TraceCost::Of(trace);
       suite.mean.kernels += cost.kernels / names.size();
       suite.mean.total_instructions +=

@@ -69,6 +69,24 @@ void StreamingStats::Merge(const StreamingStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+StreamingStats StreamingStats::FromMoments(size_t count, double mean,
+                                           double variance, double min,
+                                           double max) {
+  if (variance < 0.0)
+    throw std::invalid_argument("StreamingStats::FromMoments: variance < 0");
+  if (count > 0 && min > max)
+    throw std::invalid_argument("StreamingStats::FromMoments: min > max");
+  StreamingStats s;
+  if (count == 0) return s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = variance * static_cast<double>(count);
+  s.sum_ = mean * static_cast<double>(count);
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double StreamingStats::Stddev() const { return std::sqrt(Variance()); }
 
 double StreamingStats::Cov() const {

@@ -50,6 +50,14 @@ class StreamingStats {
   /// Merge another accumulator (parallel reduction; Chan et al.).
   void Merge(const StreamingStats& other);
 
+  /// Reconstruct an accumulator from population moments (count, mean,
+  /// population variance) plus the observed range. Used by the streaming
+  /// clusterer to synthesize children whose stats were estimated from a
+  /// reservoir sample and scaled to the full population. Throws
+  /// std::invalid_argument on negative variance or an inverted range.
+  static StreamingStats FromMoments(size_t count, double mean,
+                                    double variance, double min, double max);
+
   size_t Count() const { return count_; }
   double Mean() const { return count_ ? mean_ : 0.0; }
   /// Population variance.

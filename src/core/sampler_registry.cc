@@ -127,13 +127,17 @@ std::vector<std::string> SamplerRegistry::Names() const {
 
 std::unique_ptr<Sampler> SamplerRegistry::Create(
     const std::string& name, const SamplerParams& params) const {
-  Factory factory;
+  // Entries are never removed and std::map nodes are stable, so the
+  // factory can be invoked through a pointer after dropping the lock --
+  // no std::function copy per Create, and no lock held during the
+  // (arbitrary user code) factory call.
+  const Factory* factory = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
+    if (it != factories_.end()) factory = &it->second;
   }
-  if (!factory) {
+  if (factory == nullptr) {
     std::string known;
     for (const std::string& n : Names()) {
       if (!known.empty()) known += ", ";
@@ -142,7 +146,7 @@ std::unique_ptr<Sampler> SamplerRegistry::Create(
     throw std::invalid_argument("unknown sampler '" + name +
                                 "' (registered: " + known + ")");
   }
-  return factory(params);
+  return (*factory)(params);
 }
 
 }  // namespace stemroot::core

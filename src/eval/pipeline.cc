@@ -12,6 +12,21 @@ namespace stemroot::eval {
 Pipeline::Pipeline(KernelTrace trace, const Options& options, bool profiled)
     : trace_(std::move(trace)), options_(options), profiled_(profiled) {}
 
+Pipeline Pipeline::Generate(const Spec& spec) {
+  return Generate(spec.suite, spec.workload, spec.options);
+}
+
+Pipeline Pipeline::GenerateProfiled(const Spec& spec,
+                                    const hw::HardwareModel& gpu,
+                                    const std::string& gpu_name) {
+  return GenerateProfiled(spec.suite, spec.workload, gpu, spec.options,
+                          gpu_name);
+}
+
+Pipeline Pipeline::GenerateProfiled(const Spec& spec, const hw::GpuSpec& gpu) {
+  return GenerateProfiled(spec.suite, spec.workload, gpu, spec.options);
+}
+
 Pipeline Pipeline::Generate(workloads::SuiteId suite,
                             const std::string& workload,
                             const Options& options) {

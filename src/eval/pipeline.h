@@ -56,7 +56,19 @@ class Pipeline {
     double size_scale = 1.0; ///< workload size scale for the generators
   };
 
+  /// Aggregate request for the generate(+profile) entry points: callers
+  /// name the fields instead of threading positional argument lists, so
+  /// adding a knob never silently reshuffles call sites. The hardware
+  /// model stays a separate parameter -- it is an independently owned
+  /// object, not part of the request's identity.
+  struct Spec {
+    workloads::SuiteId suite = workloads::SuiteId::kCasio;
+    std::string workload;
+    Options options;
+  };
+
   /// Stage 1: generate the named workload of a suite.
+  static Pipeline Generate(const Spec& spec);
   static Pipeline Generate(workloads::SuiteId suite,
                            const std::string& workload,
                            const Options& options);
@@ -76,6 +88,10 @@ class Pipeline {
   /// With no cache configured this is exactly Generate(...).Profile(gpu).
   /// `gpu_name` is the provenance label for GpuName() (the spec overload
   /// passes its preset name).
+  static Pipeline GenerateProfiled(const Spec& spec,
+                                   const hw::HardwareModel& gpu,
+                                   const std::string& gpu_name = "");
+  static Pipeline GenerateProfiled(const Spec& spec, const hw::GpuSpec& gpu);
   static Pipeline GenerateProfiled(workloads::SuiteId suite,
                                    const std::string& workload,
                                    const hw::HardwareModel& gpu,

@@ -34,13 +34,25 @@ void DiffField(std::vector<std::string>& diffs, const char* name, double a,
 /// The cache.* counters (hit/miss/store/bytes) describe the run's
 /// environment, not its computation -- a cold run and a warm run of the
 /// same config legitimately differ in them while producing byte-identical
-/// results. Like wall times, they are excluded from the determinism gate.
+/// results. The service.* counters are environmental the same way: how a
+/// session was chunked (service.feed_invocations) or whether it stopped
+/// early never moves a deterministic result byte. Like wall times, both
+/// families are excluded from the determinism gate.
 std::map<std::string, uint64_t> DeterministicCounters(
     const std::map<std::string, uint64_t>& counters) {
   std::map<std::string, uint64_t> out;
   for (const auto& [name, value] : counters)
-    if (name.rfind("cache.", 0) != 0) out.emplace(name, value);
+    if (name.rfind("cache.", 0) != 0 && name.rfind("service.", 0) != 0)
+      out.emplace(name, value);
   return out;
+}
+
+/// `run` and `session` are one command family: a served session that fed
+/// its full source replays the batch run byte-for-byte (the service's
+/// replay-equivalence contract), and compare is exactly the tool that
+/// checks that. Other command pairs must still match exactly.
+std::string CommandFamily(const std::string& command) {
+  return command == "session" ? "run" : command;
 }
 
 /// True when the run was served from the profiled-trace cache.
@@ -60,7 +72,8 @@ CompareReport CompareManifests(const RunManifest& a, const RunManifest& b) {
   report.b_wall_seconds = b.wall_time_seconds;
 
   DiffField(report.config_diffs, "tool", a.tool, b.tool);
-  DiffField(report.config_diffs, "command", a.command, b.command);
+  DiffField(report.config_diffs, "command", CommandFamily(a.command),
+            CommandFamily(b.command));
   DiffField(report.config_diffs, "suite", a.config.suite, b.config.suite);
   DiffField(report.config_diffs, "workload", a.config.workload,
             b.config.workload);
@@ -108,7 +121,8 @@ CompareReport CompareManifests(const RunManifest& a, const RunManifest& b) {
     if (DeterministicCounters(a.counters) != DeterministicCounters(b.counters))
       report.drift_notes.push_back(
           "telemetry counters differ (determinism contract violation for "
-          "same-seed runs; cache.* counters excluded as environmental)");
+          "same-seed runs; cache.*/service.* counters excluded as "
+          "environmental)");
     if (a.completed != b.completed)
       report.drift_notes.push_back("completed flags differ");
     report.deterministic_drift = !report.drift_notes.empty();

@@ -53,6 +53,10 @@ std::vector<std::string> SuiteResults::Methods() const {
   return method_order_;
 }
 
+// Definition of the deprecated shim; the declaration carries the
+// [[deprecated]] attribute, so silence the self-reference here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
                                  const std::string& name,
                                  const hw::HardwareModel& gpu, uint64_t seed,
@@ -61,6 +65,7 @@ KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
                                     {.seed = seed, .size_scale = size_scale})
       .Trace();
 }
+#pragma GCC diagnostic pop
 
 SuiteResults RunSuite(const SuiteRunConfig& config,
                       const hw::HardwareModel& gpu,
@@ -89,9 +94,11 @@ SuiteResults RunSuite(const SuiteRunConfig& config,
         Inform("RunSuite: %s/%s", workloads::SuiteName(config.suite),
                names[w].c_str());
         Pipeline pipeline = Pipeline::GenerateProfiled(
-            config.suite, names[w], gpu,
-            {.seed = config.seed, .size_scale = config.size_scale},
-            gpu.Spec().name);
+            {.suite = config.suite,
+             .workload = names[w],
+             .options = {.seed = config.seed,
+                         .size_scale = config.size_scale}},
+            gpu, gpu.Spec().name);
         std::vector<EvalResult> rows;
         rows.reserve(samplers.size());
         for (const core::Sampler* sampler : samplers)

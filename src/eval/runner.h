@@ -82,7 +82,16 @@ SuiteResults RunSuite(const SuiteRunConfig& config,
                       const hw::HardwareModel& gpu,
                       std::span<const core::Sampler* const> samplers);
 
-/// Convenience: generate + profile one workload (shared by benches).
+/// Convenience: generate + profile one workload.
+///
+/// Deprecated: this free function bypasses the Pipeline facade (it drops
+/// the provenance the facade records and invites positional-argument
+/// drift). Use eval::Pipeline::GenerateProfiled with a Pipeline::Spec and
+/// keep the pipeline object -- its Trace() accessor is the same trace
+/// without a copy. Kept (and pinned by tests) only so that existing
+/// callers keep their bit-exact behavior until they migrate.
+[[deprecated(
+    "use eval::Pipeline::GenerateProfiled(Pipeline::Spec, gpu)")]]
 KernelTrace MakeProfiledWorkload(workloads::SuiteId suite,
                                  const std::string& name,
                                  const hw::HardwareModel& gpu, uint64_t seed,

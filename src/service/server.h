@@ -1,0 +1,45 @@
+/// \file
+/// A minimal AF_UNIX line-protocol server and script client around
+/// service::SessionBroker — the transport behind `stemroot serve` and
+/// `stemroot session`.
+///
+/// The server owns one resident Service; each accepted connection gets a
+/// handler thread, so concurrent clients drive concurrent sessions (the
+/// Service is the synchronization point). It runs until a client sends
+/// {"op":"shutdown"}. Unix sockets keep the surface local and
+/// permission-guarded by the filesystem — there is no network listener.
+///
+/// The client connects, replays a script of request lines (blank lines
+/// and '#' comments skipped), and prints one response line per request.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.h"
+
+namespace stemroot::service {
+
+struct ServerOptions {
+  std::string socket_path;  ///< AF_UNIX path; unlinked + rebound at start
+  ServiceOptions service;   ///< resident service configuration
+};
+
+/// Serve until a shutdown request arrives. Returns 0 on a clean shutdown;
+/// throws std::runtime_error on socket setup failure.
+int RunServer(const ServerOptions& options);
+
+struct ClientOptions {
+  std::string socket_path;
+  bool fail_on_error = false;  ///< exit 1 when any response is not ok
+};
+
+/// Send each request line of `script` and echo responses to `out`.
+/// Returns 0, or 1 when fail_on_error saw an error response. Throws
+/// std::runtime_error when the socket cannot be reached or the server
+/// hangs up mid-script.
+int RunClient(const ClientOptions& options, std::istream& script,
+              std::ostream& out);
+
+}  // namespace stemroot::service

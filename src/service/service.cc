@@ -1,0 +1,490 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "baselines/registry.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "core/kkt.h"
+#include "eval/options.h"
+#include "eval/pipeline.h"
+#include "eval/stage_report.h"
+#include "eval/trace_cache.h"
+
+namespace stemroot::service {
+
+namespace {
+
+/// Seed streams: the per-kernel streaming clusterers and the shuffled
+/// feed order each get their own derivation from the session seed, so
+/// neither can collide with the pipeline's generation/profiling/sampling
+/// streams.
+constexpr uint64_t kStreamingStream = 0x53455256ULL;  // "SERV"
+constexpr uint64_t kShuffleStream = 0x53485546ULL;    // "SHUF"
+
+/// Serializes the telemetry-instrumented pipeline operations of ALL
+/// sessions (telemetry is process-global): inside the lock, a
+/// capture-run-capture window sees exactly the counters and spans the
+/// wrapped operation produced. Static so multiple Service instances in
+/// one process still share the one window.
+std::mutex& TelemetryWindowMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct StageAgg {
+  uint64_t count = 0;
+  double total_us = 0.0;
+};
+
+/// Span aggregates folded over parents, keyed by name (the StageReport
+/// view: per-thread nesting makes parents schedule-dependent, totals per
+/// name are not).
+std::map<std::string, StageAgg> SpansByName(const telemetry::Snapshot& s) {
+  std::map<std::string, StageAgg> out;
+  for (const auto& [key, stats] : s.Spans()) {
+    StageAgg& agg = out[key.first];
+    agg.count += stats.count;
+    agg.total_us += stats.total_us;
+  }
+  return out;
+}
+
+/// Fold the delta between two cumulative snapshots into a session's
+/// private ledger. The service.* counters are excluded: concurrent
+/// sessions' Feed/Query calls may land between the captures, so the
+/// exact values come from session-local tallies instead.
+void AccumulateWindow(std::map<std::string, uint64_t>& counters,
+                      std::map<std::string, StageAgg>& stages,
+                      const telemetry::Snapshot& before,
+                      const telemetry::Snapshot& after) {
+  for (const auto& [name, value] : after.Counters()) {
+    if (name.rfind("service.", 0) == 0) continue;
+    const uint64_t prior = before.Counter(name);
+    if (value > prior) counters[name] += value - prior;
+  }
+  const std::map<std::string, StageAgg> b = SpansByName(before);
+  for (const auto& [name, agg] : SpansByName(after)) {
+    const auto it = b.find(name);
+    const StageAgg prior = it == b.end() ? StageAgg{} : it->second;
+    if (agg.count <= prior.count) continue;
+    StageAgg& out = stages[name];
+    out.count += agg.count - prior.count;
+    out.total_us += agg.total_us - prior.total_us;
+  }
+}
+
+template <typename Fn>
+auto TelemetryWindow(std::map<std::string, uint64_t>& counters,
+                     std::map<std::string, StageAgg>& stages, Fn&& fn) {
+  std::lock_guard<std::mutex> lock(TelemetryWindowMu());
+  const telemetry::Snapshot before = telemetry::Capture();
+  auto result = fn();
+  AccumulateWindow(counters, stages, before, telemetry::Capture());
+  return result;
+}
+
+eval::Pipeline::Options PipelineOpts(const SessionConfig& config) {
+  eval::Pipeline::Options options;
+  options.seed = config.seed;
+  options.size_scale = config.scale;
+  return options;
+}
+
+/// Build the session's sampler through the registry, injecting the typed
+/// epsilon/confidence into the parameter bag (factories that have no
+/// error contract ignore them).
+std::unique_ptr<core::Sampler> MakeSessionSampler(const SessionConfig& config) {
+  baselines::EnsureBuiltinSamplers();
+  core::SamplerParams params = config.params;
+  if (config.epsilon > 0.0) params.Set("epsilon", config.epsilon);
+  if (config.confidence > 0.0) params.Set("confidence", config.confidence);
+  return core::SamplerRegistry::Global().Create(config.method, params);
+}
+
+/// Manifest stage rows in StageReport order: canonical pipeline stages
+/// first, then other span names alphabetically (std::map order).
+std::vector<eval::RunManifest::Stage> StageRows(
+    const std::map<std::string, StageAgg>& stages) {
+  std::vector<eval::RunManifest::Stage> out;
+  const std::vector<std::string>& canonical = eval::PipelineStageNames();
+  for (const std::string& name : canonical) {
+    const auto it = stages.find(name);
+    if (it == stages.end()) continue;
+    out.push_back({name, it->second.count, it->second.total_us});
+  }
+  for (const auto& [name, agg] : stages) {
+    if (std::find(canonical.begin(), canonical.end(), name) !=
+        canonical.end())
+      continue;
+    out.push_back({name, agg.count, agg.total_us});
+  }
+  return out;
+}
+
+void FillMetrics(eval::RunManifest& manifest, const eval::EvalResult& result) {
+  manifest.metrics.present = true;
+  manifest.metrics.error_pct = result.error_pct;
+  manifest.metrics.theoretical_error_pct = result.theoretical_error_pct;
+  manifest.metrics.speedup = result.speedup;
+  manifest.metrics.num_samples = result.num_samples;
+  manifest.metrics.num_clusters = result.num_clusters;
+}
+
+}  // namespace
+
+void ServiceOptions::Validate() const {
+  if (max_sessions == 0)
+    throw std::invalid_argument("service: max_sessions must be >= 1");
+  if (threads < -1)
+    throw std::invalid_argument("service: threads must be >= -1");
+}
+
+void SessionConfig::Validate() const {
+  if (method.empty())
+    throw std::invalid_argument("session: method must be non-empty");
+  if (epsilon < 0.0 || epsilon >= 1.0)
+    throw std::invalid_argument("session: epsilon must be in [0, 1)");
+  if (confidence < 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("session: confidence must be in [0, 1)");
+  if (!(scale > 0.0))
+    throw std::invalid_argument("session: scale must be > 0");
+  if (reps == 0)
+    throw std::invalid_argument("session: reps must be >= 1");
+  if (min_invocations == 0)
+    throw std::invalid_argument("session: min_invocations must be >= 1");
+  if (!workload.empty() && suite.empty())
+    throw std::invalid_argument("session: workload requires a suite");
+  if (workload.empty() && !suite.empty())
+    throw std::invalid_argument("session: suite requires a workload");
+}
+
+struct Service::Session {
+  std::mutex mu;
+  SessionConfig config;              ///< resolved (streaming stem injected)
+  std::unique_ptr<core::Sampler> sampler;
+  uint64_t streaming_seed = 0;
+  KernelTrace accumulated;           ///< everything fed, in feed order
+  std::map<uint32_t, core::StreamingRoot> roots;  ///< by accumulated id
+  StreamingStats seen;               ///< all fed durations
+  std::optional<eval::Pipeline> source;  ///< generated source, when any
+  std::vector<uint32_t> feed_order;  ///< source permutation
+  size_t cursor = 0;                 ///< next feed_order position
+  std::map<std::string, uint64_t> counters;   ///< window counter deltas
+  std::map<std::string, StageAgg> stages;     ///< window stage deltas
+  uint64_t feed_invocations = 0;
+  bool early_stopped = false;
+  std::optional<eval::EvalResult> last_eval;
+  std::chrono::steady_clock::time_point opened_at =
+      std::chrono::steady_clock::now();
+};
+
+Service::Service(const ServiceOptions& options) : options_(options) {
+  options_.Validate();
+  if (options_.threads >= 0) SetNumThreads(options_.threads);
+  if (!options_.cache_dir.empty()) eval::SetTraceCacheDir(options_.cache_dir);
+  if (options_.enable_telemetry) telemetry::SetEnabled(true);
+}
+
+Service::~Service() = default;
+
+std::shared_ptr<Service::Session> Service::Find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("service: unknown session id " +
+                            std::to_string(id));
+  return it->second;
+}
+
+size_t Service::NumOpenSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+SessionId Service::OpenSession(const SessionConfig& config) {
+  config.Validate();
+  if (config.epsilon <= 0.0 || config.confidence <= 0.0)
+    throw std::invalid_argument(
+        "session: streaming sessions need an error contract (epsilon and "
+        "confidence > 0)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions)
+      throw std::runtime_error("service: session limit reached (" +
+                               std::to_string(options_.max_sessions) + ")");
+  }
+
+  auto session = std::make_shared<Session>();
+  session->config = config;
+  session->config.streaming.root.stem.epsilon = config.epsilon;
+  session->config.streaming.root.stem.confidence = config.confidence;
+  session->config.streaming.Validate();
+  session->streaming_seed = DeriveSeed(config.seed, kStreamingStream);
+  session->sampler = MakeSessionSampler(session->config);
+
+  if (!config.workload.empty()) {
+    const workloads::SuiteId suite = eval::ResolveSuite(config.suite);
+    const hw::GpuSpec spec = eval::ResolveGpu(config.gpu);
+    eval::Pipeline pipeline =
+        TelemetryWindow(session->counters, session->stages, [&] {
+          return eval::Pipeline::GenerateProfiled(
+              {.suite = suite,
+               .workload = config.workload,
+               .options = PipelineOpts(config)},
+              spec);
+        });
+    const size_t n = pipeline.Trace().NumInvocations();
+    session->feed_order.resize(n);
+    std::iota(session->feed_order.begin(), session->feed_order.end(), 0u);
+    if (config.order == FeedOrder::kShuffled && n > 1) {
+      Rng rng(DeriveSeed(config.seed, kShuffleStream));
+      for (size_t i = n - 1; i > 0; --i) {
+        const uint64_t j = rng.NextBounded(i + 1);
+        std::swap(session->feed_order[i],
+                  session->feed_order[static_cast<size_t>(j)]);
+      }
+    }
+    session->source.emplace(std::move(pipeline));
+  }
+
+  telemetry::Count("service.sessions");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions)
+    throw std::runtime_error("service: session limit reached (" +
+                             std::to_string(options_.max_sessions) + ")");
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void Service::Feed(SessionId id, const KernelTrace& source,
+                   std::span<const KernelInvocation> invocations) {
+  const std::shared_ptr<Session> session = Find(id);
+  std::lock_guard<std::mutex> lock(session->mu);
+  FeedChunk(*session, source, invocations);
+}
+
+void Service::Feed(SessionId id, const KernelTrace& source) {
+  Feed(id, source, source.Invocations());
+}
+
+uint64_t Service::FeedFromSource(SessionId id, uint64_t count) {
+  const std::shared_ptr<Session> session = Find(id);
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (!session->source)
+    throw std::logic_error(
+        "service: FeedFromSource needs a session opened with a workload");
+  const KernelTrace& trace = session->source->Trace();
+  const uint64_t available = session->feed_order.size() - session->cursor;
+  const uint64_t n = std::min<uint64_t>(count, available);
+  std::vector<KernelInvocation> chunk;
+  chunk.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i)
+    chunk.push_back(trace.At(session->feed_order[session->cursor++]));
+  if (!chunk.empty()) FeedChunk(*session, trace, chunk);
+  return n;
+}
+
+/// Append one chunk to the session under its lock. Validates the whole
+/// chunk before mutating anything, so a bad invocation leaves the session
+/// untouched.
+void Service::FeedChunk(Session& session, const KernelTrace& source,
+                        std::span<const KernelInvocation> invocations) {
+  for (const KernelInvocation& inv : invocations) {
+    if (!(inv.duration_us > 0.0))
+      throw std::invalid_argument(
+          "service: Feed requires profiled invocations (duration_us > 0)");
+    if (inv.kernel_id >= source.NumKernelTypes())
+      throw std::out_of_range(
+          "service: invocation kernel_id outside the source type table");
+  }
+  // Intern the source's full type table in id order. Feeding one source
+  // trace therefore reproduces its kernel ids exactly (the identity
+  // remap), which is what keeps the accumulated trace byte-equivalent to
+  // the source under a full timeline-order feed (replay equivalence).
+  std::vector<uint32_t> remap(source.NumKernelTypes());
+  for (uint32_t t = 0; t < source.NumKernelTypes(); ++t)
+    remap[t] = session.accumulated.AddKernelType(source.Type(t));
+  if (session.accumulated.WorkloadName().empty())
+    session.accumulated.SetWorkloadName(source.WorkloadName());
+  for (const KernelInvocation& inv : invocations) {
+    KernelInvocation copy = inv;
+    copy.kernel_id = remap[inv.kernel_id];
+    session.accumulated.Add(copy);  // seq reassigned to the feed order
+    auto it = session.roots.find(copy.kernel_id);
+    if (it == session.roots.end())
+      it = session.roots
+               .try_emplace(copy.kernel_id, session.config.streaming,
+                            DeriveSeed(session.streaming_seed,
+                                       copy.kernel_id))
+               .first;
+    it->second.Observe(copy.duration_us);
+    session.seen.Add(copy.duration_us);
+  }
+  session.feed_invocations += invocations.size();
+  telemetry::Count("service.feed_invocations", invocations.size());
+}
+
+SessionStatus Service::Query(SessionId id) {
+  const std::shared_ptr<Session> session = Find(id);
+  std::lock_guard<std::mutex> lock(session->mu);
+  SessionStatus status;
+  status.invocations_seen = session->accumulated.NumInvocations();
+  status.invocations_total = session->source
+                                 ? session->source->Trace().NumInvocations()
+                                 : session->config.expected_invocations;
+  status.seen_total_us = session->seen.Sum();
+  status.num_kernels = session->roots.size();
+
+  std::vector<core::ClusterStats> stats;
+  for (const auto& [kernel_id, root] : session->roots) {
+    status.splits += root.NumSplits();
+    status.merges += root.NumMerges();
+    for (const core::ClusterStats& c : root.Stats()) {
+      ClusterSummary summary;
+      summary.kernel = session->accumulated.Type(kernel_id).name;
+      summary.kernel_id = kernel_id;
+      summary.n = c.n;
+      summary.mean_us = c.mean;
+      summary.stddev_us = c.stddev;
+      status.clusters.push_back(std::move(summary));
+      stats.push_back(c);
+    }
+  }
+  const core::StemConfig& stem = session->config.streaming.root.stem;
+  if (!stats.empty()) {
+    const core::KktSolution solution = core::SolveKkt(stats, stem);
+    for (size_t i = 0; i < stats.size(); ++i) {
+      status.clusters[i].stem_samples = solution.sample_sizes[i];
+      status.stem_samples_total += solution.sample_sizes[i];
+    }
+    status.stem_cost_us = solution.cost_us;
+    status.allocation_error = solution.theoretical_error;
+  }
+
+  const uint64_t n = session->seen.Count();
+  if (n > 0 && session->seen.Mean() > 0.0) {
+    status.predicted_error =
+        stem.Z() * session->seen.Cov() / std::sqrt(static_cast<double>(n));
+    status.converged = n >= session->config.min_invocations &&
+                       status.predicted_error <= session->config.epsilon;
+  }
+  status.estimated_total_us =
+      status.invocations_total > 0
+          ? session->seen.Mean() *
+                static_cast<double>(status.invocations_total)
+          : session->seen.Sum();
+  status.early_stop = status.converged && status.invocations_total > 0 &&
+                      status.invocations_seen < status.invocations_total;
+  if (status.early_stop && !session->early_stopped) {
+    session->early_stopped = true;
+    telemetry::Count("service.early_stops");
+  }
+  return status;
+}
+
+core::SamplingPlan Service::BuildPlan(SessionId id) {
+  const std::shared_ptr<Session> session = Find(id);
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->accumulated.Empty())
+    throw std::logic_error("service: BuildPlan before any Feed");
+  return TelemetryWindow(session->counters, session->stages, [&] {
+    return eval::Pipeline::FromTrace(session->accumulated,
+                                     PipelineOpts(session->config))
+        .Sample(*session->sampler);
+  });
+}
+
+eval::EvalResult Service::Evaluate(SessionId id) {
+  const std::shared_ptr<Session> session = Find(id);
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->accumulated.Empty())
+    throw std::logic_error("service: Evaluate before any Feed");
+  eval::EvalResult result =
+      TelemetryWindow(session->counters, session->stages, [&] {
+        return eval::Pipeline::FromTrace(session->accumulated,
+                                         PipelineOpts(session->config))
+            .Evaluate(*session->sampler, session->config.reps);
+      });
+  session->last_eval = result;
+  return result;
+}
+
+eval::RunManifest Service::CloseSession(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end())
+      throw std::out_of_range("service: unknown session id " +
+                              std::to_string(id));
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+
+  eval::RunManifest manifest;
+  manifest.tool = "stemroot";
+  manifest.command = "session";
+  manifest.completed = true;
+  manifest.StampBuild();
+  manifest.config.suite =
+      session->source ? session->source->SuiteName() : session->config.suite;
+  manifest.config.workload = session->accumulated.WorkloadName().empty()
+                                 ? session->config.workload
+                                 : session->accumulated.WorkloadName();
+  manifest.config.gpu =
+      session->source ? session->source->GpuName() : session->config.gpu;
+  manifest.config.method = session->config.method;
+  manifest.config.epsilon = session->config.epsilon;
+  manifest.config.confidence = session->config.confidence;
+  manifest.config.scale = session->config.scale;
+  manifest.config.seed = session->config.seed;
+  manifest.config.reps = session->config.reps;
+  manifest.config.threads = NumThreads();
+  if (session->last_eval) FillMetrics(manifest, *session->last_eval);
+  manifest.counters = session->counters;
+  manifest.counters["service.sessions"] = 1;
+  manifest.counters["service.feed_invocations"] = session->feed_invocations;
+  manifest.counters["service.early_stops"] = session->early_stopped ? 1 : 0;
+  manifest.stages = StageRows(session->stages);
+  manifest.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    session->opened_at)
+          .count();
+  return manifest;
+}
+
+eval::EvalResult Service::RunBatch(const SessionConfig& config,
+                                   eval::RunManifest* manifest) {
+  config.Validate();
+  if (config.workload.empty())
+    throw std::invalid_argument(
+        "service: RunBatch needs a suite and workload in the config");
+  const workloads::SuiteId suite = eval::ResolveSuite(config.suite);
+  const hw::GpuSpec spec = eval::ResolveGpu(config.gpu);
+  const std::unique_ptr<core::Sampler> sampler = MakeSessionSampler(config);
+  eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+      {.suite = suite,
+       .workload = config.workload,
+       .options = PipelineOpts(config)},
+      spec);
+  if (manifest != nullptr) {
+    pipeline.FillManifest(*manifest);
+    manifest->config.method = config.method;
+    manifest->config.epsilon = config.epsilon;
+    manifest->config.confidence = config.confidence;
+    manifest->config.reps = config.reps;
+  }
+  const eval::EvalResult result = pipeline.Evaluate(*sampler, config.reps);
+  if (manifest != nullptr) FillMetrics(*manifest, result);
+  return result;
+}
+
+}  // namespace stemroot::service

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "baselines/registry.h"
@@ -37,10 +38,23 @@ TEST_F(SamplerRegistryTest, UnknownNameErrorListsRegistered) {
     const std::string message = e.what();
     EXPECT_NE(message.find("unknown sampler 'foo'"), std::string::npos)
         << message;
+    // The listing is sorted and stable, so error messages (and the CLI
+    // help that surfaces them) are byte-identical run to run.
+    size_t previous = 0;
     for (const char* name :
-         {"photon", "pka", "random", "sieve", "stem", "tbpoint"})
-      EXPECT_NE(message.find(name), std::string::npos) << message;
+         {"photon", "pka", "random", "sieve", "stem", "tbpoint"}) {
+      const size_t at = message.find(name, previous);
+      ASSERT_NE(at, std::string::npos) << name << " in: " << message;
+      EXPECT_GE(at, previous) << message;
+      previous = at;
+    }
   }
+}
+
+TEST_F(SamplerRegistryTest, NamesAreSortedAndStable) {
+  const std::vector<std::string> first = SamplerRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  EXPECT_EQ(first, SamplerRegistry::Global().Names());
 }
 
 TEST_F(SamplerRegistryTest, DuplicateOrEmptyRegistrationThrows) {

@@ -1,0 +1,142 @@
+#include "core/streaming_root.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stemroot::core {
+namespace {
+
+std::vector<double> BimodalDurations(size_t per_mode, Rng& rng) {
+  std::vector<double> durations;
+  for (size_t i = 0; i < per_mode; ++i) {
+    durations.push_back(rng.NextGaussian(20.0, 0.6));
+    durations.push_back(rng.NextGaussian(200.0, 5.0));
+  }
+  return durations;
+}
+
+TEST(StreamingRootConfigTest, Validation) {
+  StreamingRootConfig config;
+  EXPECT_NO_THROW(config.Validate());
+  config.reservoir_capacity = 4;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = StreamingRootConfig{};
+  config.min_split_observations = 1;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = StreamingRootConfig{};
+  config.reassess_interval = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config = StreamingRootConfig{};
+  config.max_clusters = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(StreamingRootTest, RejectsNonPositiveDurations) {
+  StreamingRoot root(StreamingRootConfig{}, 1);
+  EXPECT_THROW(root.Observe(0.0), std::invalid_argument);
+  EXPECT_THROW(root.Observe(-1.0), std::invalid_argument);
+}
+
+TEST(StreamingRootTest, CountsAreConserved) {
+  Rng rng(3);
+  StreamingRoot root(StreamingRootConfig{}, 7);
+  const auto durations = BimodalDurations(1500, rng);
+  for (double d : durations) root.Observe(d);
+  EXPECT_EQ(root.Observations(), durations.size());
+  uint64_t total = 0;
+  for (const ClusterStats& c : root.Stats()) total += c.n;
+  EXPECT_EQ(total, durations.size());
+}
+
+TEST(StreamingRootTest, SplitsBimodalStream) {
+  Rng rng(5);
+  StreamingRoot root(StreamingRootConfig{}, 11);
+  for (double d : BimodalDurations(2000, rng)) root.Observe(d);
+  const auto stats = root.Stats();
+  ASSERT_GE(stats.size(), 2u);
+  // Separated modes: at least one cluster per mode, none straddling.
+  EXPECT_LT(stats.front().mean, 100.0);
+  EXPECT_GT(stats.back().mean, 100.0);
+  EXPECT_GE(root.NumSplits(), 1u);
+}
+
+TEST(StreamingRootTest, DoesNotSplitNarrowUnimodal) {
+  Rng rng(7);
+  StreamingRoot root(StreamingRootConfig{}, 13);
+  for (int i = 0; i < 5000; ++i) root.Observe(rng.NextGaussian(100.0, 1.0));
+  // A 1% CoV population needs no splitting (Eq. 3 already gives m ~ 1);
+  // merges must undo any speculative split on early noise.
+  EXPECT_LE(root.NumClusters(), 2u);
+}
+
+TEST(StreamingRootTest, StatsAreSortedByMean) {
+  Rng rng(9);
+  StreamingRoot root(StreamingRootConfig{}, 17);
+  for (double mode : {15.0, 40.0, 95.0})
+    for (int i = 0; i < 2000; ++i)
+      root.Observe(rng.NextGaussian(mode, mode * 0.02));
+  const auto stats = root.Stats();
+  EXPECT_TRUE(std::is_sorted(stats.begin(), stats.end(),
+                             [](const ClusterStats& a, const ClusterStats& b) {
+                               return a.mean < b.mean;
+                             }));
+}
+
+TEST(StreamingRootTest, DeterministicForSameFeedOrder) {
+  Rng rng(11);
+  const auto durations = BimodalDurations(1000, rng);
+  StreamingRoot a(StreamingRootConfig{}, 23);
+  StreamingRoot b(StreamingRootConfig{}, 23);
+  for (double d : durations) a.Observe(d);
+  for (double d : durations) b.Observe(d);
+  const auto sa = a.Stats();
+  const auto sb = b.Stats();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].n, sb[i].n);
+    EXPECT_EQ(sa[i].mean, sb[i].mean);
+    EXPECT_EQ(sa[i].stddev, sb[i].stddev);
+  }
+  EXPECT_EQ(a.NumSplits(), b.NumSplits());
+  EXPECT_EQ(a.NumMerges(), b.NumMerges());
+}
+
+TEST(StreamingRootTest, RespectsMaxClusters) {
+  Rng rng(13);
+  StreamingRootConfig config;
+  config.max_clusters = 2;
+  StreamingRoot root(config, 29);
+  // A wide lognormal invites many splits; the cap must hold anyway.
+  for (int i = 0; i < 8000; ++i) root.Observe(rng.NextLogNormal(2.0, 1.5));
+  EXPECT_LE(root.NumClusters(), 2u);
+}
+
+TEST(StreamingRootTest, ApproximatesBatchStructure) {
+  // The streaming structure is advisory, but on a well-separated stream it
+  // should land on the same mode count batch ROOT finds.
+  Rng rng(15);
+  std::vector<double> durations;
+  for (int i = 0; i < 3000; ++i) {
+    durations.push_back(rng.NextGaussian(10.0, 0.2));
+    durations.push_back(rng.NextGaussian(300.0, 6.0));
+  }
+  StreamingRootConfig config;
+  StreamingRoot streaming(config, 31);
+  for (double d : durations) streaming.Observe(d);
+  const auto batch = RootCluster1D(durations, config.root);
+  // Mode membership: population mass below/above the valley must agree.
+  uint64_t stream_low = 0;
+  for (const ClusterStats& c : streaming.Stats())
+    if (c.mean < 100.0) stream_low += c.n;
+  uint64_t batch_low = 0;
+  for (const RootCluster& c : batch)
+    if (c.stats.mean < 100.0) batch_low += c.stats.n;
+  EXPECT_EQ(stream_low, batch_low);
+}
+
+}  // namespace
+}  // namespace stemroot::core

@@ -7,6 +7,7 @@
 
 #include "core/sampler.h"
 #include "eval/manifest.h"
+#include "eval/pipeline.h"
 #include "eval/regress.h"
 #include "eval/runner.h"
 
@@ -35,8 +36,12 @@ TEST(DseTest, StandardVariantsMatchTableFour) {
 
 TEST(DseTest, RetimePreservesOrderAndPositivity) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
-  const KernelTrace trace = MakeProfiledWorkload(
-      workloads::SuiteId::kRodinia, "lud", gpu, 3, 0.1);
+  const Pipeline pipeline = Pipeline::GenerateProfiled(
+      {.suite = workloads::SuiteId::kRodinia,
+       .workload = "lud",
+       .options = {.seed = 3, .size_scale = 0.1}},
+      gpu);
+  const KernelTrace& trace = pipeline.Trace();
   const auto durations = RetimeTrace(trace, AnalyticTiming(gpu, 42));
   ASSERT_EQ(durations.size(), trace.NumInvocations());
   for (double d : durations) EXPECT_GT(d, 0.0);
@@ -46,8 +51,12 @@ TEST(DseTest, PlanBuiltOnBaselineTransfersToVariant) {
   // The Sec. 5.4 property: plans from the baseline profile keep low error
   // when ground truth is re-timed on modified hardware.
   hw::HardwareModel base(hw::GpuSpec::Rtx2080());
-  KernelTrace trace = MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", base, 3, 0.02);
+  KernelTrace trace = Pipeline::GenerateProfiled(
+                          {.suite = workloads::SuiteId::kCasio,
+                           .workload = "bert_infer",
+                           .options = {.seed = 3, .size_scale = 0.02}},
+                          base)
+                          .Trace();
 
   core::StemRootSampler stem;
   std::vector<core::SamplingPlan> plans = {stem.BuildPlan(trace, 1)};
@@ -66,8 +75,12 @@ TEST(DseTest, PlanBuiltOnBaselineTransfersToVariant) {
 TEST(DseTest, CrossGpuH100ToH200StaysAccurate) {
   // Fig. 13: sampling decided on H100, evaluated on H200.
   hw::HardwareModel h100(hw::GpuSpec::H100());
-  KernelTrace trace = MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", h100, 5, 0.02);
+  KernelTrace trace = Pipeline::GenerateProfiled(
+                          {.suite = workloads::SuiteId::kCasio,
+                           .workload = "bert_infer",
+                           .options = {.seed = 5, .size_scale = 0.02}},
+                          h100)
+                          .Trace();
   core::StemRootSampler stem;
   const core::SamplingPlan plan = stem.BuildPlan(trace, 1);
 
@@ -92,10 +105,13 @@ class DseSweepTest : public ::testing::Test {
     hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
     static std::vector<KernelTrace> traces;
     static std::vector<std::vector<core::SamplingPlan>> plans;
-    traces.push_back(MakeProfiledWorkload(workloads::SuiteId::kRodinia,
-                                          "hotspot", gpu, 3, 0.05));
-    traces.push_back(MakeProfiledWorkload(workloads::SuiteId::kRodinia,
-                                          "lud", gpu, 3, 0.05));
+    for (const char* name : {"hotspot", "lud"})
+      traces.push_back(Pipeline::GenerateProfiled(
+                           {.suite = workloads::SuiteId::kRodinia,
+                            .workload = name,
+                            .options = {.seed = 3, .size_scale = 0.05}},
+                           gpu)
+                           .Trace());
     core::StemRootSampler stem;
     for (const KernelTrace& trace : traces)
       plans.push_back({stem.BuildPlan(trace, 1)});

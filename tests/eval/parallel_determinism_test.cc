@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "core/sampler.h"
 #include "eval/metrics.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 namespace stemroot::eval {
@@ -74,12 +75,15 @@ TEST(ParallelDeterminismTest, RunSuiteRowsIdenticalAcrossThreadCounts) {
 TEST(ParallelDeterminismTest, ProfiledTraceIdenticalAcrossThreadCounts) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
 
+  const Pipeline::Spec spec{.suite = workloads::SuiteId::kCasio,
+                            .workload = "bert_infer",
+                            .options = {.seed = 7, .size_scale = 0.05}};
   SetNumThreads(1);
-  const KernelTrace serial = MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", gpu, 7, 0.05);
+  const KernelTrace serial =
+      Pipeline::GenerateProfiled(spec, gpu).Trace();
   SetNumThreads(8);
-  const KernelTrace parallel = MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "bert_infer", gpu, 7, 0.05);
+  const KernelTrace parallel =
+      Pipeline::GenerateProfiled(spec, gpu).Trace();
   SetNumThreads(0);
 
   ASSERT_GT(serial.NumInvocations(), 100u);
@@ -94,8 +98,12 @@ TEST(ParallelDeterminismTest, ReprofilingIsIdempotentAcrossThreadCounts) {
   // same run seed: durations must not move at all.
   hw::HardwareModel gpu(hw::GpuSpec::H100());
   SetNumThreads(1);
-  KernelTrace trace = MakeProfiledWorkload(
-      workloads::SuiteId::kRodinia, "lud", gpu, 11, 0.2);
+  KernelTrace trace = Pipeline::GenerateProfiled(
+                          {.suite = workloads::SuiteId::kRodinia,
+                           .workload = "lud",
+                           .options = {.seed = 11, .size_scale = 0.2}},
+                          gpu)
+                          .Trace();
   std::vector<uint64_t> before;
   before.reserve(trace.NumInvocations());
   for (size_t i = 0; i < trace.NumInvocations(); ++i)
@@ -111,8 +119,12 @@ TEST(ParallelDeterminismTest, ReprofilingIsIdempotentAcrossThreadCounts) {
 TEST(ParallelDeterminismTest, EvaluateRepeatedIdenticalAcrossThreadCounts) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
   SetNumThreads(1);
-  const KernelTrace trace = MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, "dlrm_infer", gpu, 21, 0.02);
+  const KernelTrace trace = Pipeline::GenerateProfiled(
+                                {.suite = workloads::SuiteId::kCasio,
+                                 .workload = "dlrm_infer",
+                                 .options = {.seed = 21, .size_scale = 0.02}},
+                                gpu)
+                                .Trace();
   baselines::RandomSampler random(0.02);
 
   const EvalResult serial = EvaluateRepeated(random, trace, 8, 1234);

@@ -109,6 +109,32 @@ TEST(CompareTest, CacheCountersAreEnvironmental) {
   EXPECT_TRUE(CompareManifests(cold, warm).deterministic_drift);
 }
 
+TEST(CompareTest, SessionAndRunAreOneCommandFamily) {
+  // A served session that fed its full source replays the batch run
+  // byte-for-byte (service replay equivalence), so a "session" manifest
+  // compares clean against a "run" manifest of the same config; the
+  // session-only service.* counters are environmental like cache.*.
+  const RunManifest batch = MakeRun();
+  RunManifest session = MakeRun();
+  session.command = "session";
+  session.counters["service.sessions"] = 1;
+  session.counters["service.feed_invocations"] = 1234;
+  session.counters["service.early_stops"] = 0;
+  const CompareReport report = CompareManifests(batch, session);
+  EXPECT_TRUE(report.comparable) << report.ToText();
+  EXPECT_FALSE(report.deterministic_drift) << report.ToText();
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+
+  // Any other command pair still refuses to compare.
+  RunManifest dse = MakeRun();
+  dse.command = "dse";
+  EXPECT_FALSE(CompareManifests(batch, dse).comparable);
+
+  // And a session whose deterministic counters drifted still trips.
+  session.counters["core.kkt.solves"] = 101;
+  EXPECT_TRUE(CompareManifests(batch, session).deterministic_drift);
+}
+
 TEST(CompareTest, StageTableCoversTheUnion) {
   const RunManifest a = MakeRun();
   RunManifest b = MakeRun();

@@ -47,6 +47,10 @@ TEST(RunnerTest, StemBeatsRandomOnErrors) {
   EXPECT_LT(stem_agg.error_pct, random_agg.error_pct);
 }
 
+// These two tests pin the deprecated MakeProfiledWorkload shim on purpose:
+// it must keep producing bit-exact traces until the last caller migrates.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(RunnerTest, MakeProfiledWorkloadIsReady) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
   const KernelTrace trace = MakeProfiledWorkload(
@@ -63,6 +67,7 @@ TEST(RunnerTest, SeedChangesWorkloadRealization) {
       workloads::SuiteId::kRodinia, "lud", gpu, 4, 0.1);
   EXPECT_NE(a.TotalDurationUs(), b.TotalDurationUs());
 }
+#pragma GCC diagnostic pop
 
 TEST(SuiteResultsIndexTest, ThousandRowResultSet) {
   // Regression for the quadratic Methods()/ForWorkload() scans: a DSE-sized

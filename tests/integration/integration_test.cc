@@ -12,6 +12,7 @@
 #include "baselines/random_sampler.h"
 #include "baselines/sieve.h"
 #include "core/sampler.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 
 namespace stemroot {
@@ -21,8 +22,13 @@ class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     gpu_ = new hw::HardwareModel(hw::GpuSpec::Rtx2080());
-    trace_ = new KernelTrace(eval::MakeProfiledWorkload(
-        workloads::SuiteId::kCasio, "resnet50_train", *gpu_, 7, 0.05));
+    trace_ = new KernelTrace(
+        eval::Pipeline::GenerateProfiled(
+            {.suite = workloads::SuiteId::kCasio,
+             .workload = "resnet50_train",
+             .options = {.seed = 7, .size_scale = 0.05}},
+            *gpu_)
+            .Trace());
   }
   static void TearDownTestSuite() {
     delete trace_;
@@ -131,8 +137,12 @@ TEST(IntegrationRodiniaTest, IrregularWorkloadsStayBounded) {
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
   core::StemRootSampler stem;
   for (const char* name : {"gaussian", "heartwall", "pf_naive", "bfs"}) {
-    const KernelTrace trace = eval::MakeProfiledWorkload(
-        workloads::SuiteId::kRodinia, name, gpu, 13, 1.0);
+    const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+        {.suite = workloads::SuiteId::kRodinia,
+         .workload = name,
+         .options = {.seed = 13, .size_scale = 1.0}},
+        gpu);
+    const KernelTrace& trace = pipeline.Trace();
     const eval::EvalResult result =
         eval::EvaluateRepeated(stem, trace, 5, 5);
     EXPECT_LT(result.error_pct, 5.0) << name;

@@ -12,6 +12,7 @@
 #include "core/sampler.h"
 #include "dag/generator.h"
 #include "dag/sampler.h"
+#include "eval/pipeline.h"
 #include "eval/runner.h"
 #include "hw/hardware_model.h"
 #include "trace/serialize.h"
@@ -102,8 +103,12 @@ TEST_P(SuiteBoundTest, StemStaysWithinEpsilonOnEveryCasioWorkload) {
   const auto& names = workloads::SuiteWorkloads(workloads::SuiteId::kCasio);
   const std::string name = names[static_cast<size_t>(GetParam())];
   hw::HardwareModel gpu(hw::GpuSpec::Rtx2080());
-  const KernelTrace trace = eval::MakeProfiledWorkload(
-      workloads::SuiteId::kCasio, name, gpu, 31, 0.1);
+  const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+      {.suite = workloads::SuiteId::kCasio,
+       .workload = name,
+       .options = {.seed = 31, .size_scale = 0.1}},
+      gpu);
+  const KernelTrace& trace = pipeline.Trace();
   core::StemRootSampler sampler;
   const eval::EvalResult result =
       eval::EvaluateRepeated(sampler, trace, 3, 7);

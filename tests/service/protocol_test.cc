@@ -1,0 +1,180 @@
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/json.h"
+#include "eval/manifest.h"
+
+namespace stemroot::service {
+namespace {
+
+/// Parse a broker response (every response must be valid JSON).
+json::Value Parsed(const BrokerResult& result) {
+  json::Value value;
+  std::string error;
+  EXPECT_TRUE(json::Parse(result.response, value, &error)) << error;
+  return value;
+}
+
+bool Ok(const json::Value& response) {
+  const json::Value* ok = response.Find("ok");
+  return ok != nullptr && ok->number != 0.0;
+}
+
+double Num(const json::Value& response, std::string_view key) {
+  const json::Value* v = response.Find(key);
+  EXPECT_NE(v, nullptr) << key;
+  return v == nullptr ? 0.0 : v->number;
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  Service service_;
+  SessionBroker broker_{service_};
+
+  BrokerResult Handle(const std::string& line) {
+    return broker_.HandleLine(line);
+  }
+
+  /// Open a tiny session and return its id.
+  SessionId Open() {
+    const BrokerResult result = Handle(
+        R"({"op":"open","suite":"casio","workload":"bert_infer",)"
+        R"("scale":0.05,"seed":99,"reps":2,"order":"shuffled"})");
+    EXPECT_TRUE(result.ok) << result.response;
+    return static_cast<SessionId>(Num(Parsed(result), "id"));
+  }
+};
+
+TEST_F(ProtocolTest, RejectsMalformedLines) {
+  EXPECT_FALSE(Handle("not json").ok);
+  EXPECT_FALSE(Handle("[1,2,3]").ok);
+  EXPECT_FALSE(Handle(R"({"no_op":true})").ok);
+  EXPECT_FALSE(Handle(R"({"op":"florble"})").ok);
+  const json::Value response = Parsed(Handle(R"({"op":"florble"})"));
+  EXPECT_FALSE(Ok(response));
+  EXPECT_NE(response.Find("error"), nullptr);
+}
+
+TEST_F(ProtocolTest, OpenValidatesRequests) {
+  // Protocol sessions are source-fed: suite+workload are mandatory.
+  EXPECT_FALSE(Handle(R"({"op":"open"})").ok);
+  EXPECT_FALSE(Handle(R"({"op":"open","suite":"casio"})").ok);
+  EXPECT_FALSE(
+      Handle(R"({"op":"open","suite":"casio","workload":"bert_infer",)"
+             R"("order":"sideways"})")
+          .ok);
+  EXPECT_FALSE(
+      Handle(R"({"op":"open","suite":"casio","workload":"bert_infer",)"
+             R"("epsilon":"tight"})")
+          .ok);
+  EXPECT_FALSE(
+      Handle(R"({"op":"open","suite":"nope","workload":"bert_infer"})").ok);
+  EXPECT_EQ(service_.NumOpenSessions(), 0u);
+}
+
+TEST_F(ProtocolTest, SessionRoundTrip) {
+  const SessionId id = Open();
+  EXPECT_EQ(service_.NumOpenSessions(), 1u);
+  const std::string sid = std::to_string(id);
+
+  // feed advances the session and reports convergence state.
+  const json::Value fed = Parsed(
+      Handle(R"({"op":"feed","id":)" + sid + R"(,"count":64})"));
+  EXPECT_TRUE(Ok(fed));
+  EXPECT_EQ(Num(fed, "fed"), 64.0);
+  EXPECT_EQ(Num(fed, "seen"), 64.0);
+
+  const json::Value status = Parsed(
+      Handle(R"({"op":"query","id":)" + sid + R"(,"clusters":true})"));
+  EXPECT_TRUE(Ok(status));
+  EXPECT_EQ(Num(status, "invocations_seen"), 64.0);
+  EXPECT_GT(Num(status, "invocations_total"), 64.0);
+  EXPECT_GT(Num(status, "predicted_error"), 0.0);
+  const json::Value* clusters = status.Find("clusters");
+  ASSERT_NE(clusters, nullptr);
+  ASSERT_TRUE(clusters->IsArray());
+  EXPECT_FALSE(clusters->array->empty());
+  EXPECT_NE(clusters->array->front().Find("kernel"), nullptr);
+
+  const json::Value plan =
+      Parsed(Handle(R"({"op":"plan","id":)" + sid + "}"));
+  EXPECT_TRUE(Ok(plan));
+  EXPECT_GT(Num(plan, "num_samples"), 0.0);
+
+  const json::Value eval =
+      Parsed(Handle(R"({"op":"eval","id":)" + sid + "}"));
+  EXPECT_TRUE(Ok(eval));
+  EXPECT_GT(Num(eval, "speedup"), 0.0);
+
+  const json::Value stats = Parsed(Handle(R"({"op":"stats"})"));
+  EXPECT_TRUE(Ok(stats));
+  EXPECT_EQ(Num(stats, "open_sessions"), 1.0);
+
+  const std::filesystem::path manifest_path =
+      std::filesystem::temp_directory_path() /
+      ("sr_protocol_manifest_" + sid + ".json");
+  std::string close = R"({"op":"close","id":)" + sid + R"(,"manifest":)";
+  json::AppendString(close, manifest_path.string());
+  close += "}";
+  const json::Value closed = Parsed(Handle(close));
+  EXPECT_TRUE(Ok(closed));
+  EXPECT_EQ(service_.NumOpenSessions(), 0u);
+
+  // The written manifest round-trips as a stemroot-manifest-v1 document.
+  const eval::RunManifest manifest =
+      eval::RunManifest::Load(manifest_path.string());
+  EXPECT_EQ(manifest.command, "session");
+  EXPECT_TRUE(manifest.completed);
+  EXPECT_EQ(manifest.config.workload, "bert_infer");
+  EXPECT_EQ(manifest.counters.at("service.feed_invocations"), 64u);
+  std::filesystem::remove(manifest_path);
+
+  // The closed id is dead, and the broker reports that as an error
+  // response rather than a dropped connection.
+  EXPECT_FALSE(Handle(R"({"op":"query","id":)" + sid + "}").ok);
+}
+
+TEST_F(ProtocolTest, FeedValidatesArguments) {
+  const SessionId id = Open();
+  const std::string sid = std::to_string(id);
+  EXPECT_FALSE(Handle(R"({"op":"feed"})").ok);
+  EXPECT_FALSE(Handle(R"({"op":"feed","id":)" + sid + "}").ok);
+  EXPECT_FALSE(
+      Handle(R"({"op":"feed","id":)" + sid + R"(,"count":-3})").ok);
+  EXPECT_FALSE(Handle(R"({"op":"feed","id":999,"count":4})").ok);
+  Handle(R"({"op":"close","id":)" + sid + "}");
+}
+
+TEST_F(ProtocolTest, ParamsForwardToTheSampler) {
+  const BrokerResult result = Handle(
+      R"({"op":"open","method":"random","suite":"casio",)"
+      R"("workload":"bert_infer","scale":0.05,)"
+      R"("params":{"probability":0.25}})");
+  ASSERT_TRUE(result.ok) << result.response;
+  const std::string sid =
+      std::to_string(static_cast<SessionId>(Num(Parsed(result), "id")));
+  Handle(R"({"op":"feed","id":)" + sid + R"(,"count":200})");
+  const json::Value plan =
+      Parsed(Handle(R"({"op":"plan","id":)" + sid + "}"));
+  EXPECT_TRUE(Ok(plan));
+  // The plan's method is the sampler's resolved name, which embeds the
+  // probability the params carried over the wire.
+  EXPECT_EQ(plan.Find("method")->string, "Random(25%)");
+  Handle(R"({"op":"close","id":)" + sid + "}");
+}
+
+TEST_F(ProtocolTest, ShutdownFlagsTheLoop) {
+  const BrokerResult result = Handle(R"({"op":"shutdown"})");
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.shutdown);
+  // Only shutdown sets the flag.
+  EXPECT_FALSE(Handle(R"({"op":"stats"})").shutdown);
+}
+
+}  // namespace
+}  // namespace stemroot::service

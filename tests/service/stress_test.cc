@@ -1,0 +1,138 @@
+/// \file
+/// Interleaved-session stress: many client threads driving one resident
+/// Service concurrently, including several threads tearing at the SAME
+/// session. Run under TSan (tools/check.sh tsan) this is the data-race
+/// gate for the service layer; under any sanitizer it checks the
+/// invariants that survive arbitrary interleavings (counts conserved,
+/// every session closeable exactly once, ids never reused).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace stemroot::service {
+namespace {
+
+ServiceOptions Limited(uint32_t max_sessions) {
+  ServiceOptions options;
+  options.max_sessions = max_sessions;
+  return options;
+}
+
+SessionConfig TinyConfig(uint64_t seed) {
+  SessionConfig config;
+  config.suite = "casio";
+  config.workload = "bert_infer";
+  config.scale = 0.05;
+  config.seed = seed;
+  config.reps = 2;
+  config.order = FeedOrder::kShuffled;
+  return config;
+}
+
+TEST(ServiceStressTest, ParallelIndependentSessions) {
+  Service service(Limited(16));
+  constexpr int kThreads = 8;
+  std::atomic<uint64_t> total_fed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &total_fed, t] {
+      const SessionId id = service.OpenSession(TinyConfig(100 + t));
+      uint64_t fed = 0;
+      uint64_t n = 0;
+      while ((n = service.FeedFromSource(id, 17)) > 0) {
+        fed += n;
+        const SessionStatus status = service.Query(id);
+        EXPECT_EQ(status.invocations_seen, fed);
+      }
+      EXPECT_FALSE(service.BuildPlan(id).entries.empty());
+      const eval::RunManifest manifest = service.CloseSession(id);
+      EXPECT_EQ(manifest.counters.at("service.feed_invocations"), fed);
+      total_fed.fetch_add(fed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(service.NumOpenSessions(), 0u);
+  EXPECT_GT(total_fed.load(), 0u);
+}
+
+TEST(ServiceStressTest, TornFeedsOnOneSession) {
+  // Several threads feed and query the SAME session; chunk boundaries and
+  // query interleavings are arbitrary, but the total must be conserved
+  // and every intermediate Query must see internally consistent state.
+  Service service;
+  const SessionId id = service.OpenSession(TinyConfig(7));
+  const uint64_t total = service.Query(id).invocations_total;
+  ASSERT_GT(total, 0u);
+
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> fed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &fed, id, t] {
+      uint64_t n = 0;
+      while ((n = service.FeedFromSource(id, 5 + t)) > 0) {
+        fed.fetch_add(n);
+        const SessionStatus status = service.Query(id);
+        uint64_t cluster_n = 0;
+        for (const ClusterSummary& c : status.clusters) cluster_n += c.n;
+        EXPECT_EQ(cluster_n, status.invocations_seen);
+        EXPECT_LE(status.invocations_seen, status.invocations_total);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(fed.load(), total);
+  const SessionStatus status = service.Query(id);
+  EXPECT_EQ(status.invocations_seen, total);
+  service.CloseSession(id);
+}
+
+TEST(ServiceStressTest, ConcurrentBrokersShareOneService) {
+  // The protocol layer on top: concurrent brokers (one per simulated
+  // connection) multiplex onto one Service, as `stemroot serve` does with
+  // its thread-per-connection model.
+  Service service(Limited(8));
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&service, t] {
+      SessionBroker broker(service);
+      const BrokerResult opened = broker.HandleLine(
+          R"({"op":"open","suite":"casio","workload":"bert_infer",)"
+          R"("scale":0.05,"seed":)" +
+          std::to_string(300 + t) + "}");
+      ASSERT_TRUE(opened.ok) << opened.response;
+      json::Value open_response;
+      ASSERT_TRUE(json::Parse(opened.response, open_response, nullptr));
+      const std::string sid = std::to_string(
+          static_cast<uint64_t>(open_response.Find("id")->number));
+      for (int round = 0; round < 6; ++round) {
+        EXPECT_TRUE(
+            broker
+                .HandleLine(R"({"op":"feed","id":)" + sid +
+                            R"(,"count":23})")
+                .ok);
+        EXPECT_TRUE(
+            broker.HandleLine(R"({"op":"query","id":)" + sid + "}").ok);
+      }
+      EXPECT_TRUE(
+          broker.HandleLine(R"({"op":"close","id":)" + sid + "}").ok);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(service.NumOpenSessions(), 0u);
+}
+
+}  // namespace
+}  // namespace stemroot::service

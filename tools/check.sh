@@ -184,6 +184,84 @@ run_mode() {
   env "${san_env[@]}" \
     "$dir/tools/stemroot" compare "$sim_b" "$sim_c" >/dev/null
 
+  echo "=== [$mode] serve drill (resident service, two concurrent sessions) ==="
+  # Host the resident service on an AF_UNIX socket and drive it with the
+  # line-delimited JSON protocol: open two sessions over one setup
+  # connection (ids are deterministic: 1 then 2), then run two clients
+  # CONCURRENTLY against them. Session 1 feeds its full trace in timeline
+  # order -- the replay-equivalence contract says its close manifest must
+  # compare clean against the matching batch `stemroot run`. Session 2
+  # feeds shuffled chunks and must early-stop (converged with only part
+  # of the trace seen), proven by a nonzero service.early_stops counter.
+  local sdir="$dir/serve-drill"
+  rm -rf "$sdir"; mkdir -p "$sdir"
+  local sock="$sdir/sock"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" serve --socket "$sock" --cache "$smoke_cache" \
+      >"$sdir/serve.log" 2>&1 &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+  if ! [ -S "$sock" ]; then
+    echo "serve drill FAILED: server socket never appeared" >&2
+    cat "$sdir/serve.log" >&2; exit 1
+  fi
+
+  cat > "$sdir/setup.jsonl" <<SETUP
+{"op":"open","suite":"casio","workload":"bert_infer","scale":0.02,"seed":42,"reps":2,"order":"timeline"}
+{"op":"open","suite":"casio","workload":"bert_infer","scale":0.2,"seed":99,"reps":2,"epsilon":0.05,"order":"shuffled"}
+SETUP
+  cat > "$sdir/full.jsonl" <<FULL
+{"op":"feed","id":1,"count":1000000000}
+{"op":"eval","id":1}
+{"op":"close","id":1,"manifest":"$sdir/session-full.json"}
+FULL
+  cat > "$sdir/early.jsonl" <<EARLY
+{"op":"feed","id":2,"count":1024}
+{"op":"feed","id":2,"count":1024}
+{"op":"feed","id":2,"count":1024}
+{"op":"feed","id":2,"count":1024}
+{"op":"query","id":2}
+{"op":"close","id":2,"manifest":"$sdir/session-early.json"}
+EARLY
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" session --socket "$sock" --fail-on-error true \
+      --script "$sdir/setup.jsonl" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" session --socket "$sock" --fail-on-error true \
+      --script "$sdir/full.jsonl" >"$sdir/full.out" &
+  local full_pid=$!
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" session --socket "$sock" --fail-on-error true \
+      --script "$sdir/early.jsonl" >"$sdir/early.out" &
+  local early_pid=$!
+  wait "$full_pid" || {
+    echo "serve drill FAILED: full-feed session errored" >&2
+    cat "$sdir/full.out" >&2; exit 1; }
+  wait "$early_pid" || {
+    echo "serve drill FAILED: early-stop session errored" >&2
+    cat "$sdir/early.out" >&2; exit 1; }
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" session --socket "$sock" --fail-on-error true \
+      --script <(echo '{"op":"shutdown"}') >/dev/null
+  wait "$serve_pid" || {
+    echo "serve drill FAILED: server exited nonzero" >&2
+    cat "$sdir/serve.log" >&2; exit 1; }
+
+  # Session 2 converged on ~4k of ~14k invocations: the manifest must
+  # validate and carry the early-stop evidence.
+  "$dir/tools/manifest_check" "$sdir/session-early.json" \
+      --require-completed \
+      --require-counter service.early_stops \
+      --require-counter service.feed_invocations >/dev/null
+  # Session 1 fed everything: byte-identical deterministic fields vs the
+  # batch run of the same config (manifest smoke's man_a), despite the
+  # different command, thread count, and transport.
+  "$dir/tools/manifest_check" "$sdir/session-full.json" \
+      --require-completed --require-stage evaluate >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_a" "$sdir/session-full.json" \
+      >/dev/null
+
   if [ "$mode" = tsan ]; then
     echo "=== [$mode] race drill (TSan positive control) ==="
     # tools/race_drill races on purpose; a TSan build that does NOT

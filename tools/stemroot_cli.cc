@@ -8,9 +8,21 @@
 ///   stemroot sample   --in t.bin --method stem --epsilon 0.05 --out p.csv
 ///   stemroot evaluate --in t.bin --method stem --reps 10
 ///   stemroot run      --suite casio --workload bert_infer --method stem
+///   stemroot serve    --socket /tmp/stemroot.sock
+///   stemroot session  --socket /tmp/stemroot.sock --script requests.jsonl
 ///   stemroot compare  A.json B.json
 ///   stemroot regress  --ledger bench_results/ledger.jsonl --window 8
 ///   stemroot cache    stats|verify|evict [--cache DIR] [--max-bytes N]
+///
+/// `serve` hosts the resident service::Service over an AF_UNIX socket
+/// speaking the line-delimited JSON protocol (service/protocol.h);
+/// `session` replays a request script against it. `run` itself routes
+/// through service::Service::RunBatch, so the batch command and a served
+/// session share one typed configuration path (service::SessionConfig).
+///
+/// Common flags are parsed once through eval::ParseCommonOptions into a
+/// typed eval::CommonOptions (no per-command ad-hoc plumbing); suite and
+/// GPU tokens resolve through eval::ResolveSuite / eval::ResolveGpu.
 ///
 /// Stage wiring goes through eval::Pipeline (one master --seed per command;
 /// per-stage seeds are derived from it — see src/eval/pipeline.h) and
@@ -35,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 
 #include "baselines/registry.h"
@@ -54,11 +67,14 @@
 #include "eval/dse.h"
 #include "eval/ledger.h"
 #include "eval/manifest.h"
+#include "eval/options.h"
 #include "eval/pipeline.h"
 #include "eval/regress.h"
 #include "eval/stage_report.h"
 #include "eval/trace_cache.h"
 #include "hw/profile.h"
+#include "service/server.h"
+#include "service/service.h"
 #include "trace/serialize.h"
 #include "workloads/suite.h"
 
@@ -79,6 +95,8 @@ commands:
   evaluate  --in FILE [--method NAME] [--reps N] [--seed N]
   run       --suite SUITE --workload NAME [--gpu GPU] [--method NAME]
             [--reps N] [--seed N] [--scale X]
+  serve     --socket PATH [--max-sessions N] [--cache DIR|none]
+  session   --socket PATH [--script FILE|-] [--fail-on-error true]
   audit     --suite SUITE [--workload A,B,..] [--gpu GPU] [--method NAME]
             [--trials N] [--seed N] [--scale X] [--json FILE]
             [--min-within FRACTION]
@@ -102,6 +120,16 @@ concurrently over the shared cached traces. --sim-shards partitions each
 simulation's kernels into independent lanes (a modeling knob: it changes
 results and gates `stemroot compare`); --sim-threads and --epoch-cycles
 only pace the lanes and never change results (DESIGN.md section 12).
+
+serve hosts the resident sampling service on an AF_UNIX socket: clients
+hold concurrent streaming sessions (open/feed/query/plan/eval/close as
+line-delimited JSON; `shutdown` stops the server) and can stop feeding
+the moment `query` reports converged=true -- see DESIGN.md section 13.
+session connects to a server and replays --script (one JSON request per
+line, '-' or omitted = stdin), echoing one response per line;
+--fail-on-error true exits 1 if any response had ok=false. `run` routes
+through the same service code path, so a fully-fed session's manifest
+compares clean against the matching `stemroot run` manifest.
 
 audit compares every ROOT cluster's predicted error bound (Eq. 2 under
 the KKT allocation) against the realized error of seeded sampling plans;
@@ -144,28 +172,6 @@ every command accepts:
   return 2;
 }
 
-workloads::SuiteId ParseSuite(const std::string& name) {
-  if (auto suite = workloads::SuiteFromName(name)) return *suite;
-  std::string known;
-  for (workloads::SuiteId id : workloads::AllSuites()) {
-    if (!known.empty()) known += ", ";
-    known += workloads::ToName(id);
-  }
-  throw std::invalid_argument("unknown suite '" + name +
-                              "' (available: " + known + ")");
-}
-
-hw::GpuSpec ParseGpu(const std::string& name) {
-  if (auto spec = hw::GpuSpec::FromName(name)) return *spec;
-  std::string known;
-  for (const std::string& preset : hw::GpuSpec::PresetNames()) {
-    if (!known.empty()) known += ", ";
-    known += preset;
-  }
-  throw std::invalid_argument("unknown gpu '" + name +
-                              "' (available: " + known + ")");
-}
-
 /// Forward the sampler-parameter flags that are present to the registry
 /// factory. Reading through GetString marks the flag consumed for
 /// CheckAllRead; the factory's typed getters validate the values.
@@ -197,13 +203,6 @@ std::unique_ptr<core::Sampler> MakeSampler(const Flags& flags) {
                                                 SamplerParamsFromFlags(flags));
 }
 
-eval::Pipeline::Options PipelineOptions(const Flags& flags) {
-  eval::Pipeline::Options options;
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  options.size_scale = flags.GetDouble("scale", 1.0);
-  return options;
-}
-
 /// Record the sampler-side configuration in the manifest: the registry
 /// method name plus the epsilon/confidence the error model resolves (flag
 /// values when given, StemConfig defaults for the stem method, 0 for
@@ -228,15 +227,17 @@ void FillMetrics(eval::RunManifest& manifest,
   manifest.metrics.num_clusters = result.num_clusters;
 }
 
-int CmdGenerate(const Flags& flags, eval::RunManifest& manifest) {
-  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+int CmdGenerate(const Flags& flags, const eval::CommonOptions& common,
+                eval::RunManifest& manifest) {
+  const workloads::SuiteId suite = eval::ResolveSuite(flags.Require("suite"));
   const std::string workload = flags.Require("workload");
   const std::string out = flags.Require("out");
-  const eval::Pipeline::Options options = PipelineOptions(flags);
   flags.CheckAllRead();
 
-  const eval::Pipeline pipeline =
-      eval::Pipeline::Generate(suite, workload, options);
+  const eval::Pipeline pipeline = eval::Pipeline::Generate(
+      {.suite = suite,
+       .workload = workload,
+       .options = common.ToPipelineOptions()});
   pipeline.FillManifest(manifest);
   SaveTraceBinary(pipeline.Trace(), out);
   std::printf("wrote %s: %zu invocations, %zu kernel types (unprofiled)\n",
@@ -245,16 +246,16 @@ int CmdGenerate(const Flags& flags, eval::RunManifest& manifest) {
   return 0;
 }
 
-int CmdProfile(const Flags& flags, eval::RunManifest& manifest) {
+int CmdProfile(const Flags& flags, const eval::CommonOptions& common,
+               eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
-  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const hw::GpuSpec spec = eval::ResolveGpu(flags.GetString("gpu", "rtx2080"));
   const std::string csv = flags.GetString("csv", "");
-  const eval::Pipeline::Options options = PipelineOptions(flags);
   flags.CheckAllRead();
 
-  eval::Pipeline pipeline =
-      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  eval::Pipeline pipeline = eval::Pipeline::FromTrace(
+      LoadTraceBinary(in), common.ToPipelineOptions());
   pipeline.Profile(spec);
   pipeline.FillManifest(manifest);
   SaveTraceBinary(pipeline.Trace(), out);
@@ -295,16 +296,16 @@ int CmdInfo(const Flags& flags, eval::RunManifest& manifest) {
   return 0;
 }
 
-int CmdSample(const Flags& flags, eval::RunManifest& manifest) {
+int CmdSample(const Flags& flags, const eval::CommonOptions& common,
+              eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const std::string out = flags.Require("out");
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
-  const eval::Pipeline::Options options = PipelineOptions(flags);
   FillSamplerConfig(manifest, flags);
   flags.CheckAllRead();
 
-  const eval::Pipeline pipeline =
-      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  const eval::Pipeline pipeline = eval::Pipeline::FromTrace(
+      LoadTraceBinary(in), common.ToPipelineOptions());
   pipeline.FillManifest(manifest);
   const core::SamplingPlan plan = pipeline.Sample(*sampler);
   CsvWriter csv(out);
@@ -331,17 +332,17 @@ void PrintResult(const eval::EvalResult& result) {
               result.num_clusters);
 }
 
-int CmdEvaluate(const Flags& flags, eval::RunManifest& manifest) {
+int CmdEvaluate(const Flags& flags, const eval::CommonOptions& common,
+                eval::RunManifest& manifest) {
   const std::string in = flags.Require("in");
   const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
-  const eval::Pipeline::Options options = PipelineOptions(flags);
   FillSamplerConfig(manifest, flags);
   manifest.config.reps = reps;
   flags.CheckAllRead();
 
-  const eval::Pipeline pipeline =
-      eval::Pipeline::FromTrace(LoadTraceBinary(in), options);
+  const eval::Pipeline pipeline = eval::Pipeline::FromTrace(
+      LoadTraceBinary(in), common.ToPipelineOptions());
   pipeline.FillManifest(manifest);
   const eval::EvalResult result = pipeline.Evaluate(*sampler, reps);
   FillMetrics(manifest, result);
@@ -349,22 +350,27 @@ int CmdEvaluate(const Flags& flags, eval::RunManifest& manifest) {
   return 0;
 }
 
-int CmdRun(const Flags& flags, eval::RunManifest& manifest) {
-  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
-  const std::string workload = flags.Require("workload");
-  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
-  const uint32_t reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
-  const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
-  const eval::Pipeline::Options options = PipelineOptions(flags);
+int CmdRun(const Flags& flags, const eval::CommonOptions& common,
+           eval::RunManifest& manifest) {
+  // `run` is the batch entry of the resident service: one typed
+  // SessionConfig drives both, so a served session's manifest compares
+  // clean against this command's (see service/service.h).
+  service::SessionConfig config;
+  config.method = flags.GetString("method", "stem");
+  config.params = SamplerParamsFromFlags(flags);
+  config.seed = common.seed;
+  config.scale = common.scale;
+  config.reps = static_cast<uint32_t>(flags.GetInt("reps", 10));
+  config.suite = flags.Require("suite");
+  config.workload = flags.Require("workload");
+  config.gpu = flags.GetString("gpu", "rtx2080");
   FillSamplerConfig(manifest, flags);
-  manifest.config.reps = reps;
+  config.epsilon = manifest.config.epsilon;
+  config.confidence = manifest.config.confidence;
   flags.CheckAllRead();
 
-  eval::Pipeline pipeline =
-      eval::Pipeline::GenerateProfiled(suite, workload, spec, options);
-  pipeline.FillManifest(manifest);
-  const eval::EvalResult result = pipeline.Evaluate(*sampler, reps);
-  FillMetrics(manifest, result);
+  const eval::EvalResult result = service::Service::RunBatch(config,
+                                                             &manifest);
   PrintResult(result);
   if (telemetry::Enabled()) {
     const eval::StageReport report =
@@ -374,15 +380,16 @@ int CmdRun(const Flags& flags, eval::RunManifest& manifest) {
   return 0;
 }
 
-int CmdAudit(const Flags& flags, eval::RunManifest& manifest) {
-  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
-  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+int CmdAudit(const Flags& flags, const eval::CommonOptions& common,
+             eval::RunManifest& manifest) {
+  const workloads::SuiteId suite = eval::ResolveSuite(flags.Require("suite"));
+  const hw::GpuSpec spec = eval::ResolveGpu(flags.GetString("gpu", "rtx2080"));
   const std::unique_ptr<core::Sampler> sampler = MakeSampler(flags);
 
   eval::AuditOptions options;
   options.trials = static_cast<uint32_t>(flags.GetInt("trials", 10));
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  options.size_scale = flags.GetDouble("scale", 1.0);
+  options.seed = common.seed;
+  options.size_scale = common.scale;
   // The audit's reference budget uses the same epsilon/confidence flags
   // the sampler factory consumes, so both sides see one configuration.
   options.root.stem.epsilon =
@@ -455,14 +462,15 @@ std::vector<eval::DseVariant> ParseVariants(const Flags& flags,
   return out;
 }
 
-int CmdDse(const Flags& flags, eval::RunManifest& manifest) {
-  const workloads::SuiteId suite = ParseSuite(flags.Require("suite"));
+int CmdDse(const Flags& flags, const eval::CommonOptions& common,
+           eval::RunManifest& manifest) {
+  const workloads::SuiteId suite = eval::ResolveSuite(flags.Require("suite"));
   const std::vector<std::string> workload_names =
       Split(flags.Require("workload"), ',');
-  const hw::GpuSpec spec = ParseGpu(flags.GetString("gpu", "rtx2080"));
+  const hw::GpuSpec spec = eval::ResolveGpu(flags.GetString("gpu", "rtx2080"));
   const std::vector<std::string> methods =
       Split(flags.GetString("method", "stem,random"), ',');
-  const eval::Pipeline::Options options = PipelineOptions(flags);
+  const eval::Pipeline::Options options = common.ToPipelineOptions();
 
   eval::DseSweepOptions sweep_options;
   sweep_options.seed = options.seed;
@@ -490,10 +498,13 @@ int CmdDse(const Flags& flags, eval::RunManifest& manifest) {
   manifest.config.epoch_cycles = sweep_options.shard.epoch_cycles;
 
   baselines::EnsureBuiltinSamplers();
+  // One flag scan for every method: the params are method-agnostic, each
+  // factory reads the keys it knows.
+  const core::SamplerParams sampler_params = SamplerParamsFromFlags(flags);
   std::vector<std::unique_ptr<core::Sampler>> samplers;
   for (const std::string& method : methods)
-    samplers.push_back(core::SamplerRegistry::Global().Create(
-        method, SamplerParamsFromFlags(flags)));
+    samplers.push_back(
+        core::SamplerRegistry::Global().Create(method, sampler_params));
   flags.CheckAllRead();
 
   // Generate + profile every workload once (served by the trace cache on
@@ -503,7 +514,8 @@ int CmdDse(const Flags& flags, eval::RunManifest& manifest) {
   std::vector<std::vector<core::SamplingPlan>> plans(workload_names.size());
   for (size_t w = 0; w < workload_names.size(); ++w) {
     pipelines.push_back(eval::Pipeline::GenerateProfiled(
-        suite, workload_names[w], spec, options));
+        {.suite = suite, .workload = workload_names[w], .options = options},
+        spec));
     for (const std::unique_ptr<core::Sampler>& sampler : samplers)
       plans[w].push_back(pipelines.back().Sample(*sampler));
   }
@@ -670,6 +682,33 @@ int CmdRegress(const Flags& flags) {
   return report.ExitCode();
 }
 
+int CmdServe(const Flags& flags) {
+  service::ServerOptions options;
+  options.socket_path = flags.Require("socket");
+  options.service.max_sessions =
+      static_cast<uint32_t>(flags.GetInt("max-sessions", 64));
+  // Session manifests need counter/stage telemetry; the trace cache makes
+  // repeat OpenSession(workload) cheap, exactly like repeat `run`s.
+  options.service.enable_telemetry = true;
+  options.service.cache_dir =
+      flags.GetString("cache", eval::DefaultTraceCacheDir());
+  flags.CheckAllRead();
+  return service::RunServer(options);
+}
+
+int CmdSession(const Flags& flags) {
+  service::ClientOptions options;
+  options.socket_path = flags.Require("socket");
+  options.fail_on_error = flags.GetBool("fail-on-error", false);
+  const std::string script = flags.GetString("script", "-");
+  flags.CheckAllRead();
+  if (script == "-")
+    return service::RunClient(options, std::cin, std::cout);
+  std::ifstream in(script, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + script);
+  return service::RunClient(options, in, std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -692,46 +731,32 @@ int main(int argc, char** argv) {
 
   try {
     const Flags flags = Flags::Parse(argc - 2, argv + 2);
-    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
-    const std::string telemetry_path = flags.GetString("telemetry", "");
-    if (!telemetry_path.empty()) telemetry::SetEnabled(true);
-    const std::string trace_path = flags.GetString("trace", "");
-    if (!trace_path.empty()) trace_events::SetEnabled(true);
-    const std::string log_level = flags.GetString("log-level", "");
-    if (!log_level.empty()) {
-      const std::optional<LogLevel> level = LogLevelFromName(log_level);
-      if (!level)
-        throw std::invalid_argument(
-            "unknown --log-level '" + log_level +
-            "' (available: silent, warn, inform, debug)");
-      SetLogLevel(*level);
-    }
+    // One typed parse for the flags every command shares; Apply flips the
+    // process-global switches (threads, telemetry, trace events, log
+    // level, trace cache) in one place.
+    const eval::CommonOptions common =
+        eval::ParseCommonOptions(flags, pipeline_command);
+    eval::ApplyCommonOptions(common);
     if (pipeline_command) {
-      // The profiled-trace cache is on by default for pipeline commands;
-      // --cache none opts out, --cache DIR relocates it.
-      eval::SetTraceCacheDir(
-          flags.GetString("cache", eval::DefaultTraceCacheDir()));
-      manifest_path = flags.GetString("manifest", "");
-      ledger_path = flags.GetString("ledger", "");
-      // Stage wall times and counters come from telemetry, so manifest
-      // emission implies collection even without --telemetry.
-      if (!manifest_path.empty() || !ledger_path.empty())
-        telemetry::SetEnabled(true);
+      manifest_path = common.manifest_path;
+      ledger_path = common.ledger_path;
       manifest.config.threads = NumThreads();
-      manifest.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-      manifest.config.scale = flags.GetDouble("scale", 1.0);
+      manifest.config.seed = common.seed;
+      manifest.config.scale = common.scale;
       if (!manifest_path.empty()) manifest.Save(manifest_path);
     }
 
     int rc = -1;
-    if (command == "generate") rc = CmdGenerate(flags, manifest);
-    else if (command == "profile") rc = CmdProfile(flags, manifest);
+    if (command == "generate") rc = CmdGenerate(flags, common, manifest);
+    else if (command == "profile") rc = CmdProfile(flags, common, manifest);
     else if (command == "info") rc = CmdInfo(flags, manifest);
-    else if (command == "sample") rc = CmdSample(flags, manifest);
-    else if (command == "evaluate") rc = CmdEvaluate(flags, manifest);
-    else if (command == "run") rc = CmdRun(flags, manifest);
-    else if (command == "audit") rc = CmdAudit(flags, manifest);
-    else if (command == "dse") rc = CmdDse(flags, manifest);
+    else if (command == "sample") rc = CmdSample(flags, common, manifest);
+    else if (command == "evaluate") rc = CmdEvaluate(flags, common, manifest);
+    else if (command == "run") rc = CmdRun(flags, common, manifest);
+    else if (command == "audit") rc = CmdAudit(flags, common, manifest);
+    else if (command == "dse") rc = CmdDse(flags, common, manifest);
+    else if (command == "serve") rc = CmdServe(flags);
+    else if (command == "session") rc = CmdSession(flags);
     else if (command == "cache") rc = CmdCache(flags);
     else if (command == "compare") rc = CmdCompare(flags);
     else if (command == "regress") rc = CmdRegress(flags);
@@ -739,10 +764,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
       return Usage();
     }
-    if (!telemetry_path.empty())
-      eval::WriteTelemetry(telemetry::Capture(), telemetry_path);
-    if (!trace_path.empty()) {
-      trace_events::WriteTrace(trace_path);
+    if (!common.telemetry_path.empty())
+      eval::WriteTelemetry(telemetry::Capture(), common.telemetry_path);
+    if (!common.trace_path.empty()) {
+      trace_events::WriteTrace(common.trace_path);
       const trace_events::Stats stats = trace_events::GetStats();
       if (stats.dropped > 0)
         std::fprintf(stderr,
