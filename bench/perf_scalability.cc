@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/journal.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
@@ -22,6 +23,7 @@
 #include "eval/pipeline.h"
 #include "eval/runner.h"
 #include "hw/hardware_model.h"
+#include "service/metrics.h"
 #include "sim/sampled_sim.h"
 #include "workloads/casio.h"
 #include "workloads/rodinia.h"
@@ -261,20 +263,26 @@ BENCHMARK(BM_DseSweepThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-/// The observability off-switch contract: with telemetry and tracing both
-/// disabled, every instrumentation entry point costs one relaxed atomic
-/// load + branch. This is the hot-path overhead gate for code that is
-/// instrumented everywhere (ParallelFor chunks, ROOT recursion, k-means
-/// iterations); compare against BM_InstrumentationBaseline.
+/// The observability off-switch contract: with telemetry, tracing, the
+/// journal, and service metrics all disabled, every instrumentation
+/// entry point costs one relaxed atomic load + branch. This is the
+/// hot-path overhead gate for code that is instrumented everywhere
+/// (ParallelFor chunks, ROOT recursion, k-means iterations, service
+/// request paths); compare against BM_InstrumentationBaseline.
 void BM_InstrumentationOff(benchmark::State& state) {
   telemetry::SetEnabled(false);
   trace_events::SetEnabled(false);
+  journal::Close();  // disabled journal: Emit is one relaxed load
+  service::ServiceMetrics metrics;  // default-disabled RecordRequest
   for (auto _ : state) {
     telemetry::Span span("bench.off");
     trace_events::Scope scope("bench.off");
     trace_events::Instant("bench.off");
+    journal::Emit(journal::Severity::kInfo, "bench.off");
+    metrics.RecordRequest(service::Verb::kQuery, 1.0, true);
     benchmark::DoNotOptimize(&span);
     benchmark::DoNotOptimize(&scope);
+    benchmark::DoNotOptimize(&metrics);
   }
 }
 BENCHMARK(BM_InstrumentationOff);

@@ -1,8 +1,10 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace stemroot {
@@ -86,6 +88,104 @@ size_t Histogram::CountPeaks(double min_prominence_frac,
     }
   }
   return peaks;
+}
+
+LogHistogram::LogHistogram(double lo, double growth, size_t bins)
+    : lo_(lo), growth_(growth), counts_(bins) {
+  if (bins < 3)
+    throw std::invalid_argument("LogHistogram: need >= 3 bins "
+                                "(underflow, one log bucket, overflow)");
+  if (!(lo > 0.0)) throw std::invalid_argument("LogHistogram: lo <= 0");
+  if (!(growth > 1.0))
+    throw std::invalid_argument("LogHistogram: growth <= 1");
+  log_growth_ = std::log(growth);
+}
+
+size_t LogHistogram::BucketIndex(double value) const {
+  if (value < lo_) return 0;
+  // value in [lo*growth^(i-1), lo*growth^i) -> bucket i.
+  const double exact = std::log(value / lo_) / log_growth_;
+  size_t bin = static_cast<size_t>(exact) + 1;
+  // Guard the float rounding at bucket edges: the bound itself belongs to
+  // the next bucket up.
+  if (value >= BinUpperBound(bin) && bin + 1 < counts_.size()) ++bin;
+  return std::min(bin, counts_.size() - 1);
+}
+
+void LogHistogram::Record(double value) {
+  if (!(value >= 0.0) || !std::isfinite(value)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Positive doubles order the same as their bit patterns, so max is one
+  // integer CAS loop; sum needs the full double CAS.
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  uint64_t prev_max = max_bits_.load(std::memory_order_relaxed);
+  while (bits > prev_max &&
+         !max_bits_.compare_exchange_weak(prev_max, bits,
+                                          std::memory_order_relaxed)) {
+  }
+  uint64_t prev_sum = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double next = std::bit_cast<double>(prev_sum) + value;
+    if (sum_bits_.compare_exchange_weak(prev_sum,
+                                        std::bit_cast<uint64_t>(next),
+                                        std::memory_order_relaxed))
+      break;
+  }
+}
+
+double LogHistogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::Max() const {
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double LogHistogram::BinUpperBound(size_t bin) const {
+  if (bin == 0) return lo_;
+  if (bin >= counts_.size() - 1)
+    return std::numeric_limits<double>::infinity();
+  return lo_ * std::pow(growth_, static_cast<double>(bin));
+}
+
+uint64_t LogHistogram::BinCount(size_t bin) const {
+  return counts_.at(bin).load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> LogHistogram::Snapshot() const {
+  std::vector<uint64_t> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) out[i] = BinCount(i);
+  return out;
+}
+
+double LogHistogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = Snapshot();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q >= 1.0) return Max();
+  q = std::max(q, 0.0);
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(q * total) observations (rank 1 for q == 0).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank)
+      return i == counts.size() - 1 ? Max() : BinUpperBound(i);
+  }
+  return Max();
 }
 
 std::string Histogram::Render(size_t max_width) const {

@@ -1,0 +1,179 @@
+#include "common/journal.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/str.h"
+
+namespace stemroot::journal {
+
+namespace {
+
+/// Writer state. Leaked on purpose (like the telemetry registry): worker
+/// threads may emit during static destruction, and the atomics must
+/// outlive them.
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> write_errors{0};
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> rate_limit{2000};
+
+  std::mutex mu;  ///< guards everything below
+  std::ofstream out;
+  uint64_t window_start_us = 0;   ///< current rate-limit second
+  uint64_t window_emitted = 0;    ///< non-error events in the window
+  uint64_t dropped_unreported = 0;  ///< drops not yet surfaced in a line
+};
+
+State& S() {
+  static State* state = new State;
+  return *state;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+void Open(const std::string& path) {
+  State& s = S();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.out.is_open()) s.out.close();
+  s.out.open(path, std::ios::binary | std::ios::app);
+  if (!s.out)
+    throw std::runtime_error("journal: cannot open '" + path + "'");
+  s.window_start_us = 0;
+  s.window_emitted = 0;
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void Close() {
+  State& s = S();
+  s.enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.out.is_open()) {
+    s.out.flush();
+    s.out.close();
+  }
+}
+
+bool Enabled() { return S().enabled.load(std::memory_order_relaxed); }
+
+void SetRateLimit(uint64_t events_per_second) {
+  S().rate_limit.store(events_per_second, std::memory_order_relaxed);
+}
+
+void Emit(Severity severity, std::string_view event,
+          std::initializer_list<Field> fields) {
+  State& s = S();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+
+  const uint64_t ts_us = MonotonicMicros();
+  const uint32_t tid = LogThreadId();
+
+  // Serialize outside the lock; seq is assigned only once the event is
+  // admitted, so written seq numbers are gap-free.
+  std::string body;
+  body.reserve(128);
+  body += ",\"sev\":\"";
+  body += SeverityName(severity);
+  body += "\",\"event\":";
+  json::AppendString(body, event);
+  for (const Field& f : fields) {
+    body += ',';
+    json::AppendString(body, f.key);
+    body += ':';
+    switch (f.kind) {
+      case Field::Kind::kString:
+        json::AppendString(body, f.string);
+        break;
+      case Field::Kind::kNumber:
+        body += json::Number(f.number);
+        break;
+      case Field::Kind::kUint:
+        body += Format("%llu",
+                       static_cast<unsigned long long>(f.uint_value));
+        break;
+      case Field::Kind::kBool:
+        body += f.uint_value != 0 ? "true" : "false";
+        break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.out.is_open()) return;  // raced with Close
+
+  // Token-bucket per wall-clock second. Errors always pass: the regress
+  // gate counts them, so the limiter must never eat one.
+  const uint64_t limit = s.rate_limit.load(std::memory_order_relaxed);
+  if (limit > 0 && severity != Severity::kError) {
+    if (ts_us - s.window_start_us >= 1000000) {
+      s.window_start_us = ts_us;
+      s.window_emitted = 0;
+    }
+    if (s.window_emitted >= limit) {
+      s.dropped.fetch_add(1, std::memory_order_relaxed);
+      ++s.dropped_unreported;
+      return;
+    }
+    ++s.window_emitted;
+  }
+
+  std::string line = Format(
+      "{\"ts_us\":%llu,\"tid\":%u,\"seq\":%llu",
+      static_cast<unsigned long long>(ts_us), tid,
+      static_cast<unsigned long long>(
+          s.seq.fetch_add(1, std::memory_order_relaxed)));
+  line += body;
+  if (s.dropped_unreported > 0) {
+    line += Format(",\"dropped_since_last\":%llu",
+                   static_cast<unsigned long long>(s.dropped_unreported));
+    s.dropped_unreported = 0;
+  }
+  line += "}\n";
+  s.out << line;
+  if (severity == Severity::kError) {
+    s.errors.fetch_add(1, std::memory_order_relaxed);
+    s.out.flush();  // errors are the lines a crash must not lose
+  }
+  if (!s.out) {
+    s.write_errors.fetch_add(1, std::memory_order_relaxed);
+    s.out.clear();  // keep accepting events; best-effort by design
+  } else {
+    s.emitted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Stats GetStats() {
+  State& s = S();
+  Stats stats;
+  stats.emitted = s.emitted.load(std::memory_order_relaxed);
+  stats.dropped = s.dropped.load(std::memory_order_relaxed);
+  stats.errors = s.errors.load(std::memory_order_relaxed);
+  stats.write_errors = s.write_errors.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetStats() {
+  State& s = S();
+  s.emitted.store(0, std::memory_order_relaxed);
+  s.dropped.store(0, std::memory_order_relaxed);
+  s.errors.store(0, std::memory_order_relaxed);
+  s.write_errors.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stemroot::journal

@@ -1,0 +1,111 @@
+/// \file
+/// Append-only structured JSONL event journal — the durable narrative of
+/// a resident run (DESIGN.md §14).
+///
+/// Telemetry answers "how much"; the journal answers "what happened,
+/// when": session lifecycle, feed batches, convergence and early-stop
+/// decisions, slow requests, connection errors. One JSON object per
+/// line, append-only, crash-tolerant (a torn final line is ignored by
+/// the reader), machine-gateable (`stemroot regress --journal`).
+///
+/// Event line shape (reserved keys first, then the caller's fields):
+///
+///   {"ts_us":1234,"tid":3,"seq":7,"sev":"warn","event":"request.slow",
+///    "session":2,"verb":"feed","latency_us":312000.0}
+///
+/// - ts_us: MonotonicMicros() — the same clock that stamps stderr log
+///   lines, so journal and log output correlate directly.
+/// - tid: LogThreadId() — same id namespace as the log lines.
+/// - seq: process-wide emission sequence number (gap-free for emitted
+///   events; rate-limited drops do not consume numbers).
+/// - sev: "debug" | "info" | "warn" | "error".
+///
+/// **Cost contract.** Off by default; every Emit first checks one relaxed
+/// atomic and returns — the same contract as telemetry and trace events
+/// (pinned by BM_InstrumentationOff). When on, Emit serializes outside
+/// the writer lock and appends one line under it.
+///
+/// **Rate limiting.** A per-second token budget (default 2000 events/s)
+/// bounds journal growth under pathological event storms; over-budget
+/// events are counted, not written, and the next written event carries a
+/// "dropped_since_last" field so the gap is visible in the file itself.
+/// Error-severity events bypass the limiter (losing errors would defeat
+/// the regress gate).
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace stemroot::journal {
+
+enum class Severity { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Canonical lowercase token ("debug", "info", "warn", "error").
+const char* SeverityName(Severity severity);
+
+/// One typed field of an event. Construct from the key plus a string,
+/// number, bool, or unsigned value; the emitter writes the matching JSON
+/// type.
+struct Field {
+  enum class Kind { kString, kNumber, kUint, kBool };
+
+  Field(std::string_view key, std::string_view value)
+      : key(key), kind(Kind::kString), string(value) {}
+  Field(std::string_view key, const char* value)
+      : key(key), kind(Kind::kString), string(value) {}
+  Field(std::string_view key, double value)
+      : key(key), kind(Kind::kNumber), number(value) {}
+  Field(std::string_view key, uint64_t value)
+      : key(key), kind(Kind::kUint), uint_value(value) {}
+  Field(std::string_view key, int value)
+      : key(key), kind(Kind::kUint),
+        uint_value(static_cast<uint64_t>(value < 0 ? 0 : value)) {}
+  Field(std::string_view key, bool value)
+      : key(key), kind(Kind::kBool), uint_value(value ? 1 : 0) {}
+
+  std::string key;
+  Kind kind;
+  std::string string;
+  double number = 0.0;
+  uint64_t uint_value = 0;
+};
+
+/// Open (create or append to) the journal at `path` and enable emission.
+/// Throws std::runtime_error when the file cannot be opened. Reopening
+/// over a live journal closes the previous file first.
+void Open(const std::string& path);
+
+/// Flush, close, and disable. Safe when no journal is open.
+void Close();
+
+/// One relaxed atomic load — the hot-path guard.
+bool Enabled();
+
+/// Cap on non-error events written per wall-clock second (default 2000).
+/// 0 disables the limiter entirely.
+void SetRateLimit(uint64_t events_per_second);
+
+/// Append one event (no-op when disabled). Thread-safe; never throws —
+/// an I/O failure disables nothing but is counted in Stats().write_errors
+/// and the journal keeps accepting events (best-effort by design).
+void Emit(Severity severity, std::string_view event,
+          std::initializer_list<Field> fields = {});
+
+/// Emission counters since process start (not since Open, so tests can
+/// assert across reopen cycles). All relaxed-atomic reads.
+struct Stats {
+  uint64_t emitted = 0;       ///< lines written
+  uint64_t dropped = 0;       ///< rate-limited (never error severity)
+  uint64_t errors = 0;        ///< error-severity events emitted
+  uint64_t write_errors = 0;  ///< append failures (stream went bad)
+};
+Stats GetStats();
+
+/// Reset the Stats() counters to zero (tests; the seq counter is not
+/// reset — seq numbers stay unique for the process lifetime).
+void ResetStats();
+
+}  // namespace stemroot::journal

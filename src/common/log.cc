@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -69,11 +70,36 @@ std::string VFormat(const char* fmt, va_list args) {
   return std::string(buf.data(), static_cast<size_t>(needed));
 }
 
+uint64_t MonotonicMicros() {
+  // The epoch is pinned by the first call (static init is thread-safe);
+  // journal events and log lines therefore share one zero point.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace {
 void Emit(const char* prefix, const char* fmt, va_list args) {
   const std::string msg = VFormat(fmt, args);  // format outside the lock
+  // Stamp before taking the lock: the timestamp is of the event, not of
+  // the stderr write.
+  const uint64_t us = MonotonicMicros();
+  const uint32_t tid = LogThreadId();
   std::lock_guard<std::mutex> lock(EmitMutex());
-  std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+  std::fprintf(stderr, "%s[%llu.%06llu t%u] %s\n", prefix,
+               static_cast<unsigned long long>(us / 1000000),
+               static_cast<unsigned long long>(us % 1000000), tid,
+               msg.c_str());
 }
 }  // namespace
 
@@ -117,7 +143,11 @@ void Panic(const char* fmt, ...) {
   va_start(args, fmt);
   const std::string msg = VFormat(fmt, args);
   va_end(args);
-  std::fprintf(stderr, "panic: %s\n", msg.c_str());
+  const uint64_t us = MonotonicMicros();
+  std::fprintf(stderr, "panic: [%llu.%06llu t%u] %s\n",
+               static_cast<unsigned long long>(us / 1000000),
+               static_cast<unsigned long long>(us % 1000000), LogThreadId(),
+               msg.c_str());
   std::abort();
 }
 

@@ -7,6 +7,16 @@
 /// - Warn/Inform : status messages, never stop execution.
 ///
 /// The global level filters Inform/Warn output; fatal/panic always act.
+///
+/// Every emitted line carries a monotonic timestamp (seconds since the
+/// process-wide epoch, first use of either the logger or the journal) and
+/// a small sequential thread id:
+///
+///   warn: [12.345678 t3] message
+///
+/// The journal (common/journal.h) stamps its events from the same
+/// MonotonicMicros()/LogThreadId() pair, so stderr lines and journal
+/// events interleave on one clock and one thread-id namespace.
 
 #pragma once
 
@@ -64,5 +74,15 @@ void Debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /// Format helper shared by the above (vsnprintf into a std::string).
 std::string VFormat(const char* fmt, va_list args);
+
+/// Microseconds on the process-wide monotonic clock. The epoch is the
+/// first call from any subsystem (logger or journal), so all correlated
+/// output shares one zero point. Thread-safe.
+uint64_t MonotonicMicros();
+
+/// Small sequential id of the calling thread (1 = first thread that ever
+/// logged, usually main). Stable for the thread's lifetime; ids are never
+/// reused within a process.
+uint32_t LogThreadId();
 
 }  // namespace stemroot

@@ -350,6 +350,63 @@ Snapshot Capture() {
   return snap;
 }
 
+Snapshot Sample() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  Snapshot snap;
+  snap.counters_ = reg.counters;
+  snap.values_ = reg.values;
+  for (const auto& [key, agg] : reg.spans) {
+    SpanStats stats;
+    stats.name = key.first;
+    stats.parent = key.second;
+    stats.count = agg.count;
+    stats.total_us = agg.total_us;
+    stats.min_us = agg.min_us;
+    stats.max_us = agg.max_us;
+    snap.spans_[key] = stats;
+  }
+  // Overlay each live buffer without clearing it (the non-draining
+  // contract). The buffer mutex is held only for the copy.
+  for (const std::shared_ptr<ThreadBuffer>& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const auto& [name, value] : buf->counters)
+      snap.counters_[name] += value;
+    for (const auto& [name, vals] : buf->values) {
+      std::vector<double>& central = snap.values_[name];
+      central.insert(central.end(), vals.begin(), vals.end());
+    }
+    for (const auto& [key, agg] : buf->spans) {
+      SpanStats& stats = snap.spans_[key];
+      stats.name = key.first;
+      stats.parent = key.second;
+      SpanAgg merged;
+      merged.count = stats.count;
+      merged.total_us = stats.total_us;
+      merged.min_us = stats.min_us;
+      merged.max_us = stats.max_us;
+      merged.Merge(agg);
+      stats.count = merged.count;
+      stats.total_us = merged.total_us;
+      stats.min_us = merged.min_us;
+      stats.max_us = merged.max_us;
+    }
+  }
+  for (auto& [name, vals] : snap.values_)
+    std::sort(vals.begin(), vals.end());
+  return snap;
+}
+
+std::map<std::string, uint64_t> CounterDeltas(const Snapshot& before,
+                                              const Snapshot& after) {
+  std::map<std::string, uint64_t> deltas;
+  for (const auto& [name, value] : after.Counters()) {
+    const uint64_t prior = before.Counter(name);
+    if (value > prior) deltas[name] = value - prior;
+  }
+  return deltas;
+}
+
 void Reset() {
   Registry& reg = Reg();
   std::lock_guard<std::mutex> reg_lock(reg.mu);

@@ -183,6 +183,14 @@ std::string RunManifest::ToJson(bool pretty) const {
     m += '}';
     w.Field("metrics", m);
   }
+  if (journal.present) {
+    w.Comma();
+    std::string j = "{\"emitted\":" + U64(journal.emitted);
+    j += ",\"dropped\":" + U64(journal.dropped);
+    j += ",\"errors\":" + U64(journal.errors);
+    j += '}';
+    w.Field("journal", j);
+  }
   if (!error.empty()) {
     w.Comma();
     w.StringField("error", error);
@@ -308,6 +316,22 @@ bool RunManifest::FromJson(std::string_view text, RunManifest& out,
     m.metrics.num_samples = static_cast<uint64_t>(samples);
     m.metrics.num_clusters = static_cast<uint64_t>(clusters);
     m.metrics.present = true;
+  }
+
+  if (const json::Value* journal = root.Find("journal")) {
+    if (!journal->IsObject())
+      return SchemaFail(error, "\"journal\" is not an object");
+    double emitted = 0.0, dropped = 0.0, errors = 0.0;
+    if (!GetNumberField(*journal, "emitted", emitted, error, "journal") ||
+        !GetNumberField(*journal, "dropped", dropped, error, "journal") ||
+        !GetNumberField(*journal, "errors", errors, error, "journal"))
+      return false;
+    if (emitted < 0.0 || dropped < 0.0 || errors < 0.0)
+      return SchemaFail(error, "journal counts must be >= 0");
+    m.journal.emitted = static_cast<uint64_t>(emitted);
+    m.journal.dropped = static_cast<uint64_t>(dropped);
+    m.journal.errors = static_cast<uint64_t>(errors);
+    m.journal.present = true;
   }
 
   if (const json::Value* err = root.Find("error")) {

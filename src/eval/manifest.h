@@ -29,6 +29,9 @@
 ///       "num_samples": 321,
 ///       "num_clusters": 17
 ///     },
+///     "journal": { "emitted": 12, "dropped": 0, "errors": 0 },
+///                                    // optional: only when a journal
+///                                    //   was open (serve sessions)
 ///     "error": "..."                 // optional: why the run failed
 ///   }
 ///
@@ -101,6 +104,18 @@ struct RunManifest {
     uint64_t num_clusters = 0;
   };
 
+  /// Event-journal health at manifest time (common/journal.h), stamped by
+  /// runs that had a journal open. Environmental like wall times — it
+  /// never joins the fingerprint or the compare gate, but `stemroot
+  /// regress` gates on errors (and optionally drops) so a run whose
+  /// journal recorded failures cannot pass silently.
+  struct Journal {
+    bool present = false;  ///< serialized only when true
+    uint64_t emitted = 0;
+    uint64_t dropped = 0;
+    uint64_t errors = 0;
+  };
+
   std::string tool;
   std::string command;
   bool completed = false;
@@ -110,6 +125,7 @@ struct RunManifest {
   std::vector<Stage> stages;
   std::map<std::string, uint64_t> counters;
   Metrics metrics;
+  Journal journal;
   std::string error;  ///< non-empty only for failed runs
 
   /// Serialize. `pretty` selects the indented multi-line form (manifest

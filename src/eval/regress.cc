@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <set>
+#include <stdexcept>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/str.h"
 #include "common/table.h"
@@ -245,6 +248,17 @@ RegressReport CheckRegression(const Ledger& ledger,
     report.gates.push_back(gate);
   }
 
+  // Journal health gates (history-free): a manifest that carries a
+  // journal block asserts its run's journal recorded no errors (and,
+  // when the drop gate is enabled, stayed under the drop budget).
+  if (newest.journal.present) {
+    JournalSummary summary;
+    summary.errors = newest.journal.errors;
+    summary.dropped = newest.journal.dropped;
+    summary.events = newest.journal.emitted;
+    AddJournalGates(summary, options, report);
+  }
+
   if (baseline.size() < options.min_history) {
     report.reason = Format(
         "insufficient history for fingerprint (%zu of %zu needed) -- "
@@ -331,6 +345,50 @@ RegressReport CheckRegression(const Ledger& ledger,
     }
   }
   return report;
+}
+
+JournalSummary SummarizeJournalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("regress: cannot open journal '" + path + "'");
+  JournalSummary summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value event;
+    if (!json::Parse(line, event, nullptr) || !event.IsObject()) {
+      ++summary.unparseable;  // torn tail or corruption; gate-neutral
+      continue;
+    }
+    ++summary.events;
+    if (const json::Value* sev = event.Find("sev"); sev && sev->IsString()) {
+      if (sev->string == "error") ++summary.errors;
+      if (sev->string == "warn") ++summary.warnings;
+    }
+    if (const json::Value* d = event.Find("dropped_since_last");
+        d && d->IsNumber() && d->number > 0.0)
+      summary.dropped += static_cast<uint64_t>(d->number);
+  }
+  return summary;
+}
+
+void AddJournalGates(const JournalSummary& summary,
+                     const RegressOptions& options, RegressReport& report) {
+  GateResult errors;
+  errors.gate = "journal:errors";
+  errors.threshold = static_cast<double>(options.max_journal_errors);
+  errors.observed = static_cast<double>(summary.errors);
+  errors.regressed = errors.observed > errors.threshold;
+  report.gates.push_back(errors);
+  if (options.max_journal_dropped >= 0) {
+    GateResult dropped;
+    dropped.gate = "journal:dropped";
+    dropped.threshold = static_cast<double>(options.max_journal_dropped);
+    dropped.observed = static_cast<double>(summary.dropped);
+    dropped.regressed = dropped.observed > dropped.threshold;
+    report.gates.push_back(dropped);
+  }
+  report.checked = true;
 }
 
 bool RegressReport::HasRegression() const {

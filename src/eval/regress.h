@@ -109,10 +109,19 @@ struct RegressOptions {
   /// Near zero: same-fingerprint accuracy is deterministic, so any real
   /// movement is a result change.
   double accuracy_slack_pct = 1e-6;
+  /// Journal gates (history-free, like "completed"): a run whose journal
+  /// block (or --journal file) recorded more than this many
+  /// error-severity events regresses.
+  uint64_t max_journal_errors = 0;
+  /// Rate-limit drops tolerated before the journal:dropped gate trips;
+  /// -1 disables the gate (drops signal capacity pressure, not
+  /// correctness, so the default only reports them).
+  int64_t max_journal_dropped = -1;
 };
 
 /// One gate's verdict. `gate` is "perf:<stage>", "perf:wall_time",
-/// "accuracy:drift", "accuracy:budget", "budget:samples", or "completed".
+/// "accuracy:drift", "accuracy:budget", "budget:samples", "completed",
+/// "journal:errors", or "journal:dropped".
 struct GateResult {
   std::string gate;
   size_t history = 0;  ///< baseline observations behind the threshold
@@ -143,5 +152,26 @@ struct RegressReport {
 /// Check the newest ledger entry against its rolling baseline.
 RegressReport CheckRegression(const Ledger& ledger,
                               const RegressOptions& options);
+
+/// What a journal file (common/journal.h JSONL) contains, as the regress
+/// gate sees it. Torn final lines (crash mid-append) are tolerated and
+/// counted as unparseable, not errors.
+struct JournalSummary {
+  uint64_t events = 0;       ///< well-formed lines
+  uint64_t errors = 0;       ///< sev == "error"
+  uint64_t warnings = 0;     ///< sev == "warn"
+  uint64_t dropped = 0;      ///< sum of dropped_since_last fields
+  uint64_t unparseable = 0;  ///< malformed lines (torn tail etc.)
+};
+
+/// Read and summarize a journal file. Throws std::runtime_error when the
+/// file cannot be opened.
+JournalSummary SummarizeJournalFile(const std::string& path);
+
+/// Append the history-free journal gates ("journal:errors", and
+/// "journal:dropped" when enabled) for an externally-read journal file
+/// (`stemroot regress --journal`). Marks the report checked.
+void AddJournalGates(const JournalSummary& summary,
+                     const RegressOptions& options, RegressReport& report);
 
 }  // namespace stemroot::eval

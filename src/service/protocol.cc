@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/json.h"
 #include "eval/ledger.h"
 
@@ -266,9 +267,54 @@ BrokerResult SessionBroker::HandleLine(const std::string& line) {
       return Success(w);
     }
     if (op == "stats") {
+      const ServiceStats stats = service_.GetStats();
       ObjectWriter w;
       w.Bool("ok", true);
-      w.Int("open_sessions", service_.NumOpenSessions());
+      w.Int("open_sessions", stats.open_sessions);
+      w.Int("max_sessions", stats.max_sessions);
+      w.Num("uptime_seconds", stats.uptime_seconds);
+      w.Bool("metrics_enabled", stats.metrics_enabled);
+      w.Int("sessions_opened", stats.sessions_opened);
+      w.Int("sessions_closed", stats.sessions_closed);
+      w.Int("feed_invocations", stats.feed_invocations);
+      w.Int("early_stops", stats.early_stops);
+      w.Int("requests", stats.requests_total);
+      w.Int("errors", stats.errors_total);
+      std::string verbs = "{";
+      for (const VerbStats& v : stats.verbs) {
+        if (verbs.size() > 1) verbs += ",";
+        json::AppendString(verbs, v.verb);
+        verbs += ":";
+        ObjectWriter vw;
+        vw.Int("requests", v.requests);
+        vw.Int("errors", v.errors);
+        vw.Num("mean_us", v.mean_us);
+        vw.Num("p50_us", v.p50_us);
+        vw.Num("p90_us", v.p90_us);
+        vw.Num("p99_us", v.p99_us);
+        vw.Num("max_us", v.max_us);
+        verbs += vw.Finish();
+      }
+      verbs += "}";
+      w.Raw("verbs", verbs);
+      ObjectWriter jw;
+      jw.Int("emitted", stats.journal_emitted);
+      jw.Int("dropped", stats.journal_dropped);
+      jw.Int("errors", stats.journal_errors);
+      w.Raw("journal", jw.Finish());
+      return Success(w);
+    }
+    if (op == "health") {
+      const ServiceStats stats = service_.GetStats();
+      ObjectWriter w;
+      w.Bool("ok", true);
+      w.Str("status", "ok");
+      w.Bool("ready", true);
+      w.Bool("accepting", stats.open_sessions < stats.max_sessions);
+      w.Num("uptime_seconds", stats.uptime_seconds);
+      w.Int("open_sessions", stats.open_sessions);
+      w.Int("max_sessions", stats.max_sessions);
+      w.Str("git_hash", GetBuildInfo().git_hash);
       return Success(w);
     }
     if (op == "shutdown") {

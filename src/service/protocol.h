@@ -23,7 +23,18 @@
 ///   close    id [, manifest:path] [, ledger:path]
 ///            -> {"ok":true,"closed":N}; writes/appends the session
 ///            manifest when paths are given
-///   stats                   -> {"ok":true,"open_sessions":N}
+///   stats                   -> the full introspection view: open/max
+///            sessions, uptime_seconds, lifetime tallies
+///            (sessions_opened/closed, feed_invocations, early_stops,
+///            requests, errors), a "verbs" object with per-verb
+///            requests/errors and latency aggregates
+///            (mean/p50/p90/p99/max, microseconds; histograms need
+///            `stemroot serve --metrics` a.k.a. enable_metrics), and a
+///            "journal" object with emitted/dropped/errors counts
+///   health                  -> {"ok":true,"status":"ok","ready":true,
+///            "accepting":B,"uptime_seconds":S,"open_sessions":N,
+///            "max_sessions":N,"git_hash":"..."} — a cheap liveness
+///            probe that never touches session state
 ///   shutdown                -> {"ok":true,"shutdown":true} and flags the
 ///            server loop to stop
 ///

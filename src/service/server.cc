@@ -6,16 +6,26 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <istream>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "service/metrics.h"
 #include "service/protocol.h"
 
 namespace stemroot::service {
@@ -75,15 +85,118 @@ bool ReadLine(int fd, std::string& buffer, std::string& line) {
   }
 }
 
+/// Write one Prometheus scrape. A plain path is written atomically (temp
+/// + rename, the manifest Save convention) so a concurrently-reading
+/// scraper never sees a torn exposition; "fd:N" rewrites descriptor N in
+/// place (truncate + write), the pipe-friendly mode.
+void WriteMetrics(const std::string& target, const std::string& text) {
+  if (target.rfind("fd:", 0) == 0) {
+    const int fd = std::atoi(target.c_str() + 3);
+    if (::lseek(fd, 0, SEEK_SET) >= 0) (void)::ftruncate(fd, 0);
+    size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n =
+          ::write(fd, text.data() + off, text.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        Warn("serve: metrics write to %s failed: %s", target.c_str(),
+             std::strerror(errno));
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return;
+  }
+  const std::string tmp = target + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      Warn("serve: cannot write metrics temp file %s", tmp.c_str());
+      return;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      Warn("serve: metrics write failed: %s", tmp.c_str());
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    Warn("serve: metrics rename into %s failed: %s", target.c_str(),
+         ec.message().c_str());
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+  }
+}
+
+/// Background scrape loop: exports every `interval_seconds` until
+/// stopped, then once more so the final file reflects the full run.
+class MetricsExporter {
+ public:
+  MetricsExporter(const Service& service, std::string target,
+                  double interval_seconds)
+      : service_(service), target_(std::move(target)),
+        interval_(interval_seconds <= 0.0 ? 0.1 : interval_seconds),
+        thread_([this] { Loop(); }) {}
+
+  ~MetricsExporter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    WriteMetrics(target_, PrometheusText(service_.GetStats()));
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      WriteMetrics(target_, PrometheusText(service_.GetStats()));
+      lock.lock();
+    }
+  }
+
+  const Service& service_;
+  const std::string target_;
+  const double interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 void HandleConnection(int fd, SessionBroker& broker,
                       std::atomic<bool>& stop,
                       const std::string& socket_path) {
+  if (journal::Enabled())
+    journal::Emit(journal::Severity::kDebug, "conn.open",
+                  {{"fd", static_cast<uint64_t>(fd)}});
   std::string buffer;
   std::string line;
   while (ReadLine(fd, buffer, line)) {
     if (line.empty()) continue;
     const BrokerResult result = broker.HandleLine(line);
-    if (!SendLine(fd, result.response)) break;
+    if (!result.ok && journal::Enabled())
+      journal::Emit(journal::Severity::kWarn, "request.error",
+                    {{"fd", static_cast<uint64_t>(fd)},
+                     {"response", result.response}});
+    if (!SendLine(fd, result.response)) {
+      if (journal::Enabled())
+        journal::Emit(journal::Severity::kError, "conn.send_error",
+                      {{"fd", static_cast<uint64_t>(fd)},
+                       {"errno", std::strerror(errno)}});
+      break;
+    }
     if (result.shutdown) {
       stop.store(true);
       // Wake the accept loop with a throw-away connection.
@@ -97,6 +210,9 @@ void HandleConnection(int fd, SessionBroker& broker,
       break;
     }
   }
+  if (journal::Enabled())
+    journal::Emit(journal::Severity::kDebug, "conn.close",
+                  {{"fd", static_cast<uint64_t>(fd)}});
   ::close(fd);
 }
 
@@ -104,6 +220,12 @@ void HandleConnection(int fd, SessionBroker& broker,
 
 int RunServer(const ServerOptions& options) {
   sockaddr_un addr = MakeAddress(options.socket_path);
+
+  if (!options.journal_path.empty()) {
+    journal::Open(options.journal_path);
+    journal::Emit(journal::Severity::kInfo, "server.start",
+                  {{"socket", options.socket_path}});
+  }
 
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) ThrowErrno("socket");
@@ -122,12 +244,22 @@ int RunServer(const ServerOptions& options) {
   SessionBroker broker(service);
   std::atomic<bool> stop{false};
   std::vector<std::thread> connections;
+  std::optional<MetricsExporter> exporter;
+  if (!options.metrics_path.empty())
+    exporter.emplace(service, options.metrics_path,
+                     options.metrics_interval_seconds);
   Inform("serve: listening on %s", options.socket_path.c_str());
 
   while (!stop.load()) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // EINTR (signal) and ECONNABORTED (client gone before accept
+      // completed) are transient: keep serving.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      Warn("serve: accept failed: %s", std::strerror(errno));
+      if (journal::Enabled())
+        journal::Emit(journal::Severity::kError, "server.accept_error",
+                      {{"errno", std::strerror(errno)}});
       break;
     }
     if (stop.load()) {
@@ -143,6 +275,15 @@ int RunServer(const ServerOptions& options) {
   for (std::thread& t : connections) t.join();
   ::close(listen_fd);
   ::unlink(options.socket_path.c_str());
+  // Final export happens in the exporter's destructor, after every
+  // connection drained — the on-disk file ends at the true final counts.
+  exporter.reset();
+  if (journal::Enabled()) {
+    journal::Emit(journal::Severity::kInfo, "server.stop",
+                  {{"open_sessions",
+                    static_cast<uint64_t>(service.NumOpenSessions())}});
+    journal::Close();
+  }
   Inform("serve: shut down (%zu sessions still open)",
          service.NumOpenSessions());
   return 0;
@@ -166,12 +307,24 @@ int RunClient(const ClientOptions& options, std::istream& script,
     const size_t start = request.find_first_not_of(" \t");
     if (start == std::string::npos || request[start] == '#') continue;
     if (!SendLine(fd, request)) {
+      const int err = errno;
       ::close(fd);
-      throw std::runtime_error("server: connection lost mid-script");
+      throw std::runtime_error(
+          std::string("server: connection lost mid-script (send: ") +
+          std::strerror(err) + ")");
     }
+    errno = 0;  // lets the failure path tell clean EOF from a read error
     if (!ReadLine(fd, buffer, response)) {
+      const int err = errno;
       ::close(fd);
-      throw std::runtime_error("server: no response before hangup");
+      // errno 0 here means a clean EOF: the server hung up, nothing
+      // failed at the syscall level.
+      throw std::runtime_error(
+          err == 0 ? std::string("server: no response before hangup "
+                                 "(connection closed)")
+                   : std::string("server: no response before hangup "
+                                 "(read: ") +
+                         std::strerror(err) + ")");
     }
     out << response << "\n";
     if (options.fail_on_error) {
@@ -184,6 +337,38 @@ int RunClient(const ClientOptions& options, std::istream& script,
   }
   ::close(fd);
   return exit_code;
+}
+
+std::string RequestOnce(const std::string& socket_path,
+                        const std::string& request_line) {
+  sockaddr_un addr = MakeAddress(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    ThrowErrno("connect '" + socket_path + "'");
+  }
+  if (!SendLine(fd, request_line)) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("server: send failed: ") +
+                             std::strerror(err));
+  }
+  std::string buffer;
+  std::string response;
+  errno = 0;
+  if (!ReadLine(fd, buffer, response)) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(
+        err == 0 ? std::string("server: hung up without a response")
+                 : std::string("server: read failed: ") +
+                       std::strerror(err));
+  }
+  ::close(fd);
+  return response;
 }
 
 }  // namespace stemroot::service

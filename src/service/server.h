@@ -24,6 +24,16 @@ namespace stemroot::service {
 struct ServerOptions {
   std::string socket_path;  ///< AF_UNIX path; unlinked + rebound at start
   ServiceOptions service;   ///< resident service configuration
+  /// Prometheus exposition target: "" = off, "fd:N" = rewrite to file
+  /// descriptor N (the whole text per scrape), else a path written
+  /// atomically (temp + rename) every metrics_interval_seconds and once
+  /// more at shutdown.
+  std::string metrics_path;
+  double metrics_interval_seconds = 2.0;
+  /// Structured event journal file ("" = off); opened before the service
+  /// starts so session lifecycle events from the first connection land
+  /// in it. See common/journal.h.
+  std::string journal_path;
 };
 
 /// Serve until a shutdown request arrives. Returns 0 on a clean shutdown;
@@ -37,9 +47,16 @@ struct ClientOptions {
 
 /// Send each request line of `script` and echo responses to `out`.
 /// Returns 0, or 1 when fail_on_error saw an error response. Throws
-/// std::runtime_error when the socket cannot be reached or the server
-/// hangs up mid-script.
+/// std::runtime_error (with errno detail) when the socket cannot be
+/// reached or the server hangs up mid-script.
 int RunClient(const ClientOptions& options, std::istream& script,
               std::ostream& out);
+
+/// One-shot request: connect, send `request_line`, return the response
+/// line. The transport behind `stemroot stats` (and anything else that
+/// wants a single answer without a script). Throws std::runtime_error
+/// with errno detail on connect/send/read failure.
+std::string RequestOnce(const std::string& socket_path,
+                        const std::string& request_line);
 
 }  // namespace stemroot::service

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <exception>
 #include <numeric>
 #include <stdexcept>
 
 #include "baselines/registry.h"
+#include "common/journal.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
@@ -63,10 +65,10 @@ void AccumulateWindow(std::map<std::string, uint64_t>& counters,
                       std::map<std::string, StageAgg>& stages,
                       const telemetry::Snapshot& before,
                       const telemetry::Snapshot& after) {
-  for (const auto& [name, value] : after.Counters()) {
+  for (const auto& [name, delta] :
+       telemetry::CounterDeltas(before, after)) {
     if (name.rfind("service.", 0) == 0) continue;
-    const uint64_t prior = before.Counter(name);
-    if (value > prior) counters[name] += value - prior;
+    counters[name] += delta;
   }
   const std::map<std::string, StageAgg> b = SpansByName(before);
   for (const auto& [name, agg] : SpansByName(after)) {
@@ -127,6 +129,49 @@ std::vector<eval::RunManifest::Stage> StageRows(
   return out;
 }
 
+/// RAII request instrumentation: stamps the verb's latency histogram and
+/// request/error counters on scope exit (success vs. in-flight exception
+/// told apart by the uncaught-exception count), and journals a
+/// warn-severity "request.slow" event past the configured threshold.
+/// When metrics are disabled the constructor is one relaxed atomic load
+/// and the destructor a branch — the instrumentation-off cost contract.
+class RequestTimer {
+ public:
+  RequestTimer(ServiceMetrics& metrics, Verb verb, double slow_us,
+               SessionId id = 0)
+      : metrics_(metrics), verb_(verb), slow_us_(slow_us), id_(id),
+        active_(metrics.Enabled()),
+        uncaught_(std::uncaught_exceptions()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  RequestTimer(const RequestTimer&) = delete;
+  RequestTimer& operator=(const RequestTimer&) = delete;
+
+  ~RequestTimer() {
+    if (!active_) return;
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    const bool ok = std::uncaught_exceptions() == uncaught_;
+    metrics_.RecordRequest(verb_, us, ok);
+    if (slow_us_ > 0.0 && us >= slow_us_ && journal::Enabled())
+      journal::Emit(journal::Severity::kWarn, "request.slow",
+                    {{"verb", VerbName(verb_)},
+                     {"session", id_},
+                     {"latency_us", us}});
+  }
+
+ private:
+  ServiceMetrics& metrics_;
+  Verb verb_;
+  double slow_us_;
+  SessionId id_;
+  bool active_;
+  int uncaught_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 void FillMetrics(eval::RunManifest& manifest, const eval::EvalResult& result) {
   manifest.metrics.present = true;
   manifest.metrics.error_pct = result.error_pct;
@@ -179,6 +224,7 @@ struct Service::Session {
   std::map<std::string, StageAgg> stages;     ///< window stage deltas
   uint64_t feed_invocations = 0;
   bool early_stopped = false;
+  bool converged_reported = false;  ///< journaled session.converged once
   std::optional<eval::EvalResult> last_eval;
   std::chrono::steady_clock::time_point opened_at =
       std::chrono::steady_clock::now();
@@ -189,6 +235,7 @@ Service::Service(const ServiceOptions& options) : options_(options) {
   if (options_.threads >= 0) SetNumThreads(options_.threads);
   if (!options_.cache_dir.empty()) eval::SetTraceCacheDir(options_.cache_dir);
   if (options_.enable_telemetry) telemetry::SetEnabled(true);
+  if (options_.enable_metrics) metrics_.SetEnabled(true);
 }
 
 Service::~Service() = default;
@@ -208,6 +255,7 @@ size_t Service::NumOpenSessions() const {
 }
 
 SessionId Service::OpenSession(const SessionConfig& config) {
+  RequestTimer timer(metrics_, Verb::kOpen, options_.slow_request_us);
   config.Validate();
   if (config.epsilon <= 0.0 || config.confidence <= 0.0)
     throw std::invalid_argument(
@@ -254,20 +302,43 @@ SessionId Service::OpenSession(const SessionConfig& config) {
   }
 
   telemetry::Count("service.sessions");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.size() >= options_.max_sessions)
-    throw std::runtime_error("service: session limit reached (" +
-                             std::to_string(options_.max_sessions) + ")");
-  const SessionId id = next_id_++;
-  sessions_.emplace(id, std::move(session));
+  SessionId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions)
+      throw std::runtime_error("service: session limit reached (" +
+                               std::to_string(options_.max_sessions) + ")");
+    id = next_id_++;
+    sessions_.emplace(id, std::move(session));
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  if (journal::Enabled())
+    journal::Emit(journal::Severity::kInfo, "session.open",
+                  {{"session", id},
+                   {"method", config.method},
+                   {"suite", config.suite},
+                   {"workload", config.workload},
+                   {"seed", config.seed}});
   return id;
 }
 
 void Service::Feed(SessionId id, const KernelTrace& source,
                    std::span<const KernelInvocation> invocations) {
+  RequestTimer timer(metrics_, Verb::kFeed, options_.slow_request_us, id);
   const std::shared_ptr<Session> session = Find(id);
-  std::lock_guard<std::mutex> lock(session->mu);
-  FeedChunk(*session, source, invocations);
+  uint64_t seen = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    FeedChunk(*session, source, invocations);
+    seen = session->accumulated.NumInvocations();
+  }
+  feed_invocations_.fetch_add(invocations.size(),
+                              std::memory_order_relaxed);
+  if (journal::Enabled())
+    journal::Emit(journal::Severity::kDebug, "session.feed",
+                  {{"session", id},
+                   {"count", static_cast<uint64_t>(invocations.size())},
+                   {"seen", seen}});
 }
 
 void Service::Feed(SessionId id, const KernelTrace& source) {
@@ -275,19 +346,29 @@ void Service::Feed(SessionId id, const KernelTrace& source) {
 }
 
 uint64_t Service::FeedFromSource(SessionId id, uint64_t count) {
+  RequestTimer timer(metrics_, Verb::kFeed, options_.slow_request_us, id);
   const std::shared_ptr<Session> session = Find(id);
-  std::lock_guard<std::mutex> lock(session->mu);
-  if (!session->source)
-    throw std::logic_error(
-        "service: FeedFromSource needs a session opened with a workload");
-  const KernelTrace& trace = session->source->Trace();
-  const uint64_t available = session->feed_order.size() - session->cursor;
-  const uint64_t n = std::min<uint64_t>(count, available);
-  std::vector<KernelInvocation> chunk;
-  chunk.reserve(static_cast<size_t>(n));
-  for (uint64_t i = 0; i < n; ++i)
-    chunk.push_back(trace.At(session->feed_order[session->cursor++]));
-  if (!chunk.empty()) FeedChunk(*session, trace, chunk);
+  uint64_t n = 0;
+  uint64_t seen = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (!session->source)
+      throw std::logic_error(
+          "service: FeedFromSource needs a session opened with a workload");
+    const KernelTrace& trace = session->source->Trace();
+    const uint64_t available = session->feed_order.size() - session->cursor;
+    n = std::min<uint64_t>(count, available);
+    std::vector<KernelInvocation> chunk;
+    chunk.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i)
+      chunk.push_back(trace.At(session->feed_order[session->cursor++]));
+    if (!chunk.empty()) FeedChunk(*session, trace, chunk);
+    seen = session->accumulated.NumInvocations();
+  }
+  feed_invocations_.fetch_add(n, std::memory_order_relaxed);
+  if (journal::Enabled())
+    journal::Emit(journal::Severity::kDebug, "session.feed",
+                  {{"session", id}, {"count", n}, {"seen", seen}});
   return n;
 }
 
@@ -332,6 +413,7 @@ void Service::FeedChunk(Session& session, const KernelTrace& source,
 }
 
 SessionStatus Service::Query(SessionId id) {
+  RequestTimer timer(metrics_, Verb::kQuery, options_.slow_request_us, id);
   const std::shared_ptr<Session> session = Find(id);
   std::lock_guard<std::mutex> lock(session->mu);
   SessionStatus status;
@@ -382,14 +464,31 @@ SessionStatus Service::Query(SessionId id) {
           : session->seen.Sum();
   status.early_stop = status.converged && status.invocations_total > 0 &&
                       status.invocations_seen < status.invocations_total;
+  if (status.converged && !session->converged_reported) {
+    session->converged_reported = true;
+    if (journal::Enabled())
+      journal::Emit(journal::Severity::kInfo, "session.converged",
+                    {{"session", id},
+                     {"seen", status.invocations_seen},
+                     {"predicted_error", status.predicted_error},
+                     {"epsilon", session->config.epsilon}});
+  }
   if (status.early_stop && !session->early_stopped) {
     session->early_stopped = true;
     telemetry::Count("service.early_stops");
+    early_stops_.fetch_add(1, std::memory_order_relaxed);
+    if (journal::Enabled())
+      journal::Emit(journal::Severity::kInfo, "session.early_stop",
+                    {{"session", id},
+                     {"seen", status.invocations_seen},
+                     {"total", status.invocations_total},
+                     {"predicted_error", status.predicted_error}});
   }
   return status;
 }
 
 core::SamplingPlan Service::BuildPlan(SessionId id) {
+  RequestTimer timer(metrics_, Verb::kPlan, options_.slow_request_us, id);
   const std::shared_ptr<Session> session = Find(id);
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->accumulated.Empty())
@@ -402,6 +501,7 @@ core::SamplingPlan Service::BuildPlan(SessionId id) {
 }
 
 eval::EvalResult Service::Evaluate(SessionId id) {
+  RequestTimer timer(metrics_, Verb::kEval, options_.slow_request_us, id);
   const std::shared_ptr<Session> session = Find(id);
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->accumulated.Empty())
@@ -417,6 +517,7 @@ eval::EvalResult Service::Evaluate(SessionId id) {
 }
 
 eval::RunManifest Service::CloseSession(SessionId id) {
+  RequestTimer timer(metrics_, Verb::kClose, options_.slow_request_us, id);
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -458,7 +559,47 @@ eval::RunManifest Service::CloseSession(SessionId id) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     session->opened_at)
           .count();
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (journal::Enabled()) {
+    journal::Emit(journal::Severity::kInfo, "session.close",
+                  {{"session", id},
+                   {"invocations", session->feed_invocations},
+                   {"wall_seconds", manifest.wall_time_seconds}});
+    // Stamp the process journal health into the manifest so the regress
+    // gate can flag a run whose journal lost or errored events.
+    const journal::Stats js = journal::GetStats();
+    manifest.journal.present = true;
+    manifest.journal.emitted = js.emitted;
+    manifest.journal.dropped = js.dropped;
+    manifest.journal.errors = js.errors;
+  }
   return manifest;
+}
+
+ServiceStats Service::GetStats() const {
+  ServiceStats stats;
+  stats.metrics_enabled = metrics_.Enabled();
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  stats.open_sessions = NumOpenSessions();
+  stats.max_sessions = options_.max_sessions;
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  stats.feed_invocations =
+      feed_invocations_.load(std::memory_order_relaxed);
+  stats.early_stops = early_stops_.load(std::memory_order_relaxed);
+  stats.verbs = metrics_.AllVerbs();
+  for (const VerbStats& v : stats.verbs) {
+    stats.requests_total += v.requests;
+    stats.errors_total += v.errors;
+  }
+  const journal::Stats js = journal::GetStats();
+  stats.journal_emitted = js.emitted;
+  stats.journal_dropped = js.dropped;
+  stats.journal_errors = js.errors;
+  return stats;
 }
 
 eval::EvalResult Service::RunBatch(const SessionConfig& config,

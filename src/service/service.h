@@ -43,6 +43,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -58,6 +60,7 @@
 #include "core/streaming_root.h"
 #include "eval/manifest.h"
 #include "eval/metrics.h"
+#include "service/metrics.h"
 #include "trace/trace.h"
 
 namespace stemroot::service {
@@ -74,6 +77,14 @@ struct ServiceOptions {
   int threads = -1;            ///< -1 = leave; else SetNumThreads(threads)
   std::string cache_dir;       ///< "" = leave; "none" = disable the cache
   bool enable_telemetry = false;  ///< true = telemetry::SetEnabled(true)
+  /// Per-verb latency histograms + request counters (service/metrics.h).
+  /// Off by default so the batch RunBatch path pays one atomic load;
+  /// `stemroot serve` turns it on.
+  bool enable_metrics = false;
+  /// Journal a warn-severity "request.slow" event for any verb slower
+  /// than this (microseconds; 0 disables). Needs enable_metrics and an
+  /// open journal to have any effect.
+  double slow_request_us = 0.0;
 
   void Validate() const;  ///< throws std::invalid_argument
 };
@@ -207,6 +218,16 @@ class Service {
 
   size_t NumOpenSessions() const;
 
+  /// The live observability surface (enabled via
+  /// ServiceOptions::enable_metrics).
+  ServiceMetrics& Metrics() { return metrics_; }
+  const ServiceMetrics& Metrics() const { return metrics_; }
+
+  /// Assemble the full introspection view: uptime, session tallies,
+  /// per-verb latency aggregates, journal counters. Lock-free except for
+  /// the open-session count; safe to call concurrently with any verb.
+  ServiceStats GetStats() const;
+
   /// The one-shot batch path (`stemroot run` is a thin client of this):
   /// generate + profile + evaluate with the session seed contract, no
   /// resident state, no service.* counters. Fills the manifest's config
@@ -223,6 +244,15 @@ class Service {
                         std::span<const KernelInvocation> invocations);
 
   ServiceOptions options_;
+  ServiceMetrics metrics_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+  /// Service-wide lifetime tallies (session-local copies feed manifests;
+  /// these feed GetStats / the exporter).
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> feed_invocations_{0};
+  std::atomic<uint64_t> early_stops_{0};
   mutable std::mutex mu_;
   SessionId next_id_ = 1;
   std::map<SessionId, std::shared_ptr<Session>> sessions_;

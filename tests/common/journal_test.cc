@@ -1,0 +1,200 @@
+#include "common/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace stemroot {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/journal_test_" + name + ".jsonl";
+}
+
+std::vector<json::Value> ReadEvents(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<json::Value> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value event;
+    std::string error;
+    EXPECT_TRUE(json::Parse(line, event, &error)) << error << ": " << line;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+/// Every test owns the process-global journal for its duration.
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    journal::Close();
+    journal::ResetStats();
+    journal::SetRateLimit(2000);
+  }
+  void TearDown() override {
+    journal::Close();
+    journal::SetRateLimit(2000);
+  }
+};
+
+TEST_F(JournalTest, DisabledByDefaultAndEmitIsNoOp) {
+  EXPECT_FALSE(journal::Enabled());
+  journal::Emit(journal::Severity::kInfo, "never.written");
+  EXPECT_EQ(journal::GetStats().emitted, 0u);
+}
+
+TEST_F(JournalTest, SeverityNames) {
+  EXPECT_STREQ(journal::SeverityName(journal::Severity::kDebug), "debug");
+  EXPECT_STREQ(journal::SeverityName(journal::Severity::kInfo), "info");
+  EXPECT_STREQ(journal::SeverityName(journal::Severity::kWarn), "warn");
+  EXPECT_STREQ(journal::SeverityName(journal::Severity::kError), "error");
+}
+
+TEST_F(JournalTest, EmitWritesReservedKeysAndTypedFields) {
+  const std::string path = TempPath("emit");
+  std::remove(path.c_str());
+  journal::Open(path);
+  EXPECT_TRUE(journal::Enabled());
+  journal::Emit(journal::Severity::kWarn, "request.slow",
+                {{"verb", "feed"},
+                 {"latency_us", 312.5},
+                 {"session", uint64_t{7}},
+                 {"ok", false}});
+  journal::Close();
+  EXPECT_FALSE(journal::Enabled());
+
+  const std::vector<json::Value> events = ReadEvents(path);
+  ASSERT_EQ(events.size(), 1u);
+  const json::Value& e = events[0];
+  ASSERT_TRUE(e.IsObject());
+  EXPECT_TRUE(e.Find("ts_us") != nullptr && e.Find("ts_us")->IsNumber());
+  EXPECT_TRUE(e.Find("tid") != nullptr && e.Find("tid")->IsNumber());
+  EXPECT_TRUE(e.Find("seq") != nullptr && e.Find("seq")->IsNumber());
+  ASSERT_TRUE(e.Find("sev") != nullptr && e.Find("sev")->IsString());
+  EXPECT_EQ(e.Find("sev")->string, "warn");
+  ASSERT_TRUE(e.Find("event") != nullptr && e.Find("event")->IsString());
+  EXPECT_EQ(e.Find("event")->string, "request.slow");
+  ASSERT_TRUE(e.Find("verb") != nullptr && e.Find("verb")->IsString());
+  EXPECT_EQ(e.Find("verb")->string, "feed");
+  ASSERT_TRUE(e.Find("latency_us") != nullptr);
+  EXPECT_DOUBLE_EQ(e.Find("latency_us")->number, 312.5);
+  ASSERT_TRUE(e.Find("session") != nullptr);
+  EXPECT_DOUBLE_EQ(e.Find("session")->number, 7.0);
+  ASSERT_TRUE(e.Find("ok") != nullptr);
+  EXPECT_EQ(e.Find("ok")->kind, json::Value::Kind::kBool);
+}
+
+TEST_F(JournalTest, SequenceIsGapFreeAndTimestampsMonotone) {
+  const std::string path = TempPath("seq");
+  std::remove(path.c_str());
+  journal::Open(path);
+  for (int i = 0; i < 20; ++i)
+    journal::Emit(journal::Severity::kInfo, "tick", {{"i", i}});
+  journal::Close();
+
+  const std::vector<json::Value> events = ReadEvents(path);
+  ASSERT_EQ(events.size(), 20u);
+  uint64_t last_ts = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const uint64_t seq =
+        static_cast<uint64_t>(events[i].Find("seq")->number);
+    if (i > 0) {
+      const uint64_t prev =
+          static_cast<uint64_t>(events[i - 1].Find("seq")->number);
+      EXPECT_EQ(seq, prev + 1) << "seq gap at line " << i;
+    }
+    const uint64_t ts =
+        static_cast<uint64_t>(events[i].Find("ts_us")->number);
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+  }
+}
+
+TEST_F(JournalTest, RateLimitDropsAndAnnotatesNextEvent) {
+  const std::string path = TempPath("ratelimit");
+  std::remove(path.c_str());
+  journal::Open(path);
+  journal::SetRateLimit(5);
+  // A burst far over budget lands in a single token-bucket second.
+  for (int i = 0; i < 50; ++i)
+    journal::Emit(journal::Severity::kDebug, "storm", {{"i", i}});
+  const journal::Stats mid = journal::GetStats();
+  EXPECT_EQ(mid.emitted, 5u);
+  EXPECT_EQ(mid.dropped, 45u);
+
+  // Errors bypass the limiter even while the bucket is empty, and the
+  // first post-drop write carries the drop count.
+  journal::Emit(journal::Severity::kError, "storm.error");
+  journal::Close();
+  const journal::Stats final_stats = journal::GetStats();
+  EXPECT_EQ(final_stats.emitted, 6u);
+  EXPECT_EQ(final_stats.errors, 1u);
+
+  const std::vector<json::Value> events = ReadEvents(path);
+  ASSERT_EQ(events.size(), 6u);
+  const json::Value& error_event = events.back();
+  EXPECT_EQ(error_event.Find("event")->string, "storm.error");
+  ASSERT_TRUE(error_event.Find("dropped_since_last") != nullptr);
+  EXPECT_DOUBLE_EQ(error_event.Find("dropped_since_last")->number, 45.0);
+}
+
+TEST_F(JournalTest, ZeroRateLimitDisablesTheLimiter) {
+  const std::string path = TempPath("nolimit");
+  std::remove(path.c_str());
+  journal::Open(path);
+  journal::SetRateLimit(0);
+  for (int i = 0; i < 5000; ++i)
+    journal::Emit(journal::Severity::kDebug, "flood");
+  journal::Close();
+  const journal::Stats stats = journal::GetStats();
+  EXPECT_EQ(stats.emitted, 5000u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST_F(JournalTest, ReopenAppendsAndKeepsSequenceUnique) {
+  const std::string path = TempPath("reopen");
+  std::remove(path.c_str());
+  journal::Open(path);
+  journal::Emit(journal::Severity::kInfo, "first");
+  journal::Close();
+  journal::Open(path);
+  journal::Emit(journal::Severity::kInfo, "second");
+  journal::Close();
+
+  const std::vector<json::Value> events = ReadEvents(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].Find("event")->string, "first");
+  EXPECT_EQ(events[1].Find("event")->string, "second");
+  // seq stays process-unique across reopen.
+  EXPECT_GT(events[1].Find("seq")->number, events[0].Find("seq")->number);
+}
+
+TEST_F(JournalTest, OpenThrowsOnUnwritablePath) {
+  EXPECT_THROW(journal::Open("/no/such/dir/journal.jsonl"),
+               std::runtime_error);
+  EXPECT_FALSE(journal::Enabled());
+}
+
+TEST_F(JournalTest, StringEscaping) {
+  const std::string path = TempPath("escape");
+  std::remove(path.c_str());
+  journal::Open(path);
+  journal::Emit(journal::Severity::kInfo, "escape.check",
+                {{"text", "line\nbreak \"quoted\" back\\slash"}});
+  journal::Close();
+  const std::vector<json::Value> events = ReadEvents(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].Find("text")->string,
+            "line\nbreak \"quoted\" back\\slash");
+}
+
+}  // namespace
+}  // namespace stemroot

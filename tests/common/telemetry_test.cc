@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "common/parallel.h"
 #include "common/trace_events.h"
@@ -255,6 +258,83 @@ TEST_F(TelemetryTest, SpanClosesTraceBeginWhenTracingDisabledMidSpan) {
       << error;
   EXPECT_EQ(info.events, 2u);
   trace_events::Reset();
+}
+
+TEST_F(TelemetryTest, SampleDoesNotDrainRecordingState) {
+  Count("a", 3);
+  Record("d", 1.0);
+  // A mid-run observer samples...
+  const Snapshot sample = Sample();
+  EXPECT_EQ(sample.Counter("a"), 3u);
+  EXPECT_EQ(sample.Dist("d").count, 1u);
+  // ...and the final capture still sees everything, as if Sample() had
+  // never run (non-draining contract).
+  Count("a", 2);
+  const Snapshot capture = Capture();
+  EXPECT_EQ(capture.Counter("a"), 5u);
+  EXPECT_EQ(capture.Dist("d").count, 1u);
+}
+
+TEST_F(TelemetryTest, QuiescedSampleMatchesCapture) {
+  SetNumThreads(4);
+  ParallelFor(0, 500, [](size_t i) {
+    Count("n");
+    Record("v", static_cast<double>(i % 7));
+  });
+  // Between parallel regions Sample() and Capture() must agree exactly.
+  const std::string sampled = Sample().CountersJson();
+  const Snapshot captured = Capture();
+  EXPECT_EQ(sampled, captured.CountersJson());
+  EXPECT_EQ(Sample().DistributionsJson(), captured.DistributionsJson());
+  SetNumThreads(0);
+}
+
+TEST_F(TelemetryTest, SampleIsSafeDuringRecording) {
+  SetNumThreads(4);
+  std::atomic<bool> stop{false};
+  std::thread observer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Snapshot live = Sample();
+      // Live values are schedule-dependent; only sanity is asserted.
+      EXPECT_LE(live.Counter("n"), 2000u);
+    }
+  });
+  ParallelFor(0, 2000, [](size_t i) {
+    Count("n");
+    Record("v", static_cast<double>(i % 10));
+  });
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+  // The hammering observer must not have perturbed the final record.
+  const Snapshot snap = Capture();
+  EXPECT_EQ(snap.Counter("n"), 2000u);
+  EXPECT_EQ(snap.Dist("v").count, 2000u);
+  SetNumThreads(0);
+}
+
+TEST_F(TelemetryTest, CounterDeltasReportOnlyGrowth) {
+  Count("grows", 2);
+  Count("static", 5);
+  const Snapshot before = Capture();
+  Count("grows", 3);
+  Count("fresh", 7);
+  const Snapshot after = Capture();
+
+  const std::map<std::string, uint64_t> deltas =
+      CounterDeltas(before, after);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas.at("grows"), 3u);
+  // Absent from `before` counts from zero.
+  EXPECT_EQ(deltas.at("fresh"), 7u);
+  // Non-growing counters are omitted entirely.
+  EXPECT_EQ(deltas.count("static"), 0u);
+}
+
+TEST_F(TelemetryTest, CounterDeltasOfIdenticalSnapshotsIsEmpty) {
+  Count("a", 4);
+  const Snapshot snap = Capture();
+  EXPECT_TRUE(CounterDeltas(snap, snap).empty());
+  EXPECT_TRUE(CounterDeltas(Snapshot{}, Snapshot{}).empty());
 }
 
 }  // namespace

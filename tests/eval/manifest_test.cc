@@ -105,6 +105,50 @@ TEST(ManifestTest, RoundTripsFailedRunWithErrorAndNoMetrics) {
   EXPECT_EQ(back.error, m.error);
 }
 
+TEST(ManifestTest, JournalBlockRoundTrips) {
+  RunManifest m = MakeManifest();
+  m.journal.present = true;
+  m.journal.emitted = 120;
+  m.journal.dropped = 3;
+  m.journal.errors = 1;
+  const std::string text = m.ToJson(/*pretty=*/true);
+  EXPECT_NE(text.find("\"journal\""), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_TRUE(back.journal.present);
+  EXPECT_EQ(back.journal.emitted, 120u);
+  EXPECT_EQ(back.journal.dropped, 3u);
+  EXPECT_EQ(back.journal.errors, 1u);
+}
+
+TEST(ManifestTest, JournalBlockIsOptional) {
+  // Manifests from journal-less runs carry no block; readers see
+  // present == false (pre-PR documents stay loadable, and batch-path
+  // serialization is unchanged byte for byte).
+  const RunManifest m = MakeManifest();
+  const std::string text = m.ToJson(/*pretty=*/false);
+  EXPECT_EQ(text.find("journal"), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_FALSE(back.journal.present);
+  EXPECT_EQ(back.journal.emitted, 0u);
+}
+
+TEST(ManifestTest, JournalBlockRejectsNegativeCounts) {
+  RunManifest m = MakeManifest();
+  m.journal.present = true;
+  std::string text = m.ToJson(/*pretty=*/false);
+  const size_t pos = text.find("\"journal\":{\"emitted\":0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 22, "\"journal\":{\"emitted\":-1");
+  RunManifest back;
+  std::string error;
+  EXPECT_FALSE(RunManifest::FromJson(text, back, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(ManifestTest, ValidationRejectsNonConformingDocuments) {
   std::string error;
   EXPECT_FALSE(ValidateManifestJson("not json at all", &error));

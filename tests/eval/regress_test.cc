@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace stemroot::eval {
@@ -329,6 +331,100 @@ TEST(RegressTest, PerfBaselineIsWarmthMatched) {
   for (const GateResult& gate : gated.gates)
     if (gate.gate == "perf:wall_time") wall_tripped = gate.regressed;
   EXPECT_TRUE(wall_tripped) << gated.ToText();
+}
+
+TEST(RegressTest, JournalErrorGateNeedsNoHistory) {
+  Ledger ledger;
+  RunManifest noisy = MakeRun();
+  noisy.journal.present = true;
+  noisy.journal.emitted = 100;
+  noisy.journal.errors = 2;
+  ledger.Add(noisy);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_TRUE(report.checked);
+  bool errors_tripped = false;
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "journal:errors") errors_tripped = gate.regressed;
+  EXPECT_TRUE(errors_tripped) << report.ToText();
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+
+  // A raised threshold admits the same run.
+  RegressOptions lax;
+  lax.max_journal_errors = 2;
+  const RegressReport relaxed = CheckRegression(ledger, lax);
+  for (const GateResult& gate : relaxed.gates)
+    if (gate.gate == "journal:errors") {
+      EXPECT_FALSE(gate.regressed) << relaxed.ToText();
+    }
+}
+
+TEST(RegressTest, CleanJournalPassesAndDropGateIsOptIn) {
+  Ledger ledger;
+  RunManifest dropped = MakeRun();
+  dropped.journal.present = true;
+  dropped.journal.emitted = 50;
+  dropped.journal.dropped = 10;  // capacity signal, not an error
+  ledger.Add(dropped);
+
+  // Default: drops never gate (max_journal_dropped < 0).
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  EXPECT_TRUE(report.checked);
+  for (const GateResult& gate : report.gates) {
+    EXPECT_NE(gate.gate, "journal:dropped") << report.ToText();
+    if (gate.gate == "journal:errors") {
+      EXPECT_FALSE(gate.regressed) << report.ToText();
+    }
+  }
+
+  // Opting in makes the drop budget a gate.
+  RegressOptions strict;
+  strict.max_journal_dropped = 5;
+  const RegressReport gated = CheckRegression(ledger, strict);
+  bool dropped_tripped = false;
+  for (const GateResult& gate : gated.gates)
+    if (gate.gate == "journal:dropped") dropped_tripped = gate.regressed;
+  EXPECT_TRUE(dropped_tripped) << gated.ToText();
+}
+
+TEST(RegressTest, ManifestsWithoutJournalSkipJournalGates) {
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeRun());
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  for (const GateResult& gate : report.gates)
+    EXPECT_NE(gate.gate.rfind("journal:", 0), 0u) << gate.gate;
+}
+
+TEST(RegressTest, SummarizeJournalFileTalliesAndToleratesTornTail) {
+  const std::string path =
+      ::testing::TempDir() + "/regress_journal_summary.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"ts_us":1,"tid":1,"seq":0,"sev":"info","event":"a"})" << "\n";
+    out << R"({"ts_us":2,"tid":1,"seq":1,"sev":"warn","event":"b"})" << "\n";
+    out << R"({"ts_us":3,"tid":1,"seq":2,"sev":"error","event":"c"})" << "\n";
+    out << R"({"ts_us":4,"tid":1,"seq":3,"sev":"info","event":"d",)"
+        << R"("dropped_since_last":7})" << "\n";
+    out << R"({"ts_us":5,"tid":1,"seq":4,"sev":"in)";  // torn final line
+  }
+  const JournalSummary summary = SummarizeJournalFile(path);
+  EXPECT_EQ(summary.events, 4u);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.warnings, 1u);
+  EXPECT_EQ(summary.dropped, 7u);
+  EXPECT_EQ(summary.unparseable, 1u);
+  std::remove(path.c_str());
+
+  // The summary drives the same gates as the manifest block.
+  RegressReport report;
+  RegressOptions options;
+  AddJournalGates(summary, options, report);
+  ASSERT_FALSE(report.gates.empty());
+  bool errors_tripped = false;
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "journal:errors") errors_tripped = gate.regressed;
+  EXPECT_TRUE(errors_tripped);
 }
 
 TEST(RegressTest, BaselineIgnoresOtherFingerprintsAndCrashedRuns) {

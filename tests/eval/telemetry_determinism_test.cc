@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 
 #include "common/parallel.h"
 #include "common/telemetry.h"
@@ -84,6 +86,56 @@ TEST(TelemetryDeterminismTest, ExportValidatesAtBothThreadCounts) {
         << "threads=" << threads << ": " << error;
     EXPECT_FALSE(span_names.empty());
   }
+}
+
+/// The observability extension of the contract: a mid-run Sample()
+/// observer hammering the registry while the pipeline records must leave
+/// the final Capture() byte-identical across thread counts — live
+/// introspection may never perturb the deterministic record.
+TelemetryRun RunInstrumentedPipelineWithSampler(int threads) {
+  SetNumThreads(threads);
+  telemetry::SetEnabled(true);
+  telemetry::Reset();
+
+  std::atomic<bool> stop{false};
+  std::thread observer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const telemetry::Snapshot live = telemetry::Sample();
+      (void)live.CountersJson();  // exercise the merge + export path
+    }
+  });
+
+  Pipeline pipeline = Pipeline::Generate(workloads::SuiteId::kCasio,
+                                         "bert_infer",
+                                         {.seed = 99, .size_scale = 0.05});
+  pipeline.Profile(hw::GpuSpec::Rtx2080());
+  const core::StemRootSampler stem;
+  pipeline.Evaluate(stem, 3);
+
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  TelemetryRun run;
+  run.snapshot = telemetry::Capture();
+  run.counters_json = run.snapshot.CountersJson();
+  run.distributions_json = run.snapshot.DistributionsJson();
+  telemetry::Reset();
+  telemetry::SetEnabled(false);
+  SetNumThreads(0);
+  return run;
+}
+
+TEST(TelemetryDeterminismTest, MidRunSamplingLeavesCaptureByteIdentical) {
+  const TelemetryRun quiet = RunInstrumentedPipeline(1);
+  const TelemetryRun sampled_one = RunInstrumentedPipelineWithSampler(1);
+  const TelemetryRun sampled_four = RunInstrumentedPipelineWithSampler(4);
+
+  // Sampling while recording changes nothing about the final record...
+  EXPECT_EQ(sampled_one.counters_json, quiet.counters_json);
+  EXPECT_EQ(sampled_one.distributions_json, quiet.distributions_json);
+  // ...at any thread count.
+  EXPECT_EQ(sampled_four.counters_json, quiet.counters_json);
+  EXPECT_EQ(sampled_four.distributions_json, quiet.distributions_json);
 }
 
 }  // namespace

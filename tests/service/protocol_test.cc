@@ -168,6 +168,85 @@ TEST_F(ProtocolTest, ParamsForwardToTheSampler) {
   Handle(R"({"op":"close","id":)" + sid + "}");
 }
 
+TEST(ProtocolMetricsTest, StatsReportsVerbLatenciesAndJournal) {
+  ServiceOptions options;
+  options.enable_metrics = true;
+  Service service(options);
+  SessionBroker broker(service);
+  const auto Handle = [&broker](const std::string& line) {
+    return broker.HandleLine(line);
+  };
+
+  const BrokerResult opened = Handle(
+      R"({"op":"open","suite":"casio","workload":"bert_infer",)"
+      R"("scale":0.05,"seed":99,"reps":2,"order":"shuffled"})");
+  ASSERT_TRUE(opened.ok) << opened.response;
+  const std::string sid =
+      std::to_string(static_cast<SessionId>(Num(Parsed(opened), "id")));
+  Handle(R"({"op":"feed","id":)" + sid + R"(,"count":32})");
+  Handle(R"({"op":"query","id":)" + sid + "}");
+
+  const json::Value stats = Parsed(Handle(R"({"op":"stats"})"));
+  EXPECT_TRUE(Ok(stats));
+  EXPECT_EQ(Num(stats, "open_sessions"), 1.0);
+  EXPECT_GE(Num(stats, "uptime_seconds"), 0.0);
+  EXPECT_EQ(Num(stats, "sessions_opened"), 1.0);
+  EXPECT_EQ(Num(stats, "sessions_closed"), 0.0);
+  EXPECT_EQ(Num(stats, "feed_invocations"), 32.0);
+  EXPECT_GE(Num(stats, "requests"), 3.0);  // open + feed + query
+
+  // Per-verb breakdown: the verbs object carries a latency summary for
+  // every verb; the ones exercised here show traffic.
+  const json::Value* verbs = stats.Find("verbs");
+  ASSERT_NE(verbs, nullptr);
+  ASSERT_TRUE(verbs->IsObject());
+  const json::Value* feed = verbs->Find("feed");
+  ASSERT_NE(feed, nullptr);
+  EXPECT_EQ(Num(*feed, "requests"), 1.0);
+  EXPECT_EQ(Num(*feed, "errors"), 0.0);
+  EXPECT_GT(Num(*feed, "mean_us"), 0.0);
+  EXPECT_GT(Num(*feed, "p50_us"), 0.0);
+  EXPECT_GE(Num(*feed, "p99_us"), Num(*feed, "p50_us"));
+  EXPECT_GT(Num(*feed, "max_us"), 0.0);
+  const json::Value* close_verb = verbs->Find("close");
+  ASSERT_NE(close_verb, nullptr);
+  EXPECT_EQ(Num(*close_verb, "requests"), 0.0);
+
+  // Journal counters are always present (zeros with no journal open).
+  const json::Value* journal = stats.Find("journal");
+  ASSERT_NE(journal, nullptr);
+  ASSERT_TRUE(journal->IsObject());
+  EXPECT_NE(journal->Find("emitted"), nullptr);
+  EXPECT_NE(journal->Find("dropped"), nullptr);
+  EXPECT_NE(journal->Find("errors"), nullptr);
+
+  // Errors count into the verb's error column but still measure latency.
+  EXPECT_FALSE(Handle(R"({"op":"feed","id":999,"count":4})").ok);
+  const json::Value after = Parsed(Handle(R"({"op":"stats"})"));
+  const json::Value* feed_after = after.Find("verbs")->Find("feed");
+  EXPECT_EQ(Num(*feed_after, "requests"), 2.0);
+  EXPECT_EQ(Num(*feed_after, "errors"), 1.0);
+
+  Handle(R"({"op":"close","id":)" + sid + "}");
+}
+
+TEST_F(ProtocolTest, HealthReportsReadiness) {
+  const json::Value health = Parsed(Handle(R"({"op":"health"})"));
+  EXPECT_TRUE(Ok(health));
+  ASSERT_NE(health.Find("status"), nullptr);
+  EXPECT_EQ(health.Find("status")->string, "ok");
+  EXPECT_EQ(Num(health, "ready"), 1.0);
+  EXPECT_EQ(Num(health, "accepting"), 1.0);
+  EXPECT_GE(Num(health, "uptime_seconds"), 0.0);
+  EXPECT_EQ(Num(health, "open_sessions"), 0.0);
+  EXPECT_GT(Num(health, "max_sessions"), 0.0);
+  ASSERT_NE(health.Find("git_hash"), nullptr);
+  EXPECT_TRUE(health.Find("git_hash")->IsString());
+  // Health is not a session verb: it must not count request traffic.
+  const json::Value stats = Parsed(Handle(R"({"op":"stats"})"));
+  EXPECT_EQ(Num(stats, "requests"), 0.0);
+}
+
 TEST_F(ProtocolTest, ShutdownFlagsTheLoop) {
   const BrokerResult result = Handle(R"({"op":"shutdown"})");
   EXPECT_TRUE(result.ok);

@@ -193,11 +193,16 @@ run_mode() {
   # compare clean against the matching batch `stemroot run`. Session 2
   # feeds shuffled chunks and must early-stop (converged with only part
   # of the trace seen), proven by a nonzero service.early_stops counter.
+  # The server also exercises the live-introspection surface (DESIGN.md
+  # §14): a Prometheus exposition file rewritten every 0.5s, a structured
+  # event journal, and the stats verb -- all gated below by metrics_check.
   local sdir="$dir/serve-drill"
   rm -rf "$sdir"; mkdir -p "$sdir"
   local sock="$sdir/sock"
   env "${san_env[@]}" \
     "$dir/tools/stemroot" serve --socket "$sock" --cache "$smoke_cache" \
+      --metrics "$sdir/metrics.prom" --metrics-interval 0.5 \
+      --journal "$sdir/journal.jsonl" \
       >"$sdir/serve.log" 2>&1 &
   local serve_pid=$!
   for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
@@ -240,12 +245,45 @@ EARLY
   wait "$early_pid" || {
     echo "serve drill FAILED: early-stop session errored" >&2
     cat "$sdir/early.out" >&2; exit 1; }
+
+  # Live introspection while the server is still up: the stats verb must
+  # answer with per-verb latency quantiles, and a mid-run metrics scrape
+  # is kept for the counter-monotonicity check against the final one.
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" stats --socket "$sock" --json true \
+      >"$sdir/stats.json"
+  grep -q '"verbs"' "$sdir/stats.json" || {
+    echo "serve drill FAILED: stats response lacks per-verb latencies" >&2
+    cat "$sdir/stats.json" >&2; exit 1; }
+  grep -q '"p99_us"' "$sdir/stats.json" || {
+    echo "serve drill FAILED: stats response lacks latency quantiles" >&2
+    cat "$sdir/stats.json" >&2; exit 1; }
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" stats --socket "$sock" >/dev/null
+  for _ in $(seq 1 100); do [ -s "$sdir/metrics.prom" ] && break; sleep 0.1
+  done
+  if ! [ -s "$sdir/metrics.prom" ]; then
+    echo "serve drill FAILED: metrics exposition never appeared" >&2
+    cat "$sdir/serve.log" >&2; exit 1
+  fi
+  cp "$sdir/metrics.prom" "$sdir/metrics-mid.prom"
+
   env "${san_env[@]}" \
     "$dir/tools/stemroot" session --socket "$sock" --fail-on-error true \
       --script <(echo '{"op":"shutdown"}') >/dev/null
   wait "$serve_pid" || {
     echo "serve drill FAILED: server exited nonzero" >&2
     cat "$sdir/serve.log" >&2; exit 1; }
+
+  # Exposition format + counter monotonicity across the two scrapes,
+  # journal invariants (reserved keys, monotone ts, gap-free seq, no
+  # error events), and the service.* counter-name lint on a session
+  # manifest -- all in tools/metrics_check.
+  "$dir/tools/metrics_check" "$sdir/metrics-mid.prom" >/dev/null
+  "$dir/tools/metrics_check" "$sdir/metrics.prom" \
+      --prev "$sdir/metrics-mid.prom" \
+      --journal "$sdir/journal.jsonl" --require-event session.open \
+      --max-errors 0 >/dev/null
 
   # Session 2 converged on ~4k of ~14k invocations: the manifest must
   # validate and carry the early-stop evidence.
@@ -261,6 +299,25 @@ EARLY
   env "${san_env[@]}" \
     "$dir/tools/stemroot" compare "$man_a" "$sdir/session-full.json" \
       >/dev/null
+  # Session manifests carry service.* counters: the counter-name lint
+  # must accept the registered set...
+  "$dir/tools/metrics_check" \
+      --lint-manifest "$sdir/session-early.json" >/dev/null
+  # ...and the journal is machine-gateable: a clean run passes
+  # `stemroot regress --journal`, a forged error event trips it.
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" regress --journal "$sdir/journal.jsonl" \
+      >/dev/null
+  cp "$sdir/journal.jsonl" "$sdir/journal-bad.jsonl"
+  printf '%s\n' \
+    '{"ts_us":9999999999,"tid":1,"seq":999999,"sev":"error","event":"forged.crash"}' \
+    >> "$sdir/journal-bad.jsonl"
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" regress --journal "$sdir/journal-bad.jsonl" \
+      >/dev/null
+  then
+    echo "serve drill FAILED: journal error event not gated" >&2; exit 1
+  fi
 
   if [ "$mode" = tsan ]; then
     echo "=== [$mode] race drill (TSan positive control) ==="

@@ -1,0 +1,335 @@
+/// \file
+/// Prometheus exposition + event-journal validator (the observability
+/// counterpart of telemetry_check / manifest_check, wired into
+/// tools/check.sh).
+///
+/// Modes, combinable in one invocation:
+///
+///   metrics_check EXPOSITION.prom
+///     Format validation: every line is a comment, a `# TYPE <name>
+///     counter|gauge|summary` declaration, or a `<name>[{labels}] <value>`
+///     sample; metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; every sample
+///     belongs to a declared family; counter families end in `_total`;
+///     values parse as finite doubles (counters additionally >= 0).
+///
+///   metrics_check EXPOSITION.prom --prev EARLIER.prom
+///     Counter monotonicity: no counter sample may be lower than the same
+///     (name, labels) sample in the earlier scrape of the same process.
+///
+///   metrics_check --lint-manifest MANIFEST.json
+///     Counter-name lint: every `service.*` telemetry counter in the
+///     manifest must be in service::RegisteredServiceCounters() — a typo'd
+///     or undocumented service counter fails here instead of silently
+///     bypassing the compare gate's service.* exclusion.
+///
+///   metrics_check --journal JOURNAL.jsonl [--require-event NAME]
+///                 [--max-errors N]
+///     Journal validation: every line parses as a JSON object carrying
+///     the reserved keys (ts_us, tid, seq, sev, event) with monotonically
+///     non-decreasing ts_us and gap-free seq; --require-event asserts at
+///     least one event with that name exists (repeatable); --max-errors
+///     bounds error-severity events (default 0).
+///
+/// Exit 0 when every requested check passes, 1 otherwise (details on
+/// stderr).
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "eval/manifest.h"
+#include "service/metrics.h"
+
+using namespace stemroot;
+
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& why) {
+  std::fprintf(stderr, "metrics_check: %s\n", why.c_str());
+  ++g_failures;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':')
+    return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  return true;
+}
+
+/// One parsed sample: name, raw label string (normalized: no spaces), and
+/// value. The (name, labels) pair keys the monotonicity comparison.
+struct Exposition {
+  std::map<std::string, std::string> types;  ///< family -> type
+  std::map<std::string, double> samples;     ///< "name{labels}" -> value
+};
+
+/// The family a sample belongs to: its name minus the summary/histogram
+/// component suffixes.
+std::string FamilyOf(const std::string& name) {
+  for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+    const size_t len = std::string(suffix).size();
+    if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0)
+      return name.substr(0, name.size() - len);
+  }
+  return name;
+}
+
+/// Parse + validate one exposition text; returns false (after Fail
+/// calls) when anything is malformed.
+bool ParseExposition(const std::string& text, const std::string& what,
+                     Exposition& out) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where = what + ":" + std::to_string(lineno);
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name, type;
+      comment >> hash >> kind;
+      if (kind == "TYPE") {
+        if (!(comment >> name >> type) ||
+            (type != "counter" && type != "gauge" && type != "summary" &&
+             type != "histogram")) {
+          Fail(where + ": malformed TYPE line: " + line);
+          ok = false;
+          continue;
+        }
+        if (!ValidMetricName(name)) {
+          Fail(where + ": bad metric name '" + name + "'");
+          ok = false;
+          continue;
+        }
+        if (type == "counter" &&
+            name.compare(name.size() - std::min<size_t>(6, name.size()), 6,
+                         "_total") != 0) {
+          Fail(where + ": counter family '" + name +
+               "' must end in _total");
+          ok = false;
+        }
+        out.types[name] = type;
+      }
+      continue;  // other comments (# HELP ...) pass through
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      Fail(where + ": malformed sample line: " + line);
+      ok = false;
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!ValidMetricName(name)) {
+      Fail(where + ": bad metric name '" + name + "'");
+      ok = false;
+      continue;
+    }
+    std::string labels;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        Fail(where + ": unterminated label set: " + line);
+        ok = false;
+        continue;
+      }
+      labels = line.substr(name_end, close - name_end + 1);
+      value_start = close + 1;
+    }
+    const std::string value_text =
+        line.substr(line.find_first_not_of(' ', value_start));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0' || !std::isfinite(value)) {
+      Fail(where + ": sample value does not parse as a finite number: " +
+           line);
+      ok = false;
+      continue;
+    }
+    const std::string family = FamilyOf(name);
+    const auto type = out.types.find(family);
+    if (type == out.types.end()) {
+      Fail(where + ": sample '" + name + "' has no preceding # TYPE " +
+           family + " declaration");
+      ok = false;
+      continue;
+    }
+    if (type->second == "counter" && value < 0.0) {
+      Fail(where + ": counter '" + name + "' is negative");
+      ok = false;
+    }
+    out.samples[name + labels] = value;
+  }
+  return ok;
+}
+
+void CheckMonotonic(const Exposition& prev, const Exposition& cur,
+                    const std::string& what) {
+  for (const auto& [key, prev_value] : prev.samples) {
+    const std::string family = FamilyOf(key.substr(0, key.find('{')));
+    const auto type = prev.types.find(family);
+    if (type == prev.types.end() || type->second != "counter") continue;
+    const auto it = cur.samples.find(key);
+    if (it == cur.samples.end()) {
+      Fail(what + ": counter sample '" + key +
+           "' vanished from the later scrape");
+      continue;
+    }
+    if (it->second < prev_value)
+      Fail(what + ": counter '" + key + "' went backwards (" +
+           std::to_string(prev_value) + " -> " +
+           std::to_string(it->second) + ")");
+  }
+}
+
+void LintManifest(const std::string& path) {
+  eval::RunManifest manifest;
+  std::string error;
+  if (!eval::RunManifest::FromJson(ReadFile(path), manifest, &error)) {
+    Fail(path + ": " + error);
+    return;
+  }
+  for (const auto& [name, value] : manifest.counters) {
+    if (name.rfind("service.", 0) != 0) continue;
+    if (!service::IsRegisteredServiceCounter(name))
+      Fail(path + ": unregistered service counter '" + name +
+           "' (add it to service::RegisteredServiceCounters or rename)");
+  }
+}
+
+void CheckJournal(const std::string& path,
+                  const std::vector<std::string>& required_events,
+                  uint64_t max_errors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Fail("cannot open journal " + path);
+    return;
+  }
+  std::set<std::string> seen_events;
+  uint64_t errors = 0;
+  uint64_t last_ts = 0;
+  uint64_t next_seq = 0;
+  bool have_seq = false;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(lineno);
+    json::Value event;
+    if (!json::Parse(line, event, nullptr) || !event.IsObject()) {
+      // Only a torn *final* line is crash-tolerated.
+      if (in.peek() == EOF) break;
+      Fail(where + ": unparseable journal line");
+      continue;
+    }
+    const json::Value* ts = event.Find("ts_us");
+    const json::Value* tid = event.Find("tid");
+    const json::Value* seq = event.Find("seq");
+    const json::Value* sev = event.Find("sev");
+    const json::Value* name = event.Find("event");
+    if (ts == nullptr || !ts->IsNumber() || tid == nullptr ||
+        !tid->IsNumber() || seq == nullptr || !seq->IsNumber() ||
+        sev == nullptr || !sev->IsString() || name == nullptr ||
+        !name->IsString()) {
+      Fail(where + ": missing reserved key (ts_us/tid/seq/sev/event)");
+      continue;
+    }
+    if (sev->string != "debug" && sev->string != "info" &&
+        sev->string != "warn" && sev->string != "error")
+      Fail(where + ": unknown severity '" + sev->string + "'");
+    const uint64_t ts_us = static_cast<uint64_t>(ts->number);
+    if (ts_us < last_ts)
+      Fail(where + ": ts_us went backwards");
+    last_ts = ts_us;
+    const uint64_t s = static_cast<uint64_t>(seq->number);
+    if (have_seq && s != next_seq)
+      Fail(where + ": seq gap (want " + std::to_string(next_seq) +
+           ", got " + std::to_string(s) + ")");
+    have_seq = true;
+    next_seq = s + 1;
+    if (sev->string == "error") ++errors;
+    seen_events.insert(name->string);
+  }
+  for (const std::string& required : required_events)
+    if (seen_events.count(required) == 0)
+      Fail(path + ": required event '" + required + "' never emitted");
+  if (errors > max_errors)
+    Fail(path + ": " + std::to_string(errors) +
+         " error event(s), max allowed " + std::to_string(max_errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags = Flags::Parse(argc - 1, argv + 1);
+    const std::string prev_path = flags.GetString("prev", "");
+    const std::string lint_manifest = flags.GetString("lint-manifest", "");
+    const std::string journal_path = flags.GetString("journal", "");
+    const std::string require_event = flags.GetString("require-event", "");
+    const uint64_t max_errors =
+        static_cast<uint64_t>(flags.GetInt("max-errors", 0));
+    const std::vector<std::string>& positional = flags.Positional();
+    flags.CheckAllRead();
+
+    if (positional.empty() && lint_manifest.empty() && journal_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: metrics_check [EXPOSITION.prom [--prev EARLIER]]"
+                   " [--lint-manifest MANIFEST.json]\n"
+                   "                     [--journal FILE.jsonl"
+                   " [--require-event NAME] [--max-errors N]]\n");
+      return 1;
+    }
+
+    for (const std::string& path : positional) {
+      Exposition exposition;
+      ParseExposition(ReadFile(path), path, exposition);
+      if (!prev_path.empty()) {
+        Exposition prev;
+        ParseExposition(ReadFile(prev_path), prev_path, prev);
+        CheckMonotonic(prev, exposition, path);
+      }
+    }
+    if (!lint_manifest.empty()) LintManifest(lint_manifest);
+    if (!journal_path.empty()) {
+      std::vector<std::string> required;
+      if (!require_event.empty()) required.push_back(require_event);
+      CheckJournal(journal_path, required, max_errors);
+    }
+  } catch (const std::exception& e) {
+    Fail(e.what());
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "metrics_check: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -49,6 +49,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "baselines/registry.h"
 #include "common/build_info.h"
@@ -57,6 +58,7 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/json.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "common/telemetry.h"
@@ -96,7 +98,10 @@ commands:
   run       --suite SUITE --workload NAME [--gpu GPU] [--method NAME]
             [--reps N] [--seed N] [--scale X]
   serve     --socket PATH [--max-sessions N] [--cache DIR|none]
+            [--metrics FILE|fd:N] [--metrics-interval SEC]
+            [--journal FILE] [--slow-ms MS]
   session   --socket PATH [--script FILE|-] [--fail-on-error true]
+  stats     --socket PATH [--watch SEC] [--json true]
   audit     --suite SUITE [--workload A,B,..] [--gpu GPU] [--method NAME]
             [--trials N] [--seed N] [--scale X] [--json FILE]
             [--min-within FRACTION]
@@ -106,7 +111,8 @@ commands:
             [--epoch-cycles N] [--csv FILE]
   compare   A.json B.json [--allow-config-diff true]
   regress   --ledger FILE [--window K] [--min-history N] [--mad-factor C]
-            [--rel-slack X] [--accuracy-slack PP]
+            [--rel-slack X] [--accuracy-slack PP] [--journal FILE]
+            [--max-journal-errors N] [--max-journal-dropped N]
   cache     stats|verify|evict [--cache DIR] [--max-bytes N]
 
 methods come from the sampler registry (stem random pka sieve photon
@@ -130,6 +136,15 @@ line, '-' or omitted = stdin), echoing one response per line;
 --fail-on-error true exits 1 if any response had ok=false. `run` routes
 through the same service code path, so a fully-fed session's manifest
 compares clean against the matching `stemroot run` manifest.
+
+serve exposes live introspection (DESIGN.md section 14): --metrics
+exports Prometheus text every --metrics-interval seconds (atomically to
+a file, or rewriting fd:N); --journal appends a structured JSONL event
+journal (session lifecycle, convergence, slow requests past --slow-ms,
+connection errors); the `stats` and `health` protocol verbs report
+per-verb latency quantiles and liveness. `stemroot stats` renders the
+stats verb (--watch N refreshes every N seconds; --json prints the raw
+response). regress --journal gates on that journal's error/drop counts.
 
 audit compares every ROOT cluster's predicted error bound (Eq. 2 under
 the KKT allocation) against the realized error of seeded sampling plans;
@@ -660,7 +675,10 @@ int CmdCompare(const Flags& flags) {
 }
 
 int CmdRegress(const Flags& flags) {
-  const std::string ledger_path = flags.Require("ledger");
+  const std::string journal_path = flags.GetString("journal", "");
+  const std::string ledger_path =
+      journal_path.empty() ? flags.Require("ledger")
+                           : flags.GetString("ledger", "");
   eval::RegressOptions options;
   options.window = static_cast<size_t>(flags.GetInt("window", 8));
   options.min_history =
@@ -668,14 +686,35 @@ int CmdRegress(const Flags& flags) {
   options.mad_factor = flags.GetDouble("mad-factor", 3.0);
   options.rel_slack = flags.GetDouble("rel-slack", 0.02);
   options.accuracy_slack_pct = flags.GetDouble("accuracy-slack", 1e-6);
+  options.max_journal_errors = static_cast<uint64_t>(
+      flags.GetInt("max-journal-errors", 0));
+  options.max_journal_dropped = flags.GetInt("max-journal-dropped", -1);
   flags.CheckAllRead();
 
-  const eval::Ledger ledger = eval::Ledger::Load(ledger_path);
-  if (ledger.num_skipped() > 0)
-    std::fprintf(stderr, "regress: skipped %zu unparseable ledger line(s)\n",
-                 ledger.num_skipped());
-  const eval::RegressReport report =
-      eval::CheckRegression(ledger, options);
+  eval::RegressReport report;
+  if (!ledger_path.empty()) {
+    const eval::Ledger ledger = eval::Ledger::Load(ledger_path);
+    if (ledger.num_skipped() > 0)
+      std::fprintf(stderr,
+                   "regress: skipped %zu unparseable ledger line(s)\n",
+                   ledger.num_skipped());
+    report = eval::CheckRegression(ledger, options);
+  }
+  if (!journal_path.empty()) {
+    // Journal-file gating composes with (or replaces) the ledger gates:
+    // a serve run's journal can be checked on its own, no ledger needed.
+    const eval::JournalSummary summary =
+        eval::SummarizeJournalFile(journal_path);
+    eval::AddJournalGates(summary, options, report);
+    std::printf(
+        "journal: %llu events (%llu warn, %llu error), %llu dropped, "
+        "%llu unparseable line(s)\n",
+        static_cast<unsigned long long>(summary.events),
+        static_cast<unsigned long long>(summary.warnings),
+        static_cast<unsigned long long>(summary.errors),
+        static_cast<unsigned long long>(summary.dropped),
+        static_cast<unsigned long long>(summary.unparseable));
+  }
   std::printf("%s", report.ToText().c_str());
   if (report.HasRegression())
     std::fprintf(stderr, "regress: regression detected\n");
@@ -690,10 +729,104 @@ int CmdServe(const Flags& flags) {
   // Session manifests need counter/stage telemetry; the trace cache makes
   // repeat OpenSession(workload) cheap, exactly like repeat `run`s.
   options.service.enable_telemetry = true;
+  // A resident server is the introspection use case: per-verb latency
+  // histograms on (the batch commands leave them off).
+  options.service.enable_metrics = true;
+  options.service.slow_request_us =
+      flags.GetDouble("slow-ms", 0.0) * 1000.0;
   options.service.cache_dir =
       flags.GetString("cache", eval::DefaultTraceCacheDir());
+  options.metrics_path = flags.GetString("metrics", "");
+  options.metrics_interval_seconds =
+      flags.GetDouble("metrics-interval", 2.0);
+  options.journal_path = flags.GetString("journal", "");
   flags.CheckAllRead();
   return service::RunServer(options);
+}
+
+/// Render one stats response (already parsed) as the human view: a
+/// header line plus the per-verb latency table.
+void PrintStats(const json::Value& stats) {
+  const auto num = [&stats](std::string_view key) {
+    const json::Value* v = stats.Find(key);
+    return v != nullptr && v->IsNumber() ? v->number : 0.0;
+  };
+  std::printf("uptime %.1fs  sessions %llu/%llu open (%llu opened, %llu "
+              "closed)  requests %llu (%llu errors)\n",
+              num("uptime_seconds"),
+              static_cast<unsigned long long>(num("open_sessions")),
+              static_cast<unsigned long long>(num("max_sessions")),
+              static_cast<unsigned long long>(num("sessions_opened")),
+              static_cast<unsigned long long>(num("sessions_closed")),
+              static_cast<unsigned long long>(num("requests")),
+              static_cast<unsigned long long>(num("errors")));
+  std::printf("fed invocations %llu, early stops %llu\n",
+              static_cast<unsigned long long>(num("feed_invocations")),
+              static_cast<unsigned long long>(num("early_stops")));
+  if (const json::Value* j = stats.Find("journal"); j && j->IsObject()) {
+    const json::Value* emitted = j->Find("emitted");
+    const json::Value* dropped = j->Find("dropped");
+    const json::Value* errors = j->Find("errors");
+    std::printf("journal: %llu emitted, %llu dropped, %llu errors\n",
+                static_cast<unsigned long long>(
+                    emitted && emitted->IsNumber() ? emitted->number : 0.0),
+                static_cast<unsigned long long>(
+                    dropped && dropped->IsNumber() ? dropped->number : 0.0),
+                static_cast<unsigned long long>(
+                    errors && errors->IsNumber() ? errors->number : 0.0));
+  }
+  const json::Value* verbs = stats.Find("verbs");
+  if (verbs == nullptr || !verbs->IsObject()) return;
+  TextTable table({"Verb", "Requests", "Errors", "Mean", "p50", "p90",
+                   "p99", "Max"});
+  for (const auto& [verb, v] : *verbs->object) {
+    if (!v.IsObject()) continue;
+    const auto field = [&v](std::string_view key) {
+      const json::Value* f = v.Find(key);
+      return f != nullptr && f->IsNumber() ? f->number : 0.0;
+    };
+    table.AddRow({verb,
+                  Format("%llu", static_cast<unsigned long long>(
+                                     field("requests"))),
+                  Format("%llu", static_cast<unsigned long long>(
+                                     field("errors"))),
+                  HumanDuration(field("mean_us")),
+                  HumanDuration(field("p50_us")),
+                  HumanDuration(field("p90_us")),
+                  HumanDuration(field("p99_us")),
+                  HumanDuration(field("max_us"))});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string socket = flags.Require("socket");
+  const int watch = flags.GetInt("watch", 0);
+  const bool raw = flags.GetBool("json", false);
+  flags.CheckAllRead();
+  if (watch < 0) throw std::invalid_argument("stats: --watch must be >= 0");
+
+  while (true) {
+    const std::string response =
+        service::RequestOnce(socket, "{\"op\":\"stats\"}");
+    if (raw) {
+      std::printf("%s\n", response.c_str());
+    } else {
+      json::Value stats;
+      std::string error;
+      if (!json::Parse(response, stats, &error) || !stats.IsObject())
+        throw std::runtime_error("stats: bad response: " + error);
+      if (const json::Value* ok = stats.Find("ok");
+          ok == nullptr || ok->number == 0.0)
+        throw std::runtime_error("stats: server error: " + response);
+      if (watch > 0) std::printf("\033[H\033[2J");
+      PrintStats(stats);
+    }
+    std::fflush(stdout);
+    if (watch == 0) break;
+    std::this_thread::sleep_for(std::chrono::seconds(watch));
+  }
+  return 0;
 }
 
 int CmdSession(const Flags& flags) {
@@ -757,6 +890,7 @@ int main(int argc, char** argv) {
     else if (command == "dse") rc = CmdDse(flags, common, manifest);
     else if (command == "serve") rc = CmdServe(flags);
     else if (command == "session") rc = CmdSession(flags);
+    else if (command == "stats") rc = CmdStats(flags);
     else if (command == "cache") rc = CmdCache(flags);
     else if (command == "compare") rc = CmdCompare(flags);
     else if (command == "regress") rc = CmdRegress(flags);
