@@ -10,6 +10,7 @@
 
 #include "common/journal.h"
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/trace_events.h"
@@ -273,12 +274,15 @@ void BM_InstrumentationOff(benchmark::State& state) {
   telemetry::SetEnabled(false);
   trace_events::SetEnabled(false);
   journal::Close();  // disabled journal: Emit is one relaxed load
+  resource::SetAccountingEnabled(false);  // Account/AccountPeak likewise
   service::ServiceMetrics metrics;  // default-disabled RecordRequest
   for (auto _ : state) {
     telemetry::Span span("bench.off");
     trace_events::Scope scope("bench.off");
     trace_events::Instant("bench.off");
     journal::Emit(journal::Severity::kInfo, "bench.off");
+    resource::Account("bench.off", 1);
+    resource::AccountPeak("bench.off", 1);
     metrics.RecordRequest(service::Verb::kQuery, 1.0, true);
     benchmark::DoNotOptimize(&span);
     benchmark::DoNotOptimize(&scope);

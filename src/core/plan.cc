@@ -63,6 +63,11 @@ double SamplingPlan::TotalWeight() const {
   return total;
 }
 
+uint64_t SamplingPlan::ApproxBytes() const {
+  return sizeof(*this) + method.size() +
+         entries.size() * sizeof(SampleEntry);
+}
+
 void SamplingPlan::Validate(size_t num_invocations) const {
   for (const SampleEntry& e : entries) {
     if (e.invocation >= num_invocations)

@@ -56,6 +56,11 @@ struct SamplingPlan {
 
   /// Validate entries against a trace size; throws std::out_of_range.
   void Validate(size_t num_invocations) const;
+
+  /// Logical size of this plan in bytes (entry vector + method name),
+  /// from element counts only — deterministic for a given (trace, seed),
+  /// the "plan" category of resource::AccountPeak (DESIGN.md §15).
+  uint64_t ApproxBytes() const;
 };
 
 }  // namespace stemroot::core

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/resource.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "common/trace_events.h"
@@ -39,6 +40,15 @@ StemClustering BuildStemClusters(const KernelTrace& trace,
   }
   trace_events::CounterValue("stem.clusters",
                              static_cast<double>(out.clusters.size()));
+  if (resource::AccountingEnabled()) {
+    // Transient per-call state: the clustering is a pure function of the
+    // trace, so this byte count is deterministic and max() over
+    // concurrent reps is schedule-invariant.
+    uint64_t bytes = out.kernel_ids.size() * sizeof(uint32_t);
+    for (const RootCluster& c : out.clusters)
+      bytes += sizeof(RootCluster) + c.members.size() * sizeof(uint32_t);
+    resource::AccountPeak("root", bytes);
+  }
   return out;
 }
 

@@ -191,6 +191,21 @@ std::string RunManifest::ToJson(bool pretty) const {
     j += '}';
     w.Field("journal", j);
   }
+  if (mem.present) {
+    w.Comma();
+    std::string b = "{\"peak_rss_bytes\":" + U64(mem.peak_rss_bytes);
+    b += ",\"samples\":" + U64(mem.samples);
+    b += ",\"logical\":{";
+    bool first_cat = true;
+    for (const auto& [category, bytes] : mem.logical) {
+      if (!first_cat) b += ',';
+      first_cat = false;
+      json::AppendString(b, category);
+      b += ':' + U64(bytes);
+    }
+    b += "}}";
+    w.Field("mem", b);
+  }
   if (!error.empty()) {
     w.Comma();
     w.StringField("error", error);
@@ -332,6 +347,29 @@ bool RunManifest::FromJson(std::string_view text, RunManifest& out,
     m.journal.dropped = static_cast<uint64_t>(dropped);
     m.journal.errors = static_cast<uint64_t>(errors);
     m.journal.present = true;
+  }
+
+  if (const json::Value* mem = root.Find("mem")) {
+    if (!mem->IsObject())
+      return SchemaFail(error, "\"mem\" is not an object");
+    double peak_rss = 0.0, samples = 0.0;
+    if (!GetNumberField(*mem, "peak_rss_bytes", peak_rss, error, "mem") ||
+        !GetNumberField(*mem, "samples", samples, error, "mem"))
+      return false;
+    if (peak_rss < 0.0 || samples < 0.0)
+      return SchemaFail(error, "mem counts must be >= 0");
+    m.mem.peak_rss_bytes = static_cast<uint64_t>(peak_rss);
+    m.mem.samples = static_cast<uint64_t>(samples);
+    const json::Value* logical =
+        Need(*mem, "logical", json::Value::Kind::kObject, error, "mem");
+    if (logical == nullptr) return false;
+    for (const auto& [category, value] : *logical->object) {
+      if (!value.IsNumber() || value.number < 0.0)
+        return SchemaFail(error, "mem logical \"" + category +
+                                     "\" is not a non-negative number");
+      m.mem.logical[category] = static_cast<uint64_t>(value.number);
+    }
+    m.mem.present = true;
   }
 
   if (const json::Value* err = root.Find("error")) {

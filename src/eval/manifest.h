@@ -32,6 +32,11 @@
 ///     "journal": { "emitted": 12, "dropped": 0, "errors": 0 },
 ///                                    // optional: only when a journal
 ///                                    //   was open (serve sessions)
+///     "mem": {                       // optional: only when resource
+///       "peak_rss_bytes": 104857600, //   accounting ran (DESIGN.md §15);
+///       "samples": 12,               //   physical peaks environmental,
+///       "logical": { "trace": 1234, ... }  // logical peaks deterministic
+///     },
 ///     "error": "..."                 // optional: why the run failed
 ///   }
 ///
@@ -116,6 +121,22 @@ struct RunManifest {
     uint64_t errors = 0;
   };
 
+  /// Memory footprint at manifest time (common/resource.h, DESIGN.md
+  /// §15). Two natures under one block: `peak_rss_bytes`/`samples` are
+  /// *physical* — environmental like wall times, never part of the
+  /// fingerprint or the compare gate, but regress-gated against a rolling
+  /// baseline. `logical` holds the deterministic per-category peaks from
+  /// resource::Account/AccountPeak — byte-identical at any thread count
+  /// for a fixed seed, so compare gates them (categories under the
+  /// environmental `cache`/`service` prefixes excluded, same rule as the
+  /// counter gate).
+  struct Mem {
+    bool present = false;  ///< serialized only when true
+    uint64_t peak_rss_bytes = 0;  ///< physical high water (0 = unknown)
+    uint64_t samples = 0;         ///< sampler ticks folded into the peak
+    std::map<std::string, uint64_t> logical;  ///< category -> peak bytes
+  };
+
   std::string tool;
   std::string command;
   bool completed = false;
@@ -126,6 +147,7 @@ struct RunManifest {
   std::map<std::string, uint64_t> counters;
   Metrics metrics;
   Journal journal;
+  Mem mem;
   std::string error;  ///< non-empty only for failed runs
 
   /// Serialize. `pretty` selects the indented multi-line form (manifest

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/stats.h"
 #include "common/telemetry.h"
 
@@ -77,8 +78,18 @@ EvalResult EvaluateRepeated(const core::Sampler& sampler,
           return sampler.BuildPlan(trace,
                                    base_seed + static_cast<uint64_t>(r));
         }();
+        // Each rep's plan bytes depend only on (trace, base_seed + r);
+        // AccountPeak's max over the rep set is schedule-invariant, so
+        // the logical "plan" peak matches at any thread count.
+        resource::AccountPeak("plan", plan.ApproxBytes());
         return EvaluatePlan(trace, plan);
       });
+
+  // Evaluation scratch: per-rep results plus the reduction vectors. A
+  // pure function of `runs`, so the logical "eval" peak is deterministic.
+  resource::AccountPeak("eval", static_cast<uint64_t>(runs) *
+                                    (sizeof(EvalResult) +
+                                     2 * sizeof(double)));
 
   std::vector<double> speedups;
   std::vector<double> errors;

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/telemetry.h"
 #include "common/trace_events.h"
 #include "eval/trace_cache.h"
@@ -39,6 +40,11 @@ CommonOptions ParseCommonOptions(const Flags& flags, bool pipeline_command) {
   options.telemetry_path = flags.GetString("telemetry", "");
   options.trace_path = flags.GetString("trace", "");
   options.log_level = flags.GetString("log-level", "");
+  const int64_t sample_ms = flags.GetInt("resource-sample-ms", 0);
+  if (sample_ms < 0)
+    throw std::invalid_argument(
+        "options: --resource-sample-ms must be >= 0");
+  options.resource_sample_ms = static_cast<uint64_t>(sample_ms);
   if (pipeline_command) {
     options.cache_dir = flags.GetString("cache", DefaultTraceCacheDir());
     options.manifest_path = flags.GetString("manifest", "");
@@ -58,6 +64,12 @@ void ApplyCommonOptions(const CommonOptions& options) {
   if (!options.log_level.empty())
     SetLogLevel(*LogLevelFromName(options.log_level));
   if (!options.cache_dir.empty()) SetTraceCacheDir(options.cache_dir);
+  // Manifest/ledger emission implies logical mem accounting the same way
+  // it implies telemetry: the manifest's mem block is part of the record.
+  if (!options.manifest_path.empty() || !options.ledger_path.empty())
+    resource::SetAccountingEnabled(true);
+  if (options.resource_sample_ms > 0)
+    resource::StartSampler(options.resource_sample_ms);
 }
 
 workloads::SuiteId ResolveSuite(const std::string& name) {

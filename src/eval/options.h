@@ -40,6 +40,12 @@ struct CommonOptions {
   std::string cache_dir;       ///< "" = leave untouched; "none" = disabled
   std::string manifest_path;   ///< "" = no manifest file
   std::string ledger_path;     ///< "" = no ledger append
+  /// --resource-sample-ms: background RSS/CPU sampler cadence
+  /// (common/resource.h); 0 = sampler off (the default everywhere but
+  /// `stemroot serve`, which flips it on in ServerOptions). Logical mem
+  /// accounting is independent of the sampler: pipeline commands enable
+  /// it whenever a manifest or ledger is requested.
+  uint64_t resource_sample_ms = 0;
 
   /// The pipeline-facing subset (seed + scale).
   Pipeline::Options ToPipelineOptions() const;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/resource.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "eval/trace_cache.h"
@@ -34,6 +35,7 @@ Pipeline Pipeline::Generate(workloads::SuiteId suite,
   KernelTrace trace = workloads::MakeWorkload(
       suite, workload, DeriveSeed(options.seed, HashString(workload)),
       options.size_scale);
+  resource::Account("trace", trace.ApproxBytes());
   Pipeline pipeline(std::move(trace), options, /*profiled=*/false);
   pipeline.suite_name_ = workloads::ToName(suite);
   pipeline.workload_ = workload;
@@ -71,6 +73,10 @@ Pipeline Pipeline::GenerateProfiled(workloads::SuiteId suite,
         telemetry::Count("workloads.invocations_generated", n);
         telemetry::Record("workloads.trace_invocations",
                           static_cast<double>(n));
+        // The deserialized trace has the same element counts as the one
+        // Generate would have built, so this charge keeps a warm run's
+        // logical "trace" peak byte-identical to the cold run's.
+        resource::Account("trace", trace->ApproxBytes());
       }
       {
         telemetry::Span span("profile");
@@ -136,8 +142,10 @@ void Pipeline::RequireProfiled(const char* stage) const {
 core::SamplingPlan Pipeline::Sample(const core::Sampler& sampler) const {
   RequireProfiled("Sample");
   telemetry::Span span("sample");
-  return sampler.BuildPlan(
+  core::SamplingPlan plan = sampler.BuildPlan(
       trace_, DeriveSeed(options_.seed, HashString(sampler.Name())));
+  resource::AccountPeak("plan", plan.ApproxBytes());
+  return plan;
 }
 
 EvalResult Pipeline::Evaluate(const core::Sampler& sampler,

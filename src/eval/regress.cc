@@ -40,13 +40,30 @@ void DiffField(std::vector<std::string>& diffs, const char* name, double a,
 /// results. The service.* counters are environmental the same way: how a
 /// session was chunked (service.feed_invocations) or whether it stopped
 /// early never moves a deterministic result byte. Like wall times, both
-/// families are excluded from the determinism gate.
+/// families are excluded from the determinism gate. resource.* is
+/// excluded the same way: anything the background RSS sampler emits is
+/// timing-dependent by construction.
 std::map<std::string, uint64_t> DeterministicCounters(
     const std::map<std::string, uint64_t>& counters) {
   std::map<std::string, uint64_t> out;
   for (const auto& [name, value] : counters)
-    if (name.rfind("cache.", 0) != 0 && name.rfind("service.", 0) != 0)
+    if (name.rfind("cache.", 0) != 0 && name.rfind("service.", 0) != 0 &&
+        name.rfind("resource.", 0) != 0)
       out.emplace(name, value);
+  return out;
+}
+
+/// The logical mem categories follow the same environmental split as the
+/// counters: `cache*` (payload bytes depend on warmth) and `service*`
+/// (session chunking) describe the run's environment, everything else is
+/// deterministic and gated. Physical mem (peak_rss_bytes, samples) is
+/// environmental wholesale -- RSS is an OS artifact, like wall time.
+std::map<std::string, uint64_t> DeterministicMem(
+    const std::map<std::string, uint64_t>& logical) {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [category, bytes] : logical)
+    if (category.rfind("cache", 0) != 0 && category.rfind("service", 0) != 0)
+      out.emplace(category, bytes);
   return out;
 }
 
@@ -126,6 +143,16 @@ CompareReport CompareManifests(const RunManifest& a, const RunManifest& b) {
           "telemetry counters differ (determinism contract violation for "
           "same-seed runs; cache.*/service.* counters excluded as "
           "environmental)");
+    // Logical mem peaks are gated only when both runs carried a mem
+    // block: one side missing just means resource accounting was off
+    // there, which is environmental, not drift. Physical peak_rss and
+    // samples are never gated (OS artifacts, like wall time).
+    if (a.mem.present && b.mem.present &&
+        DeterministicMem(a.mem.logical) != DeterministicMem(b.mem.logical))
+      report.drift_notes.push_back(
+          "logical mem peaks differ (determinism contract violation for "
+          "same-seed runs; cache*/service* categories and physical RSS "
+          "excluded as environmental)");
     if (a.completed != b.completed)
       report.drift_notes.push_back("completed flags differ");
     report.deterministic_drift = !report.drift_notes.empty();
@@ -316,6 +343,27 @@ RegressReport CheckRegression(const Ledger& ledger,
     }
   }
 
+  // Peak-RSS gate: physical memory is environmental like wall time, so
+  // it gets the same treatment -- warmth-matched baseline (a warm run
+  // never materializes the generate-stage working set) and the noisy
+  // median + max(c*MAD, rel_slack*median) threshold.
+  if (newest.mem.present && newest.mem.peak_rss_bytes > 0) {
+    std::vector<double> values;
+    for (const RunManifest* entry : perf_baseline)
+      if (entry->mem.present && entry->mem.peak_rss_bytes > 0)
+        values.push_back(static_cast<double>(entry->mem.peak_rss_bytes));
+    if (values.size() >= options.min_history) {
+      GateResult gate;
+      gate.gate = "mem:peak_rss";
+      FillThreshold(gate, values, options.mad_factor,
+                    options.rel_slack * Percentile(values, 50.0));
+      gate.observed = static_cast<double>(newest.mem.peak_rss_bytes);
+      gate.regressed =
+          gate.baseline_median > 0.0 && gate.observed > gate.threshold;
+      report.gates.push_back(gate);
+    }
+  }
+
   // Accuracy drift + sample-budget gates (deterministic quantities).
   if (newest.metrics.present) {
     std::vector<double> errors;
@@ -342,6 +390,32 @@ RegressReport CheckRegression(const Ledger& ledger,
       budget.regressed =
           budget.baseline_median > 0.0 && budget.observed > budget.threshold;
       report.gates.push_back(budget);
+    }
+  }
+
+  // Logical per-category mem gates (deterministic quantities, so the
+  // full baseline applies -- warmth never moves a logical peak). Only
+  // the deterministic categories are gated; cache*/service* are
+  // environmental, same rule as the counter gate.
+  if (newest.mem.present) {
+    for (const auto& [category, bytes] :
+         DeterministicMem(newest.mem.logical)) {
+      std::vector<double> values;
+      for (const RunManifest* entry : baseline) {
+        if (!entry->mem.present) continue;
+        const auto it = entry->mem.logical.find(category);
+        if (it != entry->mem.logical.end())
+          values.push_back(static_cast<double>(it->second));
+      }
+      if (values.size() < options.min_history) continue;
+      GateResult gate;
+      gate.gate = "mem:" + category;
+      FillThreshold(gate, values, options.mad_factor,
+                    options.rel_slack * Percentile(values, 50.0));
+      gate.observed = static_cast<double>(bytes);
+      gate.regressed =
+          gate.baseline_median > 0.0 && gate.observed > gate.threshold;
+      report.gates.push_back(gate);
     }
   }
   return report;

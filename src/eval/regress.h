@@ -121,7 +121,9 @@ struct RegressOptions {
 
 /// One gate's verdict. `gate` is "perf:<stage>", "perf:wall_time",
 /// "accuracy:drift", "accuracy:budget", "budget:samples", "completed",
-/// "journal:errors", or "journal:dropped".
+/// "journal:errors", "journal:dropped", "mem:peak_rss" (physical,
+/// warmth-matched like the perf gates), or "mem:<category>" (logical
+/// per-category peaks, deterministic like the accuracy gates).
 struct GateResult {
   std::string gate;
   size_t history = 0;  ///< baseline observations behind the threshold

@@ -9,6 +9,7 @@
 #include "common/build_info.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "common/resource.h"
 #include "common/telemetry.h"
 #include "trace/serialize.h"
 
@@ -78,6 +79,9 @@ TraceCache::TraceCache(std::string dir) : cache_(std::move(dir)) {}
 std::optional<KernelTrace> TraceCache::Load(const TraceCacheKey& key) const {
   const std::optional<std::string> payload = cache_.Get(key.KeyString());
   if (!payload) return std::nullopt;
+  // Serialized payload bytes held while deserializing; the serialization
+  // is canonical, so a warm Load charges exactly what the cold Store did.
+  resource::Account("cache", payload->size());
   try {
     return DeserializeTrace(*payload);
   } catch (const std::exception& e) {
@@ -94,7 +98,9 @@ std::optional<KernelTrace> TraceCache::Load(const TraceCacheKey& key) const {
 bool TraceCache::Store(const TraceCacheKey& key,
                        const KernelTrace& trace) const {
   try {
-    cache_.Put(key.KeyString(), SerializeTrace(trace));
+    std::string payload = SerializeTrace(trace);
+    resource::Account("cache", payload.size());
+    cache_.Put(key.KeyString(), std::move(payload));
     return true;
   } catch (const std::exception& e) {
     Warn("trace cache: store failed, continuing uncached: %s", e.what());

@@ -43,6 +43,20 @@ std::string VerbLabel(const VerbStats& v) {
   return Format("verb=\"%s\"", v.verb.c_str());
 }
 
+/// Logical mem categories become metric-name components: anything
+/// outside [a-zA-Z0-9_] maps to '_' ("service.session" ->
+/// "service_session"), keeping every emitted name exposition-legal.
+std::string SanitizeCategory(std::string_view category) {
+  std::string out;
+  out.reserve(category.size());
+  for (char c : category) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* VerbName(Verb verb) {
@@ -148,6 +162,31 @@ std::string PrometheusText(const ServiceStats& stats) {
     if (v.requests == 0) continue;
     Sample(out, "stemroot_service_request_latency_max_us", VerbLabel(v),
            v.max_us);
+  }
+
+  // Process-resource families (DESIGN.md §15). RSS/HWM are byte gauges
+  // (HWM is monotone by construction — metrics_check enforces it across
+  // scrapes); the sampler tick count is a counter; the logical
+  // per-category peaks are one family per category, also monotone.
+  Family(out, "stemroot_process_rss_bytes", "gauge");
+  Sample(out, "stemroot_process_rss_bytes", "",
+         static_cast<double>(stats.process_rss_bytes));
+  Family(out, "stemroot_process_hwm_bytes", "gauge");
+  Sample(out, "stemroot_process_hwm_bytes", "",
+         static_cast<double>(stats.process_hwm_bytes));
+  Family(out, "stemroot_process_resource_samples_total", "counter");
+  Sample(out, "stemroot_process_resource_samples_total", "",
+         static_cast<double>(stats.resource_samples));
+  Family(out, "stemroot_process_cpu_seconds_total", "counter");
+  Sample(out, "stemroot_process_cpu_seconds_total", "mode=\"user\"",
+         stats.process_cpu_user_seconds);
+  Sample(out, "stemroot_process_cpu_seconds_total", "mode=\"system\"",
+         stats.process_cpu_system_seconds);
+  for (const auto& [category, bytes] : stats.mem_logical) {
+    const std::string family =
+        "stemroot_mem_" + SanitizeCategory(category) + "_bytes";
+    Family(out, family, "gauge");
+    Sample(out, family, "", static_cast<double>(bytes));
   }
 
   Family(out, "stemroot_journal_events_total", "counter");

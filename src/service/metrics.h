@@ -30,6 +30,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <string_view>
@@ -82,6 +83,15 @@ struct ServiceStats {
   uint64_t journal_emitted = 0;
   uint64_t journal_dropped = 0;
   uint64_t journal_errors = 0;
+  /// resource::GetStats()/LogicalPeaks() at assembly time (DESIGN.md
+  /// §15): physical RSS (environmental) and the logical per-category
+  /// peaks. All zeros/empty when the resource subsystem never ran.
+  uint64_t process_rss_bytes = 0;
+  uint64_t process_hwm_bytes = 0;      ///< monotonic high water
+  uint64_t resource_samples = 0;
+  double process_cpu_user_seconds = 0.0;
+  double process_cpu_system_seconds = 0.0;
+  std::map<std::string, uint64_t> mem_logical;  ///< category -> peak bytes
 };
 
 /// Per-verb latency histograms and request/error counters. Thread-safe;

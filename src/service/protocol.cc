@@ -302,6 +302,21 @@ BrokerResult SessionBroker::HandleLine(const std::string& line) {
       jw.Int("dropped", stats.journal_dropped);
       jw.Int("errors", stats.journal_errors);
       w.Raw("journal", jw.Finish());
+      ObjectWriter mw;
+      mw.Int("rss_bytes", stats.process_rss_bytes);
+      mw.Int("hwm_bytes", stats.process_hwm_bytes);
+      mw.Int("samples", stats.resource_samples);
+      mw.Num("cpu_user_seconds", stats.process_cpu_user_seconds);
+      mw.Num("cpu_system_seconds", stats.process_cpu_system_seconds);
+      std::string logical = "{";
+      for (const auto& [category, bytes] : stats.mem_logical) {
+        if (logical.size() > 1) logical += ",";
+        json::AppendString(logical, category);
+        logical += ":" + std::to_string(bytes);
+      }
+      logical += "}";
+      mw.Raw("logical", logical);
+      w.Raw("mem", mw.Finish());
       return Success(w);
     }
     if (op == "health") {

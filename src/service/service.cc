@@ -10,6 +10,7 @@
 #include "baselines/registry.h"
 #include "common/journal.h"
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "core/kkt.h"
@@ -410,6 +411,14 @@ void Service::FeedChunk(Session& session, const KernelTrace& source,
   }
   session.feed_invocations += invocations.size();
   telemetry::Count("service.feed_invocations", invocations.size());
+  // Per-session streaming state. "service."-prefixed categories are
+  // environmental (the peak depends on which sessions are live), so this
+  // is excluded from compare/regress gating like service.* counters.
+  resource::AccountPeak(
+      "service.session",
+      session.accumulated.ApproxBytes() +
+          session.roots.size() *
+              (sizeof(core::StreamingRoot) + 4 * sizeof(void*)));
 }
 
 SessionStatus Service::Query(SessionId id) {
@@ -599,6 +608,16 @@ ServiceStats Service::GetStats() const {
   stats.journal_emitted = js.emitted;
   stats.journal_dropped = js.dropped;
   stats.journal_errors = js.errors;
+  // One fresh physical observation per stats assembly, so the exposition
+  // stays live even between sampler ticks.
+  resource::SamplePhysical();
+  const resource::Stats rs = resource::GetStats();
+  stats.process_rss_bytes = rs.current_rss_bytes;
+  stats.process_hwm_bytes = rs.peak_rss_bytes;
+  stats.resource_samples = rs.samples;
+  stats.process_cpu_user_seconds = rs.user_cpu_seconds;
+  stats.process_cpu_system_seconds = rs.system_cpu_seconds;
+  stats.mem_logical = resource::LogicalPeaks();
   return stats;
 }
 

@@ -44,6 +44,13 @@ class Cache {
   uint32_t Associativity() const { return assoc_; }
   uint64_t SizeBytes() const { return size_bytes_; }
 
+  /// Logical model-state footprint in bytes (the line array plus the
+  /// object itself) — a pure function of the cache geometry, for the
+  /// "sim" category of resource::AccountPeak (DESIGN.md §15).
+  uint64_t ApproxBytes() const {
+    return sizeof(*this) + lines_.size() * sizeof(Line);
+  }
+
  private:
   struct Line {
     uint64_t tag = ~0ULL;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/telemetry.h"
 #include "sim/cta_scheduler.h"
 
@@ -61,6 +62,16 @@ std::vector<Lane> MakeLanes(const KernelTrace& trace, const SimConfig& config,
         if (selected[idx]) lanes[i].work.push_back(idx);
     }
     lanes[i].sim = std::make_unique<Simulator>(config);
+  }
+  if (resource::AccountingEnabled()) {
+    // Lane state is a function of (trace, config, sim_shards, selected)
+    // only -- sim_threads and epoch_cycles never enter, so the logical
+    // "sim" peak compares clean across pacing settings (DESIGN.md §12).
+    uint64_t bytes = 0;
+    for (const Lane& lane : lanes)
+      bytes += sizeof(Lane) + lane.sim->ApproxStateBytes() +
+               lane.work.size() * sizeof(uint32_t);
+    resource::AccountPeak("sim", bytes);
   }
   return lanes;
 }

@@ -71,6 +71,14 @@ class Simulator {
   /// The DRAM channel share (busy-cycle and byte accounting).
   const DramModel& Dram() const { return dram_; }
 
+  /// Logical footprint of this simulator's persistent state (L2 slice +
+  /// private L1 + the object itself) in bytes — a pure function of the
+  /// SimConfig geometry, for the "sim" category of resource::AccountPeak
+  /// (DESIGN.md §15).
+  uint64_t ApproxStateBytes() const {
+    return sizeof(*this) + l2_.ApproxBytes() + sm_.L1ApproxBytes();
+  }
+
  private:
   SimConfig config_;
   Cache l2_;

@@ -66,6 +66,9 @@ class SmModel {
   /// Content digest of the private L1 (see Cache::ContentDigest).
   uint64_t L1Digest() const { return l1_.ContentDigest(); }
 
+  /// Logical footprint of the private L1 (see Cache::ApproxBytes).
+  uint64_t L1ApproxBytes() const { return l1_.ApproxBytes(); }
+
  private:
   const SimConfig& config_;
   Cache l1_;

@@ -38,6 +38,19 @@ double KernelTrace::TotalDurationUs() const {
   return total;
 }
 
+uint64_t KernelTrace::ApproxBytes() const {
+  uint64_t bytes = sizeof(*this);
+  bytes += invocations_.size() * sizeof(KernelInvocation);
+  for (const KernelType& type : types_) {
+    bytes += sizeof(KernelType) + type.name.size();
+    bytes += type.block_weights.size() * sizeof(float);
+    // name_to_id_ entry: key string + mapped id + node overhead (two
+    // pointers is the conventional unordered_map node estimate).
+    bytes += type.name.size() + sizeof(uint32_t) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
 std::vector<std::vector<uint32_t>> KernelTrace::GroupByKernel() const {
   std::vector<std::vector<uint32_t>> groups(types_.size());
   for (size_t i = 0; i < invocations_.size(); ++i)

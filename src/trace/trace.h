@@ -72,6 +72,13 @@ class KernelTrace {
   /// Reserve capacity for n invocations (generators know their size).
   void Reserve(size_t n) { invocations_.reserve(n); }
 
+  /// Logical size of this trace's payload in bytes: invocation timeline +
+  /// kernel type table (names, CFG weights) + the name index. Computed
+  /// from element *counts*, never vector capacities, so the number is
+  /// deterministic for a given trace regardless of growth history — the
+  /// "trace" category of resource::Account (DESIGN.md §15).
+  uint64_t ApproxBytes() const;
+
  private:
   std::string workload_name_;
   std::vector<KernelType> types_;

@@ -149,6 +149,76 @@ TEST(ManifestTest, JournalBlockRejectsNegativeCounts) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(ManifestTest, MemBlockRoundTrips) {
+  RunManifest m = MakeManifest();
+  m.mem.present = true;
+  m.mem.peak_rss_bytes = 123456789;
+  m.mem.samples = 42;
+  m.mem.logical = {{"trace", 1000}, {"root", 2000}, {"cache", 3000}};
+  const std::string text = m.ToJson(/*pretty=*/true);
+  EXPECT_NE(text.find("\"mem\""), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_TRUE(back.mem.present);
+  EXPECT_EQ(back.mem.peak_rss_bytes, 123456789u);
+  EXPECT_EQ(back.mem.samples, 42u);
+  EXPECT_EQ(back.mem.logical, m.mem.logical);
+}
+
+TEST(ManifestTest, MemBlockIsOptional) {
+  // Pre-PR manifests carry no mem block; readers see present == false
+  // and serialization without it is byte-for-byte unchanged.
+  const RunManifest m = MakeManifest();
+  const std::string text = m.ToJson(/*pretty=*/false);
+  EXPECT_EQ(text.find("\"mem\""), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_FALSE(back.mem.present);
+  EXPECT_EQ(back.mem.peak_rss_bytes, 0u);
+  EXPECT_TRUE(back.mem.logical.empty());
+}
+
+TEST(ManifestTest, MemBlockRejectsNegativeAndMalformed) {
+  RunManifest m = MakeManifest();
+  m.mem.present = true;
+  m.mem.peak_rss_bytes = 10;
+  m.mem.logical = {{"trace", 5}};
+  const std::string good = m.ToJson(/*pretty=*/false);
+  auto broke = [&](const std::string& from, const std::string& to) {
+    std::string doc = good;
+    const size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return doc;
+  };
+  RunManifest back;
+  std::string error;
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"peak_rss_bytes\":10", "\"peak_rss_bytes\":-10"), back,
+      &error));
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"trace\":5", "\"trace\":-5"), back, &error));
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"trace\":5", "\"trace\":\"big\""), back, &error));
+  // A mem block without the logical map is malformed.
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke(",\"logical\":{\"trace\":5}", ""), back, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, MemBlockDoesNotAffectFingerprint) {
+  // Physical memory is environmental: two runs that differ only in the
+  // mem block are the same ledger identity.
+  const RunManifest a = MakeManifest();
+  RunManifest b = a;
+  b.mem.present = true;
+  b.mem.peak_rss_bytes = 1ull << 40;
+  b.mem.logical = {{"trace", 999}};
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
 TEST(ManifestTest, ValidationRejectsNonConformingDocuments) {
   std::string error;
   EXPECT_FALSE(ValidateManifestJson("not json at all", &error));

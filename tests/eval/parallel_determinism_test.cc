@@ -12,6 +12,7 @@
 
 #include "baselines/random_sampler.h"
 #include "common/parallel.h"
+#include "common/resource.h"
 #include "common/rng.h"
 #include "core/sampler.h"
 #include "eval/metrics.h"
@@ -114,6 +115,43 @@ TEST(ParallelDeterminismTest, ReprofilingIsIdempotentAcrossThreadCounts) {
   SetNumThreads(0);
   for (size_t i = 0; i < trace.NumInvocations(); ++i)
     ASSERT_EQ(Bits(trace.At(i).duration_us), before[i]) << "invocation " << i;
+}
+
+/// Logical peaks with the environmental cache*/service* categories
+/// stripped -- the set regress/compare actually gate.
+std::map<std::string, uint64_t> DeterministicPeaks() {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [category, bytes] : resource::LogicalPeaks())
+    if (category.rfind("cache", 0) != 0 && category.rfind("service", 0) != 0)
+      out.emplace(category, bytes);
+  return out;
+}
+
+TEST(ParallelDeterminismTest, LogicalMemPeaksIdenticalAcrossThreadCounts) {
+  // The mem-block determinism contract (DESIGN.md section 15): logical
+  // per-category peaks are computed from container sizes, never from the
+  // allocator or the schedule, so threads 1 and threads 4 must agree to
+  // the byte. Physical RSS is environmental and deliberately unasserted.
+  resource::SetAccountingEnabled(true);
+  resource::ResetAccounting();
+  RunCasioSubset(1);
+  const std::map<std::string, uint64_t> serial = DeterministicPeaks();
+
+  resource::ResetAccounting();
+  RunCasioSubset(4);
+  const std::map<std::string, uint64_t> parallel = DeterministicPeaks();
+  resource::SetAccountingEnabled(false);
+  resource::ResetAccounting();
+
+  // The pipeline charges at least trace/plan/eval/root on this path.
+  EXPECT_GE(serial.size(), 4u);
+  for (const char* category : {"trace", "plan", "eval", "root"}) {
+    EXPECT_TRUE(serial.count(category) != 0) << category;
+    if (serial.count(category) != 0) {
+      EXPECT_GT(serial.at(category), 0u);
+    }
+  }
+  EXPECT_EQ(serial, parallel);
 }
 
 TEST(ParallelDeterminismTest, EvaluateRepeatedIdenticalAcrossThreadCounts) {

@@ -137,6 +137,48 @@ TEST(CompareTest, SessionAndRunAreOneCommandFamily) {
   EXPECT_TRUE(CompareManifests(batch, session).deterministic_drift);
 }
 
+TEST(CompareTest, LogicalMemDriftTripsTheExitCode) {
+  RunManifest a = MakeRun();
+  a.mem.present = true;
+  a.mem.logical = {{"trace", 1000}, {"root", 2000}};
+  RunManifest b = a;
+  b.mem.logical["trace"] = 1001;  // deterministic category moved
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_TRUE(report.deterministic_drift) << report.ToText();
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), kExitRegression);
+}
+
+TEST(CompareTest, EnvironmentalMemNeverGates) {
+  // cache*/service* categories, the physical peak, and the sample count
+  // are all environmental: warmth and scheduling move them freely.
+  RunManifest a = MakeRun();
+  a.mem.present = true;
+  a.mem.peak_rss_bytes = 100 << 20;
+  a.mem.samples = 4;
+  a.mem.logical = {{"trace", 1000}, {"cache", 500}, {"service.session", 9}};
+  RunManifest b = a;
+  b.mem.peak_rss_bytes = 900 << 20;
+  b.mem.samples = 40;
+  b.mem.logical["cache"] = 99999;
+  b.mem.logical.erase("service.session");
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_FALSE(report.deterministic_drift) << report.ToText();
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+}
+
+TEST(CompareTest, MemGatesOnlyWhenBothSidesCarryIt) {
+  // One side ran without accounting: that's environmental, not drift.
+  RunManifest a = MakeRun();
+  RunManifest b = MakeRun();
+  b.mem.present = true;
+  b.mem.logical = {{"trace", 12345}};
+  const CompareReport report = CompareManifests(a, b);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_FALSE(report.deterministic_drift) << report.ToText();
+}
+
 TEST(CompareTest, StageTableCoversTheUnion) {
   const RunManifest a = MakeRun();
   RunManifest b = MakeRun();
@@ -425,6 +467,77 @@ TEST(RegressTest, SummarizeJournalFileTalliesAndToleratesTornTail) {
   for (const GateResult& gate : report.gates)
     if (gate.gate == "journal:errors") errors_tripped = gate.regressed;
   EXPECT_TRUE(errors_tripped);
+}
+
+RunManifest MakeMemRun(uint64_t peak_rss_mb, uint64_t trace_bytes) {
+  RunManifest m = MakeRun();
+  m.mem.present = true;
+  m.mem.peak_rss_bytes = peak_rss_mb << 20;
+  m.mem.samples = 3;
+  m.mem.logical = {{"trace", trace_bytes},
+                   {"root", 4096},
+                   {"cache", 1234}};
+  return m;
+}
+
+TEST(RegressTest, PeakRssGateTripsOnInflatedMemory) {
+  // Stable physical baseline, then a 10x blow-up: the mem:peak_rss gate
+  // must trip (threshold = median + max(3*MAD, 2% median)).
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeMemRun(100, 1000));
+  ledger.Add(MakeMemRun(1000, 1000));
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  bool rss_tripped = false;
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "mem:peak_rss") rss_tripped = gate.regressed;
+  EXPECT_TRUE(rss_tripped) << report.ToText();
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+}
+
+TEST(RegressTest, PeakRssWithinNoiseIsClean) {
+  Ledger ledger;
+  for (uint64_t mb : {100, 104, 98, 102}) ledger.Add(MakeMemRun(mb, 1000));
+  ledger.Add(MakeMemRun(103, 1000));
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  for (const GateResult& gate : report.gates)
+    if (gate.gate == "mem:peak_rss") {
+      EXPECT_FALSE(gate.regressed) << report.ToText();
+    }
+}
+
+TEST(RegressTest, LogicalMemCategoryGateTripsButEnvironmentalSkips) {
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeMemRun(100, 1000));
+  RunManifest bloated = MakeMemRun(100, 5000);  // trace logical 5x up
+  bloated.mem.logical["cache"] = 999999;        // environmental, never gated
+  ledger.Add(bloated);
+
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  bool trace_tripped = false, root_seen = false;
+  for (const GateResult& gate : report.gates) {
+    if (gate.gate == "mem:trace") trace_tripped = gate.regressed;
+    if (gate.gate == "mem:root") {
+      root_seen = true;
+      EXPECT_FALSE(gate.regressed) << report.ToText();
+    }
+    EXPECT_NE(gate.gate, "mem:cache") << "environmental category gated";
+  }
+  EXPECT_TRUE(trace_tripped) << report.ToText();
+  EXPECT_TRUE(root_seen);
+  EXPECT_EQ(report.ExitCode(), kExitRegression);
+}
+
+TEST(RegressTest, ManifestsWithoutMemSkipMemGates) {
+  Ledger ledger;
+  for (int i = 0; i < 3; ++i) ledger.Add(MakeRun());
+  const RegressReport report = CheckRegression(ledger, RegressOptions{});
+  ASSERT_TRUE(report.checked);
+  for (const GateResult& gate : report.gates)
+    EXPECT_NE(gate.gate.rfind("mem:", 0), 0u) << gate.gate;
 }
 
 TEST(RegressTest, BaselineIgnoresOtherFingerprintsAndCrashedRuns) {

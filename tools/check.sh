@@ -156,6 +156,36 @@ run_mode() {
     echo "regress drill FAILED: accuracy violation not detected" >&2; exit 1
   fi
 
+  echo "=== [$mode] mem drill (memory-aware gating, DESIGN.md §15) ==="
+  # The two identical-seed manifests above (threads 1 vs 4) must both
+  # carry a populated mem block: a physical peak plus logical category
+  # peaks. The `stemroot compare` in the manifest smoke already proved
+  # the logical peaks byte-identical across thread counts.
+  for m in "$man_a" "$man_b"; do
+    grep -q '"peak_rss_bytes"' "$m" && grep -q '"logical"' "$m" || {
+      echo "mem drill FAILED: $m lacks a populated mem block" >&2; exit 1; }
+  done
+  # Forged physical blow-up: a 1 TiB peak-RSS entry on a stable baseline
+  # must trip the mem:peak_rss gate.
+  cp "$drill/ledger.jsonl" "$drill/hog.jsonl"
+  "$dir/tools/manifest_check" "$man_a" --set-mem peak_rss=1099511627776 \
+      --append-to "$drill/hog.jsonl" >/dev/null
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" regress --ledger "$drill/hog.jsonl" >/dev/null
+  then
+    echo "mem drill FAILED: inflated peak RSS not detected" >&2; exit 1
+  fi
+  # Forged logical blow-up: an inflated deterministic category must trip
+  # its mem:<category> gate the same way.
+  cp "$drill/ledger.jsonl" "$drill/bloat.jsonl"
+  "$dir/tools/manifest_check" "$man_a" --set-mem trace=1099511627776 \
+      --append-to "$drill/bloat.jsonl" >/dev/null
+  if env "${san_env[@]}" \
+      "$dir/tools/stemroot" regress --ledger "$drill/bloat.jsonl" >/dev/null
+  then
+    echo "mem drill FAILED: inflated logical mem not detected" >&2; exit 1
+  fi
+
   echo "=== [$mode] sim-determinism drill (sharded engine, DESIGN.md §12) ==="
   # The sharded cycle simulator's contract, machine-checked end to end:
   # a DSE sweep at --sim-threads 1 vs 4 must produce manifests with zero
@@ -284,6 +314,28 @@ EARLY
       --prev "$sdir/metrics-mid.prom" \
       --journal "$sdir/journal.jsonl" --require-event session.open \
       --max-errors 0 >/dev/null
+  # Serve mode auto-enables the resource sampler: the exposition must
+  # carry the process-memory families (metrics_check above already held
+  # stemroot_process_hwm_bytes and stemroot_mem_* to high-water
+  # monotonicity across the two scrapes).
+  for fam in stemroot_process_rss_bytes stemroot_process_hwm_bytes; do
+    grep -q "^$fam " "$sdir/metrics.prom" || {
+      echo "serve drill FAILED: exposition lacks $fam" >&2
+      cat "$sdir/metrics.prom" >&2; exit 1; }
+  done
+  # The journal pretty-printer round-trips the real service journal and
+  # its filters agree with the writer's severity tokens.
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" journal tail "$sdir/journal.jsonl" \
+      >"$sdir/journal-tail.txt" 2>/dev/null
+  grep -q 'session.open' "$sdir/journal-tail.txt" || {
+    echo "serve drill FAILED: journal tail lost session.open" >&2; exit 1; }
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" journal tail "$sdir/journal.jsonl" \
+      --verb session.open >"$sdir/journal-opens.txt" 2>/dev/null
+  if grep -qv 'session.open' "$sdir/journal-opens.txt"; then
+    echo "serve drill FAILED: --verb filter leaked other events" >&2; exit 1
+  fi
 
   # Session 2 converged on ~4k of ~14k invocations: the manifest must
   # validate and carry the early-stop evidence.

@@ -6,7 +6,7 @@
 ///   manifest_check FILE... [--require-stage NAME]... [--require-completed]
 ///                  [--require-counter NAME]... [--stage-leq NAME=OTHER.json]...
 ///   manifest_check FILE [--scale-stage NAME=FACTOR] [--set-error-pct X]
-///                  [--out FILE] [--append-to LEDGER]
+///                  [--set-mem KEY=BYTES] [--out FILE] [--append-to LEDGER]
 ///
 /// Validation mode checks every FILE parses and conforms to the schema,
 /// optionally requiring named stages and the completed flag.
@@ -22,7 +22,10 @@
 /// metric, then writes the result to --out and/or appends it as a compact
 /// line to --append-to. check.sh uses this to forge a known slowdown or
 /// accuracy-budget violation and assert `stemroot regress` catches it --
-/// without shell JSON editing.
+/// without shell JSON editing. --set-mem forges the memory block the same
+/// way: KEY is "peak_rss" (physical bytes) or a logical category name
+/// ("trace", "root", ...); the block's present flag is set, so an
+/// inflated peak trips the mem:peak_rss / mem:<category> gates.
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +47,8 @@ int UsageError() {
                "[--stage-leq NAME=OTHER.json]...\n"
                "       manifest_check FILE [--scale-stage NAME=FACTOR] "
                "[--set-error-pct X]\n"
-               "                      [--out FILE] [--append-to LEDGER]\n");
+               "                      [--set-mem KEY=BYTES] [--out FILE] "
+               "[--append-to LEDGER]\n");
   return 2;
 }
 
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   double scale_factor = 1.0;
   bool set_error = false;
   double error_pct = 0.0;
+  std::vector<std::pair<std::string, uint64_t>> set_mem;  // key, bytes
   std::string out_path;
   std::string append_to;
 
@@ -104,6 +109,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--set-error-pct") {
       set_error = true;
       error_pct = std::atof(value());
+    } else if (arg == "--set-mem") {
+      const std::string spec = value();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--set-mem wants KEY=BYTES, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      const double bytes = std::atof(spec.c_str() + eq + 1);
+      if (bytes < 0.0) {
+        std::fprintf(stderr, "bad --set-mem '%s' (negative bytes)\n",
+                     spec.c_str());
+        return 2;
+      }
+      set_mem.emplace_back(spec.substr(0, eq),
+                           static_cast<uint64_t>(bytes));
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--append-to") {
@@ -118,7 +139,8 @@ int main(int argc, char** argv) {
   if (paths.empty()) return UsageError();
 
   const bool perturbing = !scale_stage.empty() || set_error ||
-                          !out_path.empty() || !append_to.empty();
+                          !set_mem.empty() || !out_path.empty() ||
+                          !append_to.empty();
   if (perturbing && paths.size() != 1) {
     std::fprintf(stderr,
                  "perturbation mode takes exactly one manifest file\n");
@@ -215,6 +237,13 @@ int main(int argc, char** argv) {
       if (set_error) {
         manifest.metrics.present = true;
         manifest.metrics.error_pct = error_pct;
+      }
+      for (const auto& [key, bytes] : set_mem) {
+        manifest.mem.present = true;
+        if (key == "peak_rss")
+          manifest.mem.peak_rss_bytes = bytes;
+        else
+          manifest.mem.logical[key] = bytes;
       }
       if (!out_path.empty()) {
         manifest.Save(out_path);

@@ -15,6 +15,10 @@
 ///   metrics_check EXPOSITION.prom --prev EARLIER.prom
 ///     Counter monotonicity: no counter sample may be lower than the same
 ///     (name, labels) sample in the earlier scrape of the same process.
+///     The high-water gauges (stemroot_process_hwm_bytes and every
+///     stemroot_mem_* logical peak) are monotone by construction, so they
+///     are held to the same rule despite their gauge type; all
+///     stemroot_process_*/stemroot_mem_* gauges must also be >= 0.
 ///
 ///   metrics_check --lint-manifest MANIFEST.json
 ///     Counter-name lint: every `service.*` telemetry counter in the
@@ -85,6 +89,22 @@ struct Exposition {
   std::map<std::string, std::string> types;  ///< family -> type
   std::map<std::string, double> samples;     ///< "name{labels}" -> value
 };
+
+/// Gauges that are nonetheless monotone by construction: the process RSS
+/// high water only ratchets up, and the logical per-category peaks are
+/// running maxima (common/resource.h). --prev holds them to the counter
+/// monotonicity rule.
+bool IsMonotoneGauge(const std::string& family) {
+  return family == "stemroot_process_hwm_bytes" ||
+         family.rfind("stemroot_mem_", 0) == 0;
+}
+
+/// The process-resource families must never go negative, gauge type or
+/// not: bytes and tick counts have no meaningful negative value.
+bool IsNonNegativeFamily(const std::string& family) {
+  return family.rfind("stemroot_process_", 0) == 0 ||
+         family.rfind("stemroot_mem_", 0) == 0;
+}
 
 /// The family a sample belongs to: its name minus the summary/histogram
 /// component suffixes.
@@ -185,6 +205,10 @@ bool ParseExposition(const std::string& text, const std::string& what,
       Fail(where + ": counter '" + name + "' is negative");
       ok = false;
     }
+    if (IsNonNegativeFamily(family) && value < 0.0) {
+      Fail(where + ": resource gauge '" + name + "' is negative");
+      ok = false;
+    }
     out.samples[name + labels] = value;
   }
   return ok;
@@ -195,16 +219,21 @@ void CheckMonotonic(const Exposition& prev, const Exposition& cur,
   for (const auto& [key, prev_value] : prev.samples) {
     const std::string family = FamilyOf(key.substr(0, key.find('{')));
     const auto type = prev.types.find(family);
-    if (type == prev.types.end() || type->second != "counter") continue;
+    if (type == prev.types.end()) continue;
+    const bool monotone =
+        type->second == "counter" || IsMonotoneGauge(family);
+    if (!monotone) continue;
+    const char* what_kind =
+        type->second == "counter" ? "counter" : "high-water gauge";
     const auto it = cur.samples.find(key);
     if (it == cur.samples.end()) {
-      Fail(what + ": counter sample '" + key +
+      Fail(what + ": " + std::string(what_kind) + " sample '" + key +
            "' vanished from the later scrape");
       continue;
     }
     if (it->second < prev_value)
-      Fail(what + ": counter '" + key + "' went backwards (" +
-           std::to_string(prev_value) + " -> " +
+      Fail(what + ": " + std::string(what_kind) + " '" + key +
+           "' went backwards (" + std::to_string(prev_value) + " -> " +
            std::to_string(it->second) + ")");
   }
 }

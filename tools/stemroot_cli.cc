@@ -59,6 +59,7 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/json.h"
+#include "common/resource.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "common/telemetry.h"
@@ -67,6 +68,7 @@
 #include "core/stem.h"
 #include "eval/audit.h"
 #include "eval/dse.h"
+#include "eval/journal_tail.h"
 #include "eval/ledger.h"
 #include "eval/manifest.h"
 #include "eval/options.h"
@@ -113,6 +115,8 @@ commands:
   regress   --ledger FILE [--window K] [--min-history N] [--mad-factor C]
             [--rel-slack X] [--accuracy-slack PP] [--journal FILE]
             [--max-journal-errors N] [--max-journal-dropped N]
+  journal   tail FILE [--min-severity debug|info|warn|error] [--verb EVENT]
+            [--follow true] [--poll-ms N]
   cache     stats|verify|evict [--cache DIR] [--max-bytes N]
 
 methods come from the sampler registry (stem random pka sieve photon
@@ -145,6 +149,17 @@ connection errors); the `stats` and `health` protocol verbs report
 per-verb latency quantiles and liveness. `stemroot stats` renders the
 stats verb (--watch N refreshes every N seconds; --json prints the raw
 response). regress --journal gates on that journal's error/drop counts.
+`stemroot journal tail` pretty-prints a journal file (--min-severity
+filters below the floor, --verb keeps one event name, --follow polls
+for appended lines like tail -f).
+
+resource observability (DESIGN.md section 15): pipeline commands with
+--manifest/--ledger record a "mem" block -- physical peak RSS
+(environmental, regress-gated against the rolling baseline) plus the
+deterministic logical per-category peaks (trace, root, plan, sim, eval,
+...) that `compare` gates byte-for-byte. serve samples RSS/CPU in the
+background by default and exports stemroot_process_*/stemroot_mem_*
+metrics; elsewhere the sampler is opt-in via --resource-sample-ms.
 
 audit compares every ROOT cluster's predicted error bound (Eq. 2 under
 the KKT allocation) against the realized error of seeded sampling plans;
@@ -183,6 +198,10 @@ every command accepts:
                      rounds) and write chrome://tracing / Perfetto JSON.
   --log-level L      silent|warn|inform|debug (default warn).
   --seed N           master seed; every stage derives its own stream.
+  --resource-sample-ms N
+                     sample RSS/CPU every N ms in the background (0 = off,
+                     the default; serve defaults on). physical peaks land
+                     in the manifest mem block and the metrics export.
 )");
   return 2;
 }
@@ -230,6 +249,19 @@ void FillSamplerConfig(eval::RunManifest& manifest, const Flags& flags) {
       flags.GetDouble("epsilon", stem ? defaults.epsilon : 0.0);
   manifest.config.confidence =
       flags.GetDouble("confidence", stem ? defaults.confidence : 0.0);
+}
+
+/// Stamp the manifest's mem block from the resource subsystem: the
+/// physical peak (always available via VmHWM/ru_maxrss, sampler or not)
+/// plus the deterministic logical per-category peaks. No-op when
+/// accounting never ran -- the block stays absent, and compare treats
+/// that as environmental, not drift.
+void FillMem(eval::RunManifest& manifest) {
+  if (!resource::AccountingEnabled()) return;
+  manifest.mem.present = true;
+  manifest.mem.peak_rss_bytes = resource::PeakRssBytes();
+  manifest.mem.samples = resource::GetStats().samples;
+  manifest.mem.logical = resource::LogicalPeaks();
 }
 
 void FillMetrics(eval::RunManifest& manifest,
@@ -721,6 +753,35 @@ int CmdRegress(const Flags& flags) {
   return report.ExitCode();
 }
 
+int CmdJournal(const Flags& flags) {
+  const std::vector<std::string>& pos = flags.Positional();
+  if (pos.size() != 2 || pos[0] != "tail")
+    throw std::invalid_argument(
+        "journal needs an action and a file: stemroot journal tail "
+        "FILE.jsonl");
+  eval::JournalTailOptions options;
+  options.min_severity = flags.GetString("min-severity", "");
+  options.event = flags.GetString("verb", "");
+  options.follow = flags.GetBool("follow", false);
+  options.poll_ms =
+      static_cast<uint64_t>(flags.GetInt("poll-ms", 200));
+  flags.CheckAllRead();
+  if (!options.min_severity.empty() &&
+      eval::SeverityRank(options.min_severity) < 0)
+    throw std::invalid_argument(
+        "journal: unknown --min-severity '" + options.min_severity +
+        "' (available: debug, info, warn, error)");
+
+  const eval::JournalTailResult result =
+      eval::TailJournal(pos[1], options, std::cout);
+  std::fprintf(stderr,
+               "journal: %llu printed, %llu filtered, %llu unparseable\n",
+               static_cast<unsigned long long>(result.printed),
+               static_cast<unsigned long long>(result.filtered),
+               static_cast<unsigned long long>(result.unparseable));
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   service::ServerOptions options;
   options.socket_path = flags.Require("socket");
@@ -740,6 +801,12 @@ int CmdServe(const Flags& flags) {
   options.metrics_interval_seconds =
       flags.GetDouble("metrics-interval", 2.0);
   options.journal_path = flags.GetString("journal", "");
+  // Serve defaults the sampler ON (a resident process is where memory
+  // pressure accrues invisibly); an explicit --resource-sample-ms 0
+  // turns it off. ParseCommonOptions already consumed the flag, so this
+  // re-read just resolves serve's different default.
+  options.resource_sample_ms =
+      static_cast<uint64_t>(flags.GetInt("resource-sample-ms", 250));
   flags.CheckAllRead();
   return service::RunServer(options);
 }
@@ -774,6 +841,27 @@ void PrintStats(const json::Value& stats) {
                     dropped && dropped->IsNumber() ? dropped->number : 0.0),
                 static_cast<unsigned long long>(
                     errors && errors->IsNumber() ? errors->number : 0.0));
+  }
+  if (const json::Value* m = stats.Find("mem"); m && m->IsObject()) {
+    const auto field = [&m](std::string_view key) {
+      const json::Value* f = m->Find(key);
+      return f != nullptr && f->IsNumber() ? f->number : 0.0;
+    };
+    std::printf("mem: rss %s, high water %s (%llu samples), cpu "
+                "%.1fs user + %.1fs system\n",
+                HumanCount(field("rss_bytes")).c_str(),
+                HumanCount(field("hwm_bytes")).c_str(),
+                static_cast<unsigned long long>(field("samples")),
+                field("cpu_user_seconds"), field("cpu_system_seconds"));
+    if (const json::Value* logical = m->Find("logical");
+        logical && logical->IsObject() && !logical->object->empty()) {
+      std::string line = "mem logical peaks:";
+      for (const auto& [category, bytes] : *logical->object)
+        if (bytes.IsNumber())
+          line += Format(" %s=%s", category.c_str(),
+                         HumanCount(bytes.number).c_str());
+      std::printf("%s\n", line.c_str());
+    }
   }
   const json::Value* verbs = stats.Find("verbs");
   if (verbs == nullptr || !verbs->IsObject()) return;
@@ -891,6 +979,7 @@ int main(int argc, char** argv) {
     else if (command == "serve") rc = CmdServe(flags);
     else if (command == "session") rc = CmdSession(flags);
     else if (command == "stats") rc = CmdStats(flags);
+    else if (command == "journal") rc = CmdJournal(flags);
     else if (command == "cache") rc = CmdCache(flags);
     else if (command == "compare") rc = CmdCompare(flags);
     else if (command == "regress") rc = CmdRegress(flags);
@@ -910,6 +999,9 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(stats.dropped));
     }
 
+    // Sampler down before the mem stamp so its final fold is part of
+    // the recorded peak (idempotent when it never ran).
+    resource::StopSampler();
     if (!manifest_path.empty() || !ledger_path.empty()) {
       manifest.completed = rc == 0;
       manifest.wall_time_seconds = std::chrono::duration<double>(
@@ -917,6 +1009,7 @@ int main(int argc, char** argv) {
                                        start)
                                        .count();
       manifest.FillFromSnapshot(telemetry::Capture());
+      FillMem(manifest);
       if (!manifest_path.empty()) {
         manifest.Save(manifest_path);
         std::printf("manifest: %s\n", manifest_path.c_str());
@@ -929,6 +1022,7 @@ int main(int argc, char** argv) {
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    resource::StopSampler();
     // Leave crash evidence: finalize the manifest as a failed run.
     if (!manifest_path.empty()) {
       try {
@@ -939,6 +1033,7 @@ int main(int argc, char** argv) {
                                          start)
                                          .count();
         manifest.FillFromSnapshot(telemetry::Capture());
+        FillMem(manifest);
         manifest.Save(manifest_path);
       } catch (const std::exception&) {
         // The original error is the one worth reporting.
