@@ -23,6 +23,7 @@
 #include "eval/dse.h"
 #include "eval/pipeline.h"
 #include "eval/runner.h"
+#include "eval/stream.h"
 #include "hw/hardware_model.h"
 #include "service/metrics.h"
 #include "sim/sampled_sim.h"
@@ -262,6 +263,62 @@ void BM_DseSweepThreads(benchmark::State& state) {
 BENCHMARK(BM_DseSweepThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The out-of-core trace-size axis (DESIGN.md section 16): StreamTrace
+/// over a ReplicatedChunkSource that tiles one profiled bert_infer base
+/// trace out to N logical invocations -- 10^8 here with full online
+/// clustering, 10^9 in the decode-only variant below; orders of
+/// magnitude more than fits in memory as KernelInvocation structs.
+/// Analysis cost must stay O(N) while the resident footprint
+/// stays pinned at the source's chunk budget (about two decoded chunks),
+/// reported here as the resident_budget_bytes counter; check.sh gates
+/// the same bound end to end via the manifest's logical `trace` peak.
+void BM_StreamTraceLogicalSize(benchmark::State& state) {
+  const KernelTrace base = TraceOfSize(63000);
+  const ReplicatedChunkSource source(
+      base, static_cast<uint64_t>(state.range(0)), uint64_t{1} << 20);
+  eval::StreamOptions options;
+  options.seed = bench::kSeed;
+  for (auto _ : state) {
+    const eval::StreamResult result = eval::StreamTrace(source, options);
+    benchmark::DoNotOptimize(result.invocations);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["resident_budget_bytes"] =
+      static_cast<double>(source.ResidentBudgetBytes());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StreamTraceLogicalSize)
+    ->RangeMultiplier(10)
+    ->Range(1000000, 100000000)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same axis with online clustering off isolates the raw chunk
+/// materialization + fold cost -- the floor any out-of-core analysis
+/// pays per invocation. The gap to BM_StreamTraceLogicalSize is the
+/// incremental ROOT/STEM cost per streamed invocation.
+void BM_StreamTraceDecodeOnly(benchmark::State& state) {
+  const KernelTrace base = TraceOfSize(63000);
+  const ReplicatedChunkSource source(
+      base, static_cast<uint64_t>(state.range(0)), uint64_t{1} << 20);
+  eval::StreamOptions options;
+  options.seed = bench::kSeed;
+  options.cluster = false;
+  for (auto _ : state) {
+    const eval::StreamResult result = eval::StreamTrace(source, options);
+    benchmark::DoNotOptimize(result.invocations);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StreamTraceDecodeOnly)
+    ->RangeMultiplier(10)
+    ->Range(1000000, 1000000000)
+    ->Complexity(benchmark::oN)
     ->Unit(benchmark::kMillisecond);
 
 /// The observability off-switch contract: with telemetry, tracing, the

@@ -243,4 +243,50 @@ std::vector<ClusterStats> StreamingRoot::Stats() const {
   return out;
 }
 
+StreamingTraceClusterer::StreamingTraceClusterer(
+    const StreamingRootConfig& config, const KernelTrace& header,
+    uint64_t seed) {
+  roots_.reserve(header.NumKernelTypes());
+  for (uint32_t k = 0; k < header.NumKernelTypes(); ++k)
+    roots_.emplace_back(config, DeriveSeed(seed, k));
+}
+
+void StreamingTraceClusterer::ObserveChunk(
+    std::span<const KernelInvocation> chunk) {
+  for (const KernelInvocation& inv : chunk) {
+    if (inv.duration_us <= 0.0) continue;
+    roots_.at(inv.kernel_id).Observe(inv.duration_us);
+    ++observations_;
+  }
+}
+
+size_t StreamingTraceClusterer::TotalClusters() const {
+  size_t total = 0;
+  for (const StreamingRoot& root : roots_) total += root.NumClusters();
+  return total;
+}
+
+uint64_t StreamingTraceClusterer::TotalSplits() const {
+  uint64_t total = 0;
+  for (const StreamingRoot& root : roots_) total += root.NumSplits();
+  return total;
+}
+
+uint64_t StreamingTraceClusterer::TotalMerges() const {
+  uint64_t total = 0;
+  for (const StreamingRoot& root : roots_) total += root.NumMerges();
+  return total;
+}
+
+std::vector<ClusterStats> StreamingTraceClusterer::AllStats() const {
+  std::vector<ClusterStats> out;
+  for (const StreamingRoot& root : roots_) {
+    // Skip kernels that never observed a duration (zero clusters or a
+    // single empty seed cluster contributes nothing).
+    for (const ClusterStats& s : root.Stats())
+      if (s.n > 0) out.push_back(s);
+  }
+  return out;
+}
+
 }  // namespace stemroot::core

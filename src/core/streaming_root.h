@@ -35,11 +35,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/root.h"
+#include "trace/kernel.h"
+#include "trace/trace.h"
 
 namespace stemroot::core {
 
@@ -111,6 +114,53 @@ class StreamingRoot {
   uint64_t splits_ = 0;
   uint64_t merges_ = 0;
   std::vector<Cluster> clusters_;  ///< kept sorted by center
+};
+
+/// Whole-trace streaming ROOT: one StreamingRoot per kernel type, fed
+/// chunk by chunk (trace/chunked.h). This is the clustering stage of the
+/// out-of-core pipeline -- it never needs more of the timeline resident
+/// than the chunk currently being folded, so a billion-invocation trace
+/// clusters in bounded memory.
+///
+/// Per-kernel seeds derive as DeriveSeed(seed, kernel_id), identical to
+/// feeding each kernel's durations to a standalone StreamingRoot, so the
+/// structure is a pure function of (header, chunk contents in order,
+/// seed) -- invariant to chunk size and to whether the chunks came from
+/// memory, a file, or a replicated synthetic source.
+class StreamingTraceClusterer {
+ public:
+  /// `header` supplies the kernel-type table (a HeaderClone() is fine);
+  /// one StreamingRoot is created per type.
+  StreamingTraceClusterer(const StreamingRootConfig& config,
+                          const KernelTrace& header, uint64_t seed);
+
+  /// Fold one chunk of invocations (timeline order across calls).
+  /// Invocations with non-positive durations are skipped, matching the
+  /// service-session feed contract. Throws std::out_of_range on a
+  /// kernel_id outside the header table.
+  void ObserveChunk(std::span<const KernelInvocation> chunk);
+
+  size_t NumKernels() const { return roots_.size(); }
+  const StreamingRoot& Root(size_t kernel_id) const {
+    return roots_.at(kernel_id);
+  }
+
+  /// Invocations folded (positive-duration only).
+  uint64_t Observations() const { return observations_; }
+  /// Current cluster count summed over kernels.
+  size_t TotalClusters() const;
+  /// Lifetime split/merge totals summed over kernels.
+  uint64_t TotalSplits() const;
+  uint64_t TotalMerges() const;
+
+  /// Concatenated per-kernel cluster stats in kernel-id order (each
+  /// kernel's clusters ordered by center), the flat form eval::StreamTrace
+  /// reports.
+  std::vector<ClusterStats> AllStats() const;
+
+ private:
+  std::vector<StreamingRoot> roots_;  ///< index == kernel_id
+  uint64_t observations_ = 0;
 };
 
 }  // namespace stemroot::core

@@ -206,6 +206,15 @@ std::string RunManifest::ToJson(bool pretty) const {
     b += "}}";
     w.Field("mem", b);
   }
+  if (trace_spill.present) {
+    w.Comma();
+    std::string t =
+        "{\"chunk_invocations\":" + U64(trace_spill.chunk_invocations);
+    t += ",\"chunks\":" + U64(trace_spill.chunks);
+    t += ",\"bytes\":" + U64(trace_spill.bytes);
+    t += '}';
+    w.Field("trace_spill", t);
+  }
   if (!error.empty()) {
     w.Comma();
     w.StringField("error", error);
@@ -372,6 +381,25 @@ bool RunManifest::FromJson(std::string_view text, RunManifest& out,
     m.mem.present = true;
   }
 
+  if (const json::Value* spill = root.Find("trace_spill")) {
+    if (!spill->IsObject())
+      return SchemaFail(error, "\"trace_spill\" is not an object");
+    double chunk_invocations = 0.0, chunks = 0.0, bytes = 0.0;
+    if (!GetNumberField(*spill, "chunk_invocations", chunk_invocations, error,
+                        "trace_spill") ||
+        !GetNumberField(*spill, "chunks", chunks, error, "trace_spill") ||
+        !GetNumberField(*spill, "bytes", bytes, error, "trace_spill"))
+      return false;
+    if (chunk_invocations < 1.0 || chunks < 0.0 || bytes < 0.0)
+      return SchemaFail(error,
+                        "trace_spill counts must be >= 0 (chunk_invocations "
+                        ">= 1)");
+    m.trace_spill.chunk_invocations = static_cast<uint64_t>(chunk_invocations);
+    m.trace_spill.chunks = static_cast<uint64_t>(chunks);
+    m.trace_spill.bytes = static_cast<uint64_t>(bytes);
+    m.trace_spill.present = true;
+  }
+
   if (const json::Value* err = root.Find("error")) {
     if (!err->IsString())
       return SchemaFail(error, "\"error\" is not a string");
@@ -440,6 +468,13 @@ std::string RunManifest::Fingerprint() const {
     // concurrency, so runs at different --sim-threads share a baseline.
     fp += "|sim_shards=" + U64(config.sim_shards);
     fp += "|epoch_cycles=" + U64(config.epoch_cycles);
+  }
+  if (trace_spill.present) {
+    // Like epoch_cycles: spilling never changes results (chunked
+    // byte-identity contract) but reshapes wall time and memory, so perf
+    // baselines split on the chunk capacity. The spill's chunks/bytes are
+    // environmental (cache-warmth-dependent reuse) and stay out.
+    fp += "|trace_chunk_invocations=" + U64(trace_spill.chunk_invocations);
   }
   return fp;
 }

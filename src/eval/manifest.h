@@ -37,6 +37,11 @@
 ///       "samples": 12,               //   physical peaks environmental,
 ///       "logical": { "trace": 1234, ... }  // logical peaks deterministic
 ///     },
+///     "trace_spill": {               // optional: only when the run
+///       "chunk_invocations": 65536,  //   spilled the trace out-of-core
+///       "chunks": 3,                 //   (--trace-spill, DESIGN.md §16)
+///       "bytes": 1234567
+///     },
 ///     "error": "..."                 // optional: why the run failed
 ///   }
 ///
@@ -137,6 +142,20 @@ struct RunManifest {
     std::map<std::string, uint64_t> logical;  ///< category -> peak bytes
   };
 
+  /// Out-of-core chunked-trace spill of this run (Pipeline::SpillInfo
+  /// view; eval/stream.h, DESIGN.md §16). Present only when the run
+  /// spilled (--trace-spill). chunk_invocations joins the fingerprint
+  /// like epoch_cycles -- it never changes results (byte-identity is the
+  /// chunked-pipeline contract) but does change the wall-time profile, so
+  /// perf baselines split on it; the compare gate excludes it, chunked
+  /// and in-memory runs of the same config must compare clean.
+  struct TraceSpill {
+    bool present = false;            ///< serialized only when true
+    uint64_t chunk_invocations = 0;  ///< chunk capacity of the spill file
+    uint64_t chunks = 0;             ///< chunks written/reused
+    uint64_t bytes = 0;              ///< spill file size (environmental)
+  };
+
   std::string tool;
   std::string command;
   bool completed = false;
@@ -148,6 +167,7 @@ struct RunManifest {
   Metrics metrics;
   Journal journal;
   Mem mem;
+  TraceSpill trace_spill;
   std::string error;  ///< non-empty only for failed runs
 
   /// Serialize. `pretty` selects the indented multi-line form (manifest

@@ -15,6 +15,8 @@ Pipeline::Options CommonOptions::ToPipelineOptions() const {
   Pipeline::Options options;
   options.seed = seed;
   options.size_scale = scale;
+  options.trace_chunk_invocations = trace_chunk_invocations;
+  options.trace_spill_dir = trace_spill_dir;
   return options;
 }
 
@@ -49,6 +51,12 @@ CommonOptions ParseCommonOptions(const Flags& flags, bool pipeline_command) {
     options.cache_dir = flags.GetString("cache", DefaultTraceCacheDir());
     options.manifest_path = flags.GetString("manifest", "");
     options.ledger_path = flags.GetString("ledger", "");
+    const int64_t chunk = flags.GetInt("trace-chunk-invocations", 0);
+    if (chunk < 0)
+      throw std::invalid_argument(
+          "options: --trace-chunk-invocations must be >= 0");
+    options.trace_chunk_invocations = static_cast<uint64_t>(chunk);
+    options.trace_spill_dir = flags.GetString("trace-spill", "");
   }
   options.Validate();
   return options;

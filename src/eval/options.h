@@ -40,6 +40,12 @@ struct CommonOptions {
   std::string cache_dir;       ///< "" = leave untouched; "none" = disabled
   std::string manifest_path;   ///< "" = no manifest file
   std::string ledger_path;     ///< "" = no ledger append
+  /// --trace-chunk-invocations: chunk capacity of the out-of-core trace
+  /// view (0 = fully in-memory, the default; results are byte-identical
+  /// either way -- see Pipeline::Options).
+  uint64_t trace_chunk_invocations = 0;
+  /// --trace-spill: directory for the chunked on-disk spill ("" = off).
+  std::string trace_spill_dir;
   /// --resource-sample-ms: background RSS/CPU sampler cadence
   /// (common/resource.h); 0 = sampler off (the default everywhere but
   /// `stemroot serve`, which flips it on in ServerOptions). Logical mem

@@ -1,8 +1,12 @@
 #include "eval/pipeline.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "common/cache.h"
+#include "common/log.h"
 #include "common/resource.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
@@ -48,14 +52,18 @@ Pipeline Pipeline::GenerateProfiled(workloads::SuiteId suite,
                                     const Options& options,
                                     const std::string& gpu_name) {
   const TraceCache* cache = DefaultTraceCache();
+  // The key is built even with no cache configured: the spill file
+  // (MaybeSpill) names itself by this digest so a stale spill from a
+  // different build/config can never be mistaken for the current one.
   TraceCacheKey key;
+  key.suite = workloads::ToName(suite);
+  key.workload = workload;
+  key.gpu_digest = GpuDigest(gpu);
+  key.scale = options.size_scale;
+  key.seed = options.seed;
+  key.build_stamp = BuildStamp();
+  const std::string key_digest = HexDigest64(Fnv1a64(key.KeyString()));
   if (cache != nullptr) {
-    key.suite = workloads::ToName(suite);
-    key.workload = workload;
-    key.gpu_digest = GpuDigest(gpu);
-    key.scale = options.size_scale;
-    key.seed = options.seed;
-    key.build_stamp = BuildStamp();
     std::optional<KernelTrace> trace;
     {
       telemetry::Span span("cache.load");
@@ -88,6 +96,7 @@ Pipeline Pipeline::GenerateProfiled(workloads::SuiteId suite,
       pipeline.suite_name_ = workloads::ToName(suite);
       pipeline.workload_ = workload;
       pipeline.gpu_name_ = gpu_name;
+      pipeline.MaybeSpill(key_digest);
       return pipeline;
     }
   }
@@ -95,7 +104,75 @@ Pipeline Pipeline::GenerateProfiled(workloads::SuiteId suite,
   pipeline.Profile(gpu);
   pipeline.gpu_name_ = gpu_name;
   if (cache != nullptr) cache->Store(key, pipeline.trace_);
+  pipeline.MaybeSpill(key_digest);
   return pipeline;
+}
+
+void Pipeline::MaybeSpill(const std::string& key_digest) {
+  if (options_.trace_spill_dir.empty()) return;
+  const uint64_t cap = options_.trace_chunk_invocations > 0
+                           ? options_.trace_chunk_invocations
+                           : kDefaultChunkInvocations;
+  telemetry::Span span("cache.spill");
+  std::error_code ec;
+  std::filesystem::create_directories(options_.trace_spill_dir, ec);
+  const std::string path =
+      (std::filesystem::path(options_.trace_spill_dir) /
+       (key_digest + ".srtc"))
+          .string();
+
+  // Reuse an existing spill file only when it fully verifies against this
+  // run: same trace shape and every chunk digest intact. Anything less --
+  // truncation, a corrupt chunk, a stale capacity -- rebuilds from the
+  // in-memory trace; corrupt bytes on disk cost a rewrite, never a crash
+  // and never wrong chunks served downstream.
+  bool have_prior = std::filesystem::exists(path, ec) && !ec;
+  if (have_prior) {
+    bool reusable = false;
+    try {
+      ChunkedTraceReader reader(path);
+      reusable = reader.ChunkCapacity() == cap &&
+                 reader.NumInvocations() == trace_.NumInvocations() &&
+                 reader.Header().WorkloadName() == trace_.WorkloadName() &&
+                 reader.Header().NumKernelTypes() == trace_.NumKernelTypes();
+      for (size_t i = 0; reusable && i < reader.NumChunks(); ++i)
+        reusable = reader.VerifyChunk(i);
+      if (reusable) {
+        spill_ = SpillInfo{.enabled = true,
+                           .path = path,
+                           .chunk_invocations = cap,
+                           .chunks = reader.NumChunks(),
+                           .bytes = static_cast<uint64_t>(
+                               std::filesystem::file_size(path, ec)),
+                           .reused = true};
+        telemetry::Count("cache.spill_reuse");
+        return;
+      }
+    } catch (const std::exception& e) {
+      Warn("trace spill: unreadable spill file, rebuilding: %s", e.what());
+    }
+    telemetry::Count("cache.spill_rebuild");
+  }
+
+  const size_t chunks = SpillTraceChunked(trace_, path, cap);
+  spill_ = SpillInfo{
+      .enabled = true,
+      .path = path,
+      .chunk_invocations = cap,
+      .chunks = chunks,
+      .bytes = static_cast<uint64_t>(std::filesystem::file_size(path, ec)),
+      .reused = false};
+  telemetry::Count("cache.spill_write");
+  resource::Account("cache", spill_.bytes);
+}
+
+std::unique_ptr<ChunkSource> Pipeline::MakeChunkSource() const {
+  if (spill_.enabled) return std::make_unique<FileChunkSource>(spill_.path);
+  const uint64_t cap =
+      options_.trace_chunk_invocations > 0
+          ? options_.trace_chunk_invocations
+          : std::max<uint64_t>(1, trace_.NumInvocations());
+  return std::make_unique<InMemoryChunkSource>(trace_, cap);
 }
 
 Pipeline Pipeline::GenerateProfiled(workloads::SuiteId suite,

@@ -40,6 +40,7 @@
 #include "eval/manifest.h"
 #include "eval/metrics.h"
 #include "hw/hardware_model.h"
+#include "trace/chunked.h"
 #include "trace/trace.h"
 #include "workloads/suite.h"
 
@@ -54,6 +55,19 @@ class Pipeline {
   struct Options {
     uint64_t seed = 42;      ///< master seed; see the seed contract above
     double size_scale = 1.0; ///< workload size scale for the generators
+    /// Invocations per chunk for the chunked trace view
+    /// (--trace-chunk-invocations). 0 = in-memory pipeline with a
+    /// single-chunk view; > 0 sizes ChunkSource() chunks and the spill
+    /// file. Chunking never changes results: Sample/Evaluate run over
+    /// the same in-memory trace either way (byte-identity pinned by
+    /// tests), only the trace's storage and streaming granularity move.
+    uint64_t trace_chunk_invocations = 0;
+    /// Directory for the chunked on-disk spill (--trace-spill). "" = no
+    /// spill. When set, GenerateProfiled writes (or verifies and reuses)
+    /// an "SRTC" file named by the trace-cache key digest; a corrupt or
+    /// stale spill file is rebuilt, never trusted (trace/chunked.h
+    /// failure contract).
+    std::string trace_spill_dir;
   };
 
   /// Aggregate request for the generate(+profile) entry points: callers
@@ -128,6 +142,27 @@ class Pipeline {
   const Options& Opts() const { return options_; }
   bool Profiled() const { return profiled_; }
 
+  /// Outcome of the chunked on-disk spill (GenerateProfiled with
+  /// trace_spill_dir set). Default-initialized (enabled == false) on
+  /// in-memory pipelines.
+  struct SpillInfo {
+    bool enabled = false;            ///< a spill file exists for this run
+    std::string path;                ///< the "SRTC" file
+    uint64_t chunk_invocations = 0;  ///< chunk capacity used
+    uint64_t chunks = 0;             ///< chunks in the file
+    uint64_t bytes = 0;              ///< file size
+    bool reused = false;             ///< verified existing file, not rewritten
+  };
+  const SpillInfo& Spill() const { return spill_; }
+
+  /// A chunk iterator over the profiled trace for streaming consumers
+  /// (eval/stream.h): file-backed when this pipeline spilled, an
+  /// in-memory slice view otherwise (single chunk when
+  /// trace_chunk_invocations == 0). The source borrows this pipeline --
+  /// keep the Pipeline alive while iterating. Throws std::runtime_error
+  /// if a spill file turned corrupt since GenerateProfiled verified it.
+  std::unique_ptr<ChunkSource> MakeChunkSource() const;
+
   /// Resolved provenance, recorded as the stages run: the suite name from
   /// Generate ("" for FromTrace pipelines), the workload name (from
   /// Generate, or the trace's own name for FromTrace), and the GPU preset
@@ -147,6 +182,9 @@ class Pipeline {
   Pipeline(KernelTrace trace, const Options& options, bool profiled);
 
   void RequireProfiled(const char* stage) const;
+  /// Write-or-verify the chunked spill file for this profiled trace
+  /// (no-op when trace_spill_dir is empty).
+  void MaybeSpill(const std::string& key_digest);
 
   KernelTrace trace_;
   Options options_;
@@ -154,6 +192,7 @@ class Pipeline {
   std::string suite_name_;
   std::string workload_;
   std::string gpu_name_;
+  SpillInfo spill_;
 };
 
 }  // namespace stemroot::eval

@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "common/resource.h"
 #include "common/telemetry.h"
+#include "trace/chunked.h"
 #include "trace/serialize.h"
 
 namespace stemroot::eval {
@@ -36,6 +37,13 @@ std::string TraceCacheKey::KeyString() const {
   AppendField(key, "scale=" + json::Number(scale));
   AppendField(key, "seed=" + std::to_string(seed));
   return key;
+}
+
+std::string ChunkKeyString(const TraceCacheKey& key, uint64_t chunk_index) {
+  std::string out = key.KeyString();
+  AppendField(out, "srtc" + std::to_string(ChunkedTraceFormatVersion()));
+  AppendField(out, "chunk=" + std::to_string(chunk_index));
+  return out;
 }
 
 std::string GpuDigest(const hw::HardwareModel& gpu) {
@@ -92,6 +100,37 @@ std::optional<KernelTrace> TraceCache::Load(const TraceCacheKey& key) const {
     Warn("trace cache: undeserializable entry treated as a miss: %s",
          e.what());
     return std::nullopt;
+  }
+}
+
+std::optional<std::string> TraceCache::LoadChunk(const TraceCacheKey& key,
+                                                 uint64_t chunk_index) const {
+  std::optional<std::string> payload =
+      cache_.Get(ChunkKeyString(key, chunk_index));
+  if (!payload) return std::nullopt;
+  resource::Account("cache", payload->size());
+  try {
+    // Structural validation beyond the entry checksum: the payload must be
+    // exactly one well-formed chunk, or it is a miss like any other defect.
+    (void)DecodeChunk(*payload, /*first_seq=*/0);
+  } catch (const std::exception& e) {
+    telemetry::Count("cache.corrupt");
+    Warn("trace cache: undecodable chunk entry treated as a miss: %s",
+         e.what());
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool TraceCache::StoreChunk(const TraceCacheKey& key, uint64_t chunk_index,
+                            std::string payload) const {
+  try {
+    resource::Account("cache", payload.size());
+    cache_.Put(ChunkKeyString(key, chunk_index), std::move(payload));
+    return true;
+  } catch (const std::exception& e) {
+    Warn("trace cache: chunk store failed, continuing uncached: %s", e.what());
+    return false;
   }
 }
 

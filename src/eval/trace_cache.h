@@ -66,6 +66,12 @@ struct TraceCacheKey {
   std::string KeyString() const;
 };
 
+/// Canonical key of one chunk of a chunked trace (trace/chunked.h): the
+/// base KeyString() plus the "SRTC" format version and the chunk index,
+/// so chunk entries share the whole-trace key's invalidation story (build
+/// stamp, gpu digest, ...) and a chunked-format bump retires them all.
+std::string ChunkKeyString(const TraceCacheKey& key, uint64_t chunk_index);
+
 /// Digest of the full hardware-model configuration: every GpuSpec field
 /// (including the name) and every TimingParams field.
 std::string GpuDigest(const hw::HardwareModel& gpu);
@@ -85,6 +91,18 @@ class TraceCache {
   /// Serialize + store. Best effort: returns false (with a warning log)
   /// instead of throwing -- a failed store must never fail the run.
   bool Store(const TraceCacheKey& key, const KernelTrace& trace) const;
+
+  /// One chunk's payload (EncodeChunk bytes) on a verified hit;
+  /// std::nullopt on a miss, any entry defect, or an undecodable payload
+  /// -- a corrupt chunk is a plain miss (recomputed, never served), the
+  /// same contract as Load. Never throws.
+  std::optional<std::string> LoadChunk(const TraceCacheKey& key,
+                                       uint64_t chunk_index) const;
+
+  /// Store one chunk payload under ChunkKeyString(key, chunk_index).
+  /// Best effort like Store: returns false instead of throwing.
+  bool StoreChunk(const TraceCacheKey& key, uint64_t chunk_index,
+                  std::string payload) const;
 
   /// The underlying entry store (stats/verify/evict for `stemroot cache`).
   const ArtifactCache& Artifacts() const { return cache_; }

@@ -96,6 +96,8 @@ eval::Pipeline::Options PipelineOpts(const SessionConfig& config) {
   eval::Pipeline::Options options;
   options.seed = config.seed;
   options.size_scale = config.scale;
+  options.trace_chunk_invocations = config.trace_chunk_invocations;
+  options.trace_spill_dir = config.trace_spill_dir;
   return options;
 }
 
@@ -641,6 +643,13 @@ eval::EvalResult Service::RunBatch(const SessionConfig& config,
     manifest->config.epsilon = config.epsilon;
     manifest->config.confidence = config.confidence;
     manifest->config.reps = config.reps;
+    if (pipeline.Spill().enabled) {
+      manifest->trace_spill.present = true;
+      manifest->trace_spill.chunk_invocations =
+          pipeline.Spill().chunk_invocations;
+      manifest->trace_spill.chunks = pipeline.Spill().chunks;
+      manifest->trace_spill.bytes = pipeline.Spill().bytes;
+    }
   }
   const eval::EvalResult result = pipeline.Evaluate(*sampler, config.reps);
   if (manifest != nullptr) FillMetrics(*manifest, result);

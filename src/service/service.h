@@ -119,6 +119,11 @@ struct SessionConfig {
   std::string suite;
   std::string workload;
   std::string gpu = "rtx2080";
+  /// Out-of-core knobs forwarded to Pipeline::Options (RunBatch only;
+  /// streaming sessions already hold just the fed chunks). 0/"" = the
+  /// in-memory default; results are byte-identical either way.
+  uint64_t trace_chunk_invocations = 0;
+  std::string trace_spill_dir;
   FeedOrder order = FeedOrder::kTimeline;
   /// Incremental clusterer knobs; its root.stem epsilon/confidence are
   /// overwritten from the session's epsilon/confidence at OpenSession.

@@ -1,0 +1,562 @@
+#include "trace/chunked.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/cache.h"
+#include "common/str.h"
+
+namespace stemroot {
+
+// Same byte-order contract as "SRTR" (trace/serialize.cc): chunk payloads
+// and index records are raw little-endian object bytes.
+static_assert(std::endian::native == std::endian::little,
+              "SRTC chunked trace format assumes a little-endian host; "
+              "port trace/chunked.cc with explicit byte swapping before "
+              "building for big-endian targets");
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'T', 'C'};
+constexpr char kTrailerMagic[4] = {'S', 'R', 'T', 'F'};
+constexpr uint32_t kVersion = 1;
+
+/// Fixed trailer at the very end of the file: u64 footer_offset,
+/// u64 num_chunks, u64 total_invocations, u32 version, magic.
+constexpr uint64_t kTrailerBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t) +
+                                   sizeof(kTrailerMagic);
+constexpr uint64_t kFooterRecordBytes = 3 * sizeof(uint64_t);
+
+/// One invocation's footprint in a columnar chunk payload: 8 u32 columns
+/// (ids + launch geometry), 2 u64 columns, 10 f32 behaviour columns, and
+/// the f64 duration column.
+constexpr uint64_t kColumnarBytesPerInvocation =
+    8 * sizeof(uint32_t) + 2 * sizeof(uint64_t) + 10 * sizeof(float) +
+    sizeof(double);
+
+template <typename T>
+void AppendPod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Bounds-checked cursor over a chunk payload. Like the SRTR reader, every
+/// count is validated against the bytes remaining before any allocation is
+/// sized from it.
+class PayloadCursor {
+ public:
+  explicit PayloadCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  uint64_t Remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  T Read() {
+    if (Remaining() < sizeof(T))
+      throw std::runtime_error("DecodeChunk: truncated chunk payload");
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Read one column of `count` elements, invoking set(i, value).
+  template <typename T, typename Setter>
+  void ReadColumn(uint64_t count, Setter set) {
+    if (Remaining() < count * sizeof(T))
+      throw std::runtime_error("DecodeChunk: truncated chunk payload");
+    for (uint64_t i = 0; i < count; ++i) {
+      T value;
+      std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+      pos_ += sizeof(T);
+      set(i, value);
+    }
+  }
+
+ private:
+  std::string_view bytes_;
+  uint64_t pos_ = 0;
+};
+
+/// Serialize the header section (magic, version, chunk capacity, workload
+/// name, kernel-type table) into a byte string.
+std::string EncodeHeader(const KernelTrace& header,
+                         uint64_t chunk_invocations) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(out, kVersion);
+  AppendPod(out, chunk_invocations);
+  AppendPod(out, static_cast<uint32_t>(header.WorkloadName().size()));
+  out.append(header.WorkloadName());
+  AppendPod(out, static_cast<uint32_t>(header.NumKernelTypes()));
+  for (const KernelType& type : header.Types()) {
+    AppendPod(out, static_cast<uint32_t>(type.name.size()));
+    out.append(type.name);
+    AppendPod(out, type.num_basic_blocks);
+    AppendPod(out, static_cast<uint32_t>(type.block_weights.size()));
+    for (float w : type.block_weights) AppendPod(out, w);
+  }
+  return out;
+}
+
+std::string ReadFileString(std::ifstream& in, uint64_t remaining_bound,
+                           const char* what) {
+  uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > remaining_bound)
+    throw std::runtime_error(std::string("ChunkedTraceReader: corrupt ") +
+                             what);
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in)
+    throw std::runtime_error(std::string("ChunkedTraceReader: truncated ") +
+                             what);
+  return s;
+}
+
+}  // namespace
+
+uint32_t ChunkedTraceFormatVersion() { return kVersion; }
+
+uint64_t ChunkWireBytesPerInvocation() { return kColumnarBytesPerInvocation; }
+
+std::string EncodeChunk(std::span<const KernelInvocation> invocations) {
+  const uint64_t count = invocations.size();
+  std::string out;
+  out.reserve(sizeof(uint64_t) + count * kColumnarBytesPerInvocation);
+  AppendPod(out, count);
+  for (const auto& inv : invocations) AppendPod(out, inv.kernel_id);
+  for (const auto& inv : invocations) AppendPod(out, inv.context_id);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.grid_x);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.grid_y);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.grid_z);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.block_x);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.block_y);
+  for (const auto& inv : invocations) AppendPod(out, inv.launch.block_z);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.instructions);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.footprint_bytes);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.mem_fraction);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.shared_fraction);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.locality);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.coalescing);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.branch_divergence);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.fp16_fraction);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.fp32_fraction);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.ilp);
+  for (const auto& inv : invocations) AppendPod(out, inv.behavior.input_scale);
+  for (const auto& inv : invocations)
+    AppendPod(out, inv.behavior.store_fraction);
+  for (const auto& inv : invocations) AppendPod(out, inv.duration_us);
+  return out;
+}
+
+std::vector<KernelInvocation> DecodeChunk(std::string_view payload,
+                                          uint64_t first_seq) {
+  PayloadCursor cur(payload);
+  const uint64_t count = cur.Read<uint64_t>();
+  // Bound the count against the payload size BEFORE sizing the vector from
+  // it -- a corrupt count must throw, never attempt a huge allocation.
+  if (count > cur.Remaining() / kColumnarBytesPerInvocation ||
+      count * kColumnarBytesPerInvocation != cur.Remaining())
+    throw std::runtime_error(
+        "DecodeChunk: invocation count prefix exceeds bytes remaining in "
+        "chunk payload (corrupt or truncated input)");
+  std::vector<KernelInvocation> out(count);
+  cur.ReadColumn<uint32_t>(count,
+                           [&](uint64_t i, uint32_t v) { out[i].kernel_id = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].context_id = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.grid_x = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.grid_y = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.grid_z = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.block_x = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.block_y = v; });
+  cur.ReadColumn<uint32_t>(
+      count, [&](uint64_t i, uint32_t v) { out[i].launch.block_z = v; });
+  cur.ReadColumn<uint64_t>(count, [&](uint64_t i, uint64_t v) {
+    out[i].behavior.instructions = v;
+  });
+  cur.ReadColumn<uint64_t>(count, [&](uint64_t i, uint64_t v) {
+    out[i].behavior.footprint_bytes = v;
+  });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.mem_fraction = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.shared_fraction = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.locality = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.coalescing = v; });
+  cur.ReadColumn<float>(count, [&](uint64_t i, float v) {
+    out[i].behavior.branch_divergence = v;
+  });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.fp16_fraction = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.fp32_fraction = v; });
+  cur.ReadColumn<float>(count,
+                        [&](uint64_t i, float v) { out[i].behavior.ilp = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.input_scale = v; });
+  cur.ReadColumn<float>(
+      count, [&](uint64_t i, float v) { out[i].behavior.store_fraction = v; });
+  cur.ReadColumn<double>(
+      count, [&](uint64_t i, double v) { out[i].duration_us = v; });
+  if (cur.Remaining() != 0)
+    throw std::runtime_error("DecodeChunk: trailing bytes after chunk payload");
+  for (uint64_t i = 0; i < count; ++i) out[i].seq = first_seq + i;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedTraceWriter
+// ---------------------------------------------------------------------------
+
+struct ChunkedTraceWriter::Impl {
+  std::ofstream out;
+};
+
+ChunkedTraceWriter::ChunkedTraceWriter(const std::string& path,
+                                       const KernelTrace& header,
+                                       uint64_t chunk_invocations)
+    : path_(path),
+      chunk_invocations_(chunk_invocations),
+      impl_(std::make_unique<Impl>()) {
+  if (chunk_invocations_ == 0)
+    throw std::invalid_argument(
+        "ChunkedTraceWriter: chunk_invocations must be > 0");
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out)
+    throw std::runtime_error("ChunkedTraceWriter: cannot open " + path);
+  const std::string head = EncodeHeader(header, chunk_invocations_);
+  impl_->out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  if (!impl_->out)
+    throw std::runtime_error("ChunkedTraceWriter: header write failed: " +
+                             path);
+  buffer_.reserve(chunk_invocations_);
+}
+
+ChunkedTraceWriter::~ChunkedTraceWriter() {
+  if (!finished_) {
+    try {
+      Finish();
+    } catch (...) {
+      // Best effort in a destructor; an unfinished file has no trailer and
+      // every reader rejects it, so silence is safe here.
+    }
+  }
+}
+
+void ChunkedTraceWriter::Append(const KernelInvocation& inv) {
+  buffer_.push_back(inv);
+  ++appended_;
+  if (buffer_.size() >= chunk_invocations_) FlushChunk();
+}
+
+void ChunkedTraceWriter::Append(std::span<const KernelInvocation> invocations) {
+  for (const KernelInvocation& inv : invocations) Append(inv);
+}
+
+void ChunkedTraceWriter::FlushChunk() {
+  if (buffer_.empty()) return;
+  const std::string payload = EncodeChunk(buffer_);
+  ChunkInfo info;
+  info.offset = static_cast<uint64_t>(impl_->out.tellp());
+  info.count = buffer_.size();
+  info.digest = Fnv1a64(payload);
+  impl_->out.write(payload.data(),
+                   static_cast<std::streamsize>(payload.size()));
+  if (!impl_->out)
+    throw std::runtime_error("ChunkedTraceWriter: chunk write failed: " +
+                             path_);
+  chunks_.push_back(info);
+  buffer_.clear();
+}
+
+void ChunkedTraceWriter::Finish() {
+  if (finished_) return;
+  FlushChunk();
+  const uint64_t footer_offset = static_cast<uint64_t>(impl_->out.tellp());
+  std::string tail;
+  tail.reserve(chunks_.size() * kFooterRecordBytes + kTrailerBytes);
+  for (const ChunkInfo& c : chunks_) {
+    AppendPod(tail, c.offset);
+    AppendPod(tail, c.count);
+    AppendPod(tail, c.digest);
+  }
+  AppendPod(tail, footer_offset);
+  AppendPod(tail, static_cast<uint64_t>(chunks_.size()));
+  AppendPod(tail, appended_);
+  AppendPod(tail, kVersion);
+  tail.append(kTrailerMagic, sizeof(kTrailerMagic));
+  impl_->out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  impl_->out.flush();
+  if (!impl_->out)
+    throw std::runtime_error("ChunkedTraceWriter: footer write failed: " +
+                             path_);
+  impl_->out.close();
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedTraceReader
+// ---------------------------------------------------------------------------
+
+struct ChunkedTraceReader::Impl {
+  // Opened once; ReadChunk seeks within it. mutable because chunk reads are
+  // logically const (the file is immutable after Finish()).
+  mutable std::ifstream in;
+  uint64_t file_size = 0;
+};
+
+ChunkedTraceReader::ChunkedTraceReader(const std::string& path)
+    : path_(path), impl_(std::make_unique<Impl>()) {
+  std::ifstream& in = impl_->in;
+  in.open(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ChunkedTraceReader: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  impl_->file_size = static_cast<uint64_t>(in.tellg());
+  if (impl_->file_size < kTrailerBytes)
+    throw std::runtime_error("ChunkedTraceReader: file too small: " + path);
+
+  // Trailer first: it locates the footer without scanning any chunks.
+  in.seekg(static_cast<std::streamoff>(impl_->file_size - kTrailerBytes));
+  uint64_t footer_offset = 0, num_chunks = 0;
+  in.read(reinterpret_cast<char*>(&footer_offset), sizeof(footer_offset));
+  in.read(reinterpret_cast<char*>(&num_chunks), sizeof(num_chunks));
+  in.read(reinterpret_cast<char*>(&total_invocations_),
+          sizeof(total_invocations_));
+  uint32_t version = 0;
+  char magic[4];
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTrailerMagic, sizeof(kTrailerMagic)) != 0)
+    throw std::runtime_error("ChunkedTraceReader: bad trailer (unfinished or "
+                             "not an SRTC file): " +
+                             path);
+  if (version != kVersion)
+    throw std::runtime_error("ChunkedTraceReader: unsupported version: " +
+                             path);
+  const uint64_t footer_end = impl_->file_size - kTrailerBytes;
+  if (footer_offset > footer_end ||
+      num_chunks > (footer_end - footer_offset) / kFooterRecordBytes ||
+      num_chunks * kFooterRecordBytes != footer_end - footer_offset)
+    throw std::runtime_error("ChunkedTraceReader: inconsistent footer: " +
+                             path);
+
+  // Header.
+  in.seekg(0);
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("ChunkedTraceReader: bad magic: " + path);
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion)
+    throw std::runtime_error("ChunkedTraceReader: unsupported version: " +
+                             path);
+  in.read(reinterpret_cast<char*>(&chunk_invocations_),
+          sizeof(chunk_invocations_));
+  if (!in || chunk_invocations_ == 0)
+    throw std::runtime_error("ChunkedTraceReader: corrupt chunk capacity: " +
+                             path);
+  header_.SetWorkloadName(
+      ReadFileString(in, impl_->file_size, "workload name"));
+  uint32_t num_types = 0;
+  in.read(reinterpret_cast<char*>(&num_types), sizeof(num_types));
+  if (!in || num_types > impl_->file_size / (3 * sizeof(uint32_t)))
+    throw std::runtime_error("ChunkedTraceReader: corrupt kernel-type count: " +
+                             path);
+  for (uint32_t k = 0; k < num_types; ++k) {
+    KernelType type;
+    type.name = ReadFileString(in, impl_->file_size, "kernel-type name");
+    in.read(reinterpret_cast<char*>(&type.num_basic_blocks),
+            sizeof(type.num_basic_blocks));
+    uint32_t weights = 0;
+    in.read(reinterpret_cast<char*>(&weights), sizeof(weights));
+    if (!in || weights > impl_->file_size / sizeof(float))
+      throw std::runtime_error(
+          "ChunkedTraceReader: corrupt block-weight count: " + path);
+    type.block_weights.resize(weights);
+    in.read(reinterpret_cast<char*>(type.block_weights.data()),
+            static_cast<std::streamsize>(weights * sizeof(float)));
+    if (!in)
+      throw std::runtime_error("ChunkedTraceReader: truncated header: " +
+                               path);
+    header_.AddKernelType(std::move(type));
+  }
+
+  // Footer index.
+  in.seekg(static_cast<std::streamoff>(footer_offset));
+  chunks_.resize(num_chunks);
+  uint64_t running_total = 0;
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    ChunkInfo& c = chunks_[i];
+    in.read(reinterpret_cast<char*>(&c.offset), sizeof(c.offset));
+    in.read(reinterpret_cast<char*>(&c.count), sizeof(c.count));
+    in.read(reinterpret_cast<char*>(&c.digest), sizeof(c.digest));
+    if (!in)
+      throw std::runtime_error("ChunkedTraceReader: truncated footer: " + path);
+    const uint64_t payload_bytes =
+        sizeof(uint64_t) + c.count * kColumnarBytesPerInvocation;
+    if (c.offset > footer_offset || payload_bytes > footer_offset - c.offset ||
+        c.count > chunk_invocations_ ||
+        (c.count < chunk_invocations_ && i + 1 != num_chunks))
+      throw std::runtime_error("ChunkedTraceReader: chunk " +
+                               std::to_string(i) +
+                               " index out of bounds: " + path);
+    running_total += c.count;
+  }
+  if (running_total != total_invocations_)
+    throw std::runtime_error(
+        "ChunkedTraceReader: chunk counts disagree with trailer total: " +
+        path);
+}
+
+ChunkedTraceReader::~ChunkedTraceReader() = default;
+
+std::string ChunkedTraceReader::ReadChunkPayload(size_t i) const {
+  const ChunkInfo& c = chunks_.at(i);
+  const uint64_t payload_bytes =
+      sizeof(uint64_t) + c.count * kColumnarBytesPerInvocation;
+  std::string payload(payload_bytes, '\0');
+  std::ifstream& in = impl_->in;
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(c.offset));
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (!in)
+    throw std::runtime_error("ChunkedTraceReader: short read of chunk " +
+                             std::to_string(i) + ": " + path_);
+  if (Fnv1a64(payload) != c.digest)
+    throw std::runtime_error("ChunkedTraceReader: digest mismatch on chunk " +
+                             std::to_string(i) + " (corrupt data): " + path_);
+  return payload;
+}
+
+std::vector<KernelInvocation> ChunkedTraceReader::ReadChunk(size_t i) const {
+  const std::string payload = ReadChunkPayload(i);
+  return DecodeChunk(payload, static_cast<uint64_t>(i) * chunk_invocations_);
+}
+
+bool ChunkedTraceReader::VerifyChunk(size_t i) const {
+  try {
+    (void)ReadChunkPayload(i);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk sources
+// ---------------------------------------------------------------------------
+
+uint64_t ChunkSource::ResidentBudgetBytes() const {
+  return Header().ApproxBytes() +
+         2 * ChunkCapacity() * sizeof(KernelInvocation);
+}
+
+InMemoryChunkSource::InMemoryChunkSource(const KernelTrace& trace,
+                                         uint64_t chunk_invocations)
+    : trace_(trace),
+      header_(trace.HeaderClone()),
+      chunk_invocations_(chunk_invocations) {
+  if (chunk_invocations_ == 0)
+    throw std::invalid_argument(
+        "InMemoryChunkSource: chunk_invocations must be > 0");
+}
+
+uint64_t InMemoryChunkSource::NumInvocations() const {
+  return trace_.NumInvocations();
+}
+
+size_t InMemoryChunkSource::NumChunks() const {
+  return static_cast<size_t>(
+      (trace_.NumInvocations() + chunk_invocations_ - 1) / chunk_invocations_);
+}
+
+std::vector<KernelInvocation> InMemoryChunkSource::Chunk(size_t i) const {
+  if (i >= NumChunks())
+    throw std::out_of_range("InMemoryChunkSource: chunk index out of range");
+  const uint64_t begin = static_cast<uint64_t>(i) * chunk_invocations_;
+  const uint64_t end =
+      std::min<uint64_t>(begin + chunk_invocations_, trace_.NumInvocations());
+  std::span<const KernelInvocation> all = trace_.Invocations();
+  return {all.begin() + static_cast<ptrdiff_t>(begin),
+          all.begin() + static_cast<ptrdiff_t>(end)};
+}
+
+FileChunkSource::FileChunkSource(const std::string& path) : reader_(path) {}
+
+std::vector<KernelInvocation> FileChunkSource::Chunk(size_t i) const {
+  return reader_.ReadChunk(i);
+}
+
+ReplicatedChunkSource::ReplicatedChunkSource(const KernelTrace& base,
+                                             uint64_t total_invocations,
+                                             uint64_t chunk_invocations)
+    : base_(base),
+      header_(base.HeaderClone()),
+      total_invocations_(total_invocations),
+      chunk_invocations_(chunk_invocations) {
+  if (base_.Empty())
+    throw std::invalid_argument("ReplicatedChunkSource: base trace is empty");
+  if (chunk_invocations_ == 0)
+    throw std::invalid_argument(
+        "ReplicatedChunkSource: chunk_invocations must be > 0");
+}
+
+size_t ReplicatedChunkSource::NumChunks() const {
+  return static_cast<size_t>(
+      (total_invocations_ + chunk_invocations_ - 1) / chunk_invocations_);
+}
+
+std::vector<KernelInvocation> ReplicatedChunkSource::Chunk(size_t i) const {
+  if (i >= NumChunks())
+    throw std::out_of_range("ReplicatedChunkSource: chunk index out of range");
+  const uint64_t begin = static_cast<uint64_t>(i) * chunk_invocations_;
+  const uint64_t end =
+      std::min<uint64_t>(begin + chunk_invocations_, total_invocations_);
+  const uint64_t base_n = base_.NumInvocations();
+  std::vector<KernelInvocation> out;
+  out.reserve(end - begin);
+  for (uint64_t j = begin; j < end; ++j) {
+    KernelInvocation inv = base_.At(j % base_n);
+    inv.seq = j;
+    out.push_back(inv);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-trace helpers
+// ---------------------------------------------------------------------------
+
+size_t SpillTraceChunked(const KernelTrace& trace, const std::string& path,
+                         uint64_t chunk_invocations) {
+  ChunkedTraceWriter writer(path, trace, chunk_invocations);
+  writer.Append(trace.Invocations());
+  writer.Finish();
+  const uint64_t cap = writer.ChunkCapacity();
+  return static_cast<size_t>((trace.NumInvocations() + cap - 1) / cap);
+}
+
+KernelTrace AssembleTrace(const ChunkSource& source) {
+  KernelTrace trace = source.Header().HeaderClone();
+  trace.Reserve(source.NumInvocations());
+  for (size_t i = 0; i < source.NumChunks(); ++i)
+    for (const KernelInvocation& inv : source.Chunk(i))
+      trace.Add(inv);  // Add reassigns seq == global timeline position
+  return trace;
+}
+
+}  // namespace stemroot

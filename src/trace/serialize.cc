@@ -1,7 +1,9 @@
 #include "trace/serialize.h"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +11,17 @@
 #include "common/str.h"
 
 namespace stemroot {
+
+// The "SRTR" format contract is explicitly little-endian: WritePod/ReadPod
+// move raw object bytes, so an artifact written on one host must only ever
+// be read by a host with the same byte order. Every shipping target is
+// little-endian; a big-endian port must add byte-swapping readers/writers
+// rather than silently misreading cached artifacts, so fail the build
+// loudly there instead of corrupting data at run time.
+static_assert(std::endian::native == std::endian::little,
+              "SRTR trace serialization assumes a little-endian host; "
+              "port trace/serialize.cc with explicit byte swapping before "
+              "building for big-endian targets");
 
 namespace {
 
@@ -28,6 +41,32 @@ T ReadPod(std::istream& in) {
   return value;
 }
 
+/// Bytes left between the stream position and its end. Both ifstream and
+/// istringstream support the seek dance; any seek failure reports zero
+/// remaining, which makes every bound below fail closed (throw, never
+/// allocate).
+uint64_t BytesRemaining(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return 0;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (end == std::istream::pos_type(-1) || end < cur || !in) return 0;
+  return static_cast<uint64_t>(end - cur);
+}
+
+/// Guard for every length/count prefix read from the stream: a truncated
+/// or corrupt prefix must throw immediately, *before* any allocation is
+/// sized from it -- a multi-GB resize on attacker/corruption-controlled
+/// input is itself the failure mode.
+void RequireRemaining(std::istream& in, uint64_t needed, const char* what) {
+  if (needed > BytesRemaining(in))
+    throw std::runtime_error(
+        std::string("LoadTraceBinary: ") + what +
+        " prefix exceeds bytes remaining in stream (corrupt or truncated "
+        "input)");
+}
+
 void WriteString(std::ostream& out, const std::string& s) {
   WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -37,6 +76,7 @@ std::string ReadString(std::istream& in) {
   const uint32_t len = ReadPod<uint32_t>(in);
   if (len > (1u << 20))
     throw std::runtime_error("LoadTraceBinary: implausible string length");
+  RequireRemaining(in, len, "string length");
   std::string s(len, '\0');
   in.read(s.data(), len);
   if (!in) throw std::runtime_error("LoadTraceBinary: truncated string");
@@ -67,6 +107,15 @@ void WriteTrace(std::ostream& out, const KernelTrace& trace) {
   }
 }
 
+/// Wire size of one invocation record (the WritePod sequence above).
+constexpr uint64_t kInvocationWireBytes =
+    sizeof(uint32_t) + sizeof(uint32_t) + sizeof(LaunchConfig) +
+    sizeof(KernelBehavior) + sizeof(double);
+
+/// Minimum wire size of one kernel-type record: empty name (4-byte
+/// length), num_basic_blocks, and an empty weight table (4-byte count).
+constexpr uint64_t kTypeMinWireBytes = 3 * sizeof(uint32_t);
+
 KernelTrace ReadTrace(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
@@ -79,17 +128,23 @@ KernelTrace ReadTrace(std::istream& in) {
   KernelTrace trace(ReadString(in));
 
   const uint32_t num_types = ReadPod<uint32_t>(in);
+  RequireRemaining(in, static_cast<uint64_t>(num_types) * kTypeMinWireBytes,
+                   "kernel-type count");
   for (uint32_t k = 0; k < num_types; ++k) {
     KernelType type;
     type.name = ReadString(in);
     type.num_basic_blocks = ReadPod<uint32_t>(in);
     const uint32_t weights = ReadPod<uint32_t>(in);
+    RequireRemaining(in, static_cast<uint64_t>(weights) * sizeof(float),
+                     "block-weight count");
     type.block_weights.resize(weights);
     for (auto& w : type.block_weights) w = ReadPod<float>(in);
     trace.AddKernelType(std::move(type));
   }
 
   const uint64_t num_invocations = ReadPod<uint64_t>(in);
+  RequireRemaining(in, num_invocations * kInvocationWireBytes,
+                   "invocation count");
   trace.Reserve(num_invocations);
   for (uint64_t i = 0; i < num_invocations; ++i) {
     KernelInvocation inv;
@@ -142,6 +197,10 @@ void ExportTimelineCsv(const KernelTrace& trace, const std::string& path) {
   CsvWriter csv(path);
   csv.WriteHeader({"kernel", "seq", "duration_us", "grid", "block",
                    "instructions"});
+  // Kernel names are the one externally-controlled cell: CsvWriter::
+  // WriteRow applies RFC-4180 quoting to every cell, so names carrying
+  // commas, quotes, or newlines round-trip through CsvTable::Parse
+  // (pinned by the hostile-name test in tests/trace/serialize_test.cc).
   for (const KernelInvocation& inv : trace.Invocations()) {
     csv.WriteRow({trace.NameOf(inv), std::to_string(inv.seq),
                   Format("%.4f", inv.duration_us),

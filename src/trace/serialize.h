@@ -14,6 +14,14 @@
 /// The binary format is versioned; readers reject other versions, and the
 /// profile cache keys on TraceFormatVersion() so a format bump invalidates
 /// cached artifacts instead of misreading them.
+///
+/// Byte-order contract: "SRTR" is explicitly LITTLE-ENDIAN. Writers emit
+/// raw little-endian object bytes and readers consume them as such; a
+/// big-endian host fails the build (static_assert in serialize.cc) rather
+/// than misreading cached artifacts. Every length/count prefix is bounds-
+/// checked against the bytes remaining in the stream before any
+/// allocation is sized from it, so truncated or corrupt input throws
+/// std::runtime_error immediately instead of attempting a huge resize.
 
 #pragma once
 

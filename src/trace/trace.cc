@@ -27,6 +27,12 @@ void KernelTrace::Add(KernelInvocation inv) {
   invocations_.push_back(inv);
 }
 
+KernelTrace KernelTrace::HeaderClone() const {
+  KernelTrace header(workload_name_);
+  for (const KernelType& type : types_) header.AddKernelType(type);
+  return header;
+}
+
 int64_t KernelTrace::FindKernel(const std::string& name) const {
   auto it = name_to_id_.find(name);
   return it == name_to_id_.end() ? -1 : static_cast<int64_t>(it->second);

@@ -54,6 +54,8 @@ class KernelTrace {
   const KernelType& Type(uint32_t kernel_id) const {
     return types_.at(kernel_id);
   }
+  /// The whole kernel-type table in id order.
+  std::span<const KernelType> Types() const { return types_; }
   const std::string& NameOf(const KernelInvocation& inv) const {
     return types_.at(inv.kernel_id).name;
   }
@@ -71,6 +73,13 @@ class KernelTrace {
 
   /// Reserve capacity for n invocations (generators know their size).
   void Reserve(size_t n) { invocations_.reserve(n); }
+
+  /// A copy carrying only the identity of this trace -- workload name and
+  /// the full kernel-type table, zero invocations. This is the shared
+  /// "header" a chunked trace file or chunk iterator hands to streaming
+  /// consumers (trace/chunked.h): kernel ids stay valid, the timeline
+  /// arrives chunk by chunk.
+  KernelTrace HeaderClone() const;
 
   /// Logical size of this trace's payload in bytes: invocation timeline +
   /// kernel type table (names, CFG weights) + the name index. Computed

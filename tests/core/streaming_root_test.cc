@@ -138,5 +138,101 @@ TEST(StreamingRootTest, ApproximatesBatchStructure) {
   EXPECT_EQ(stream_low, batch_low);
 }
 
+// ---------------------------------------------------------------------------
+// StreamingTraceClusterer: the per-kernel fan-out StreamTrace folds
+// chunks into (DESIGN.md section 16).
+
+/// A two-kernel trace whose durations form well-separated per-kernel
+/// streams, deterministic in `seed`.
+KernelTrace ClustererTrace(uint64_t seed, int n) {
+  Rng rng(seed);
+  KernelTrace trace("wl");
+  const uint32_t a = trace.InternKernel("a");
+  const uint32_t b = trace.InternKernel("b");
+  for (int i = 0; i < n; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = (i % 3 == 0) ? b : a;
+    inv.duration_us = inv.kernel_id == a ? rng.NextGaussian(10.0, 0.5)
+                                         : rng.NextGaussian(200.0, 4.0);
+    trace.Add(inv);
+  }
+  return trace;
+}
+
+void ExpectClusterersEqual(const StreamingTraceClusterer& x,
+                           const StreamingTraceClusterer& y) {
+  EXPECT_EQ(x.Observations(), y.Observations());
+  EXPECT_EQ(x.TotalClusters(), y.TotalClusters());
+  EXPECT_EQ(x.TotalSplits(), y.TotalSplits());
+  EXPECT_EQ(x.TotalMerges(), y.TotalMerges());
+  const auto sx = x.AllStats();
+  const auto sy = y.AllStats();
+  ASSERT_EQ(sx.size(), sy.size());
+  for (size_t i = 0; i < sx.size(); ++i) {
+    EXPECT_EQ(sx[i].n, sy[i].n);
+    EXPECT_DOUBLE_EQ(sx[i].mean, sy[i].mean);
+    EXPECT_DOUBLE_EQ(sx[i].stddev, sy[i].stddev);
+  }
+}
+
+TEST(StreamingTraceClustererTest, ChunkSizeNeverChangesTheStructure) {
+  // Feeding the same timeline in chunks of 1, 7, or all-at-once must
+  // land on the identical structure: chunking is pacing, not modeling.
+  const KernelTrace trace = ClustererTrace(3, 900);
+  const StreamingRootConfig config;
+  const auto invocations = trace.Invocations();
+  StreamingTraceClusterer whole(config, trace, 42);
+  whole.ObserveChunk(invocations);
+  for (const size_t chunk : {size_t{1}, size_t{7}, size_t{256}}) {
+    StreamingTraceClusterer chunked(config, trace, 42);
+    for (size_t i = 0; i < invocations.size(); i += chunk)
+      chunked.ObserveChunk(invocations.subspan(
+          i, std::min(chunk, invocations.size() - i)));
+    ExpectClusterersEqual(whole, chunked);
+  }
+}
+
+TEST(StreamingTraceClustererTest, RoutesByKernelAndSkipsUnprofiled) {
+  KernelTrace trace = ClustererTrace(5, 90);
+  // Blank out every third duration: unprofiled invocations are skipped,
+  // matching the service-session feed contract.
+  size_t blanked = 0;
+  for (auto& inv : trace.MutableInvocations())
+    if (inv.seq % 3 == 2) {
+      inv.duration_us = 0.0;
+      ++blanked;
+    }
+  StreamingTraceClusterer clusterer({}, trace, 42);
+  clusterer.ObserveChunk(trace.Invocations());
+  EXPECT_EQ(clusterer.NumKernels(), 2u);
+  EXPECT_EQ(clusterer.Observations(), trace.NumInvocations() - blanked);
+  uint64_t routed = 0;
+  for (size_t k = 0; k < clusterer.NumKernels(); ++k)
+    for (const ClusterStats& c : clusterer.Root(k).Stats()) routed += c.n;
+  EXPECT_EQ(routed, clusterer.Observations());
+}
+
+TEST(StreamingTraceClustererTest, ThrowsOnKernelIdOutsideHeader) {
+  const KernelTrace trace = ClustererTrace(7, 10);
+  StreamingTraceClusterer clusterer({}, trace, 42);
+  KernelInvocation bad;
+  bad.kernel_id = 99;
+  bad.duration_us = 1.0;
+  EXPECT_THROW(
+      clusterer.ObserveChunk(std::span<const KernelInvocation>(&bad, 1)),
+      std::out_of_range);
+}
+
+TEST(StreamingTraceClustererTest, PerKernelSeedsAreDecorrelated) {
+  // Different master seeds must produce independently-seeded per-kernel
+  // roots, while the same seed reproduces the structure exactly.
+  const KernelTrace trace = ClustererTrace(9, 600);
+  StreamingTraceClusterer x({}, trace, 42);
+  StreamingTraceClusterer y({}, trace, 42);
+  x.ObserveChunk(trace.Invocations());
+  y.ObserveChunk(trace.Invocations());
+  ExpectClusterersEqual(x, y);
+}
+
 }  // namespace
 }  // namespace stemroot::core

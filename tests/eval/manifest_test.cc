@@ -219,6 +219,84 @@ TEST(ManifestTest, MemBlockDoesNotAffectFingerprint) {
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
 }
 
+TEST(ManifestTest, TraceSpillBlockRoundTrips) {
+  RunManifest m = MakeManifest();
+  m.trace_spill.present = true;
+  m.trace_spill.chunk_invocations = 4096;
+  m.trace_spill.chunks = 17;
+  m.trace_spill.bytes = 987654;
+  const std::string text = m.ToJson(/*pretty=*/true);
+  EXPECT_NE(text.find("\"trace_spill\""), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_TRUE(back.trace_spill.present);
+  EXPECT_EQ(back.trace_spill.chunk_invocations, 4096u);
+  EXPECT_EQ(back.trace_spill.chunks, 17u);
+  EXPECT_EQ(back.trace_spill.bytes, 987654u);
+}
+
+TEST(ManifestTest, TraceSpillBlockIsOptional) {
+  // In-memory runs carry no trace_spill block; pre-section-16 manifests
+  // keep parsing and serializing byte-for-byte unchanged.
+  const RunManifest m = MakeManifest();
+  const std::string text = m.ToJson(/*pretty=*/false);
+  EXPECT_EQ(text.find("\"trace_spill\""), std::string::npos);
+  RunManifest back;
+  std::string error;
+  ASSERT_TRUE(RunManifest::FromJson(text, back, &error)) << error;
+  EXPECT_FALSE(back.trace_spill.present);
+  EXPECT_EQ(back.trace_spill.chunk_invocations, 0u);
+}
+
+TEST(ManifestTest, TraceSpillBlockRejectsMalformed) {
+  RunManifest m = MakeManifest();
+  m.trace_spill.present = true;
+  m.trace_spill.chunk_invocations = 8;
+  m.trace_spill.chunks = 2;
+  m.trace_spill.bytes = 100;
+  const std::string good = m.ToJson(/*pretty=*/false);
+  auto broke = [&](const std::string& from, const std::string& to) {
+    std::string doc = good;
+    const size_t at = doc.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    return doc;
+  };
+  RunManifest back;
+  std::string error;
+  // A spill that claims zero-invocation chunks is meaningless.
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"chunk_invocations\":8", "\"chunk_invocations\":0"), back,
+      &error));
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"chunks\":2", "\"chunks\":-2"), back, &error));
+  EXPECT_FALSE(RunManifest::FromJson(
+      broke("\"bytes\":100", "\"bytes\":\"many\""), back, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, ChunkSizeSplitsFingerprintLikeEpochCycles) {
+  // chunk_invocations never changes results (the byte-identity contract)
+  // but does change the wall-time profile, so perf baselines split on it
+  // -- the epoch_cycles precedent. chunks/bytes are derived facts and
+  // stay out.
+  const RunManifest a = MakeManifest();
+  RunManifest b = a;
+  b.trace_spill.present = true;
+  b.trace_spill.chunk_invocations = 1024;
+  b.trace_spill.chunks = 3;
+  b.trace_spill.bytes = 500;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  RunManifest c = b;
+  c.trace_spill.chunks = 99;
+  c.trace_spill.bytes = 12345;
+  EXPECT_EQ(b.Fingerprint(), c.Fingerprint());
+  RunManifest d = b;
+  d.trace_spill.chunk_invocations = 2048;
+  EXPECT_NE(b.Fingerprint(), d.Fingerprint());
+}
+
 TEST(ManifestTest, ValidationRejectsNonConformingDocuments) {
   std::string error;
   EXPECT_FALSE(ValidateManifestJson("not json at all", &error));

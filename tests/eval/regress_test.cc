@@ -137,6 +137,28 @@ TEST(CompareTest, SessionAndRunAreOneCommandFamily) {
   EXPECT_TRUE(CompareManifests(batch, session).deterministic_drift);
 }
 
+TEST(CompareTest, ChunkedSpillNeverGatesTheCompare) {
+  // The chunked-pipeline contract: a spilled run is byte-identical to
+  // the in-memory run, so a trace_spill block plus its cache.spill_*
+  // traffic must compare clean against a run without any of it. (The
+  // chunk size splits *perf baselines* via the fingerprint, but never
+  // comparability -- that is the epoch_cycles precedent.)
+  const RunManifest inmem = MakeRun();
+  RunManifest spilled = MakeRun();
+  spilled.trace_spill.present = true;
+  spilled.trace_spill.chunk_invocations = 512;
+  spilled.trace_spill.chunks = 28;
+  spilled.trace_spill.bytes = 1 << 20;
+  spilled.counters["cache.spill_write"] = 1;
+  spilled.mem.present = true;
+  spilled.mem.logical["cache"] = 1 << 20;
+  const CompareReport report = CompareManifests(inmem, spilled);
+  EXPECT_TRUE(report.comparable) << report.ToText();
+  EXPECT_FALSE(report.deterministic_drift) << report.ToText();
+  EXPECT_EQ(report.ExitCode(CompareOptions{}), 0);
+  EXPECT_NE(inmem.Fingerprint(), spilled.Fingerprint());
+}
+
 TEST(CompareTest, LogicalMemDriftTripsTheExitCode) {
   RunManifest a = MakeRun();
   a.mem.present = true;

@@ -15,6 +15,7 @@
 #include "eval/pipeline.h"
 #include "hw/gpu_spec.h"
 #include "hw/hardware_model.h"
+#include "trace/chunked.h"
 #include "trace/serialize.h"
 #include "workloads/suite.h"
 
@@ -297,6 +298,59 @@ TEST_F(TraceCacheTest, DisabledCacheWritesNothing) {
   Pipeline::GenerateProfiled(kSuite, kWorkload, hw::GpuSpec::Rtx2080(),
                              {.seed = kSeed, .size_scale = kScale});
   EXPECT_FALSE(fs::exists(dir_));
+}
+
+// ---------------------------------------------------------------------------
+// Chunk entries (trace/chunked.h payloads in the content-addressed store)
+
+TEST(TraceCacheKeyTest, ChunkKeyCoversBaseKeyVersionAndIndex) {
+  const TraceCacheKey base = MakeKey();
+  const std::string chunk0 = ChunkKeyString(base, 0);
+  const std::string chunk1 = ChunkKeyString(base, 1);
+  // The chunk key extends the whole-trace key: same invalidation story
+  // (seed, build stamp, gpu digest...), plus format version and index.
+  EXPECT_EQ(chunk0.rfind(base.KeyString(), 0), 0u);
+  EXPECT_NE(chunk0, chunk1);
+  EXPECT_NE(chunk0.find("srtc"), std::string::npos);
+  TraceCacheKey other = base;
+  other.seed = kSeed + 1;
+  EXPECT_NE(ChunkKeyString(other, 0), chunk0);
+}
+
+TEST_F(TraceCacheTest, ChunkStoreLoadRoundTripsTheExactBytes) {
+  const TraceCache cache(DirStr());
+  const TraceCacheKey key = MakeKey();
+  KernelTrace trace("wl");
+  const uint32_t k = trace.InternKernel("k");
+  for (int i = 0; i < 5; ++i) {
+    KernelInvocation inv;
+    inv.kernel_id = k;
+    inv.duration_us = 1.0 + i;
+    trace.Add(inv);
+  }
+  const std::string payload = EncodeChunk(trace.Invocations());
+  EXPECT_FALSE(cache.LoadChunk(key, 0).has_value());  // cold miss
+  ASSERT_TRUE(cache.StoreChunk(key, 0, payload));
+  const auto loaded = cache.LoadChunk(key, 0);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  // Chunk indices are distinct entries.
+  EXPECT_FALSE(cache.LoadChunk(key, 1).has_value());
+}
+
+TEST_F(TraceCacheTest, CorruptChunkPayloadIsAMiss) {
+  const TraceCache cache(DirStr());
+  const TraceCacheKey key = MakeKey();
+  // A stored payload whose count prefix lies about the bytes available
+  // must come back as a plain miss (decode-validated on load), never be
+  // served to a chunk consumer -- the corrupt-entry-is-a-miss contract
+  // extended to chunk granularity.
+  KernelInvocation inv;
+  inv.duration_us = 2.0;
+  std::string payload = EncodeChunk(std::span<const KernelInvocation>(&inv, 1));
+  payload.resize(payload.size() / 2);  // truncate mid-record
+  ASSERT_TRUE(cache.StoreChunk(key, 3, payload));
+  EXPECT_FALSE(cache.LoadChunk(key, 3).has_value());
 }
 
 TEST_F(TraceCacheTest, SetTraceCacheDirTogglesTheDefault) {

@@ -5,6 +5,13 @@
 # race in ParallelFor / the work-stealing pool / RunSuite is a bug, not
 # noise.
 #
+# Each mode also drills the out-of-core chunked-trace path (DESIGN.md
+# §16): a spilled run must compare byte-identical to the in-memory run,
+# a bounded-memory `stemroot stream` must keep its logical trace peak
+# under the chunk budget, a warm rerun must reuse the verified spill,
+# and a corrupted or truncated spill file must trigger a clean rebuild,
+# never a crash or silent bad data.
+#
 # After ctest, every mode smoke-runs the `stemroot run` pipeline with
 # --telemetry (JSON and CSV, gated on tools/telemetry_check) and --trace
 # (gated on tools/trace_check), then `stemroot audit` with a 95%
@@ -438,6 +445,89 @@ EARLY
   env "${san_env[@]}" \
     "$dir/tools/stemroot" cache evict --cache "$cdir" --max-bytes 0 \
       >/dev/null
+
+  echo "=== [$mode] out-of-core drill (chunked spill, DESIGN.md SS16) ==="
+  # (a) Byte-identity: the same seed with and without chunked spill, at
+  # different thread counts, must compare clean -- the spill is storage,
+  # never semantics. The spilled run must actually have written chunks.
+  local odir="$dir/ooc-drill"
+  rm -rf "$odir"; mkdir -p "$odir"
+  local man_inmem="$dir/manifest-inmem.json"
+  local man_chunked="$dir/manifest-chunked.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 13 --threads 1 \
+      --cache "$smoke_cache" --manifest "$man_inmem" >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" run --suite casio --workload bert_infer \
+      --method stem --scale 0.02 --reps 2 --seed 13 --threads 4 \
+      --cache "$smoke_cache" --trace-chunk-invocations 256 \
+      --trace-spill "$odir/spill-run" --manifest "$man_chunked" >/dev/null
+  "$dir/tools/manifest_check" "$man_chunked" --require-completed \
+      --require-spill --require-counter cache.spill_write >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_inmem" "$man_chunked" >/dev/null
+
+  # (b) Bounded memory: stream a tiled trace much larger than the chunk
+  # budget through tight 512-invocation chunks. The logical `trace` peak
+  # in the manifest is the streaming resident budget (about two chunks of
+  # decoded invocations), so a 1 MB bound proves the 120k-invocation
+  # stream never materialized in memory (it would be >10 MB if it had).
+  local man_stream="$dir/manifest-stream.json"
+  local stream_args=(stream --suite casio --workload bert_infer
+                     --scale 0.02 --seed 13 --threads 2
+                     --cache "$smoke_cache"
+                     --trace-chunk-invocations 512
+                     --trace-spill "$odir/spill"
+                     --target-invocations 120000)
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${stream_args[@]}" \
+      --manifest "$man_stream" >/dev/null
+  "$dir/tools/manifest_check" "$man_stream" --require-completed \
+      --require-spill --require-counter eval.stream.invocations \
+      --max-logical trace=1000000 >/dev/null
+
+  # (c) Spill reuse: an identical rerun must verify every chunk digest
+  # and reuse the spill file instead of rewriting it, with zero drift.
+  local man_reuse="$dir/manifest-reuse.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${stream_args[@]}" \
+      --manifest "$man_reuse" >/dev/null
+  "$dir/tools/manifest_check" "$man_reuse" --require-spill \
+      --require-counter cache.spill_reuse >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_stream" "$man_reuse" >/dev/null
+
+  # (d) Corrupt a chunk mid-file (64 bytes of 0xff in the payload region
+  # -- fraction columns are never NaN, so the chunk digest cannot still
+  # match): the rerun must detect the mismatch, rebuild the spill, and
+  # land on the same results. Rebuild, never crash, never bad data.
+  local sfile ssz
+  sfile="$(ls "$odir/spill"/*.srtc | head -n 1)"
+  ssz="$(wc -c < "$sfile")"
+  head -c 64 /dev/zero | tr '\0' '\377' | \
+    dd of="$sfile" bs=1 count=64 seek="$((ssz / 2))" conv=notrunc \
+      2>/dev/null
+  local man_rebuild="$dir/manifest-rebuild.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${stream_args[@]}" \
+      --manifest "$man_rebuild" >/dev/null
+  "$dir/tools/manifest_check" "$man_rebuild" --require-spill \
+      --require-counter cache.spill_rebuild >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_stream" "$man_rebuild" >/dev/null
+
+  # (e) Truncate the spill (lops the trailer and part of the last chunk):
+  # the reader must reject the file outright and the run must rebuild.
+  head -c "$((ssz - 100))" "$sfile" > "$sfile.cut" && mv "$sfile.cut" "$sfile"
+  local man_trunc="$dir/manifest-trunc.json"
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" "${stream_args[@]}" \
+      --manifest "$man_trunc" >/dev/null
+  "$dir/tools/manifest_check" "$man_trunc" --require-spill \
+      --require-counter cache.spill_rebuild >/dev/null
+  env "${san_env[@]}" \
+    "$dir/tools/stemroot" compare "$man_stream" "$man_trunc" >/dev/null
   echo "=== [$mode] OK ==="
 }
 

@@ -5,6 +5,7 @@
 ///
 ///   manifest_check FILE... [--require-stage NAME]... [--require-completed]
 ///                  [--require-counter NAME]... [--stage-leq NAME=OTHER.json]...
+///                  [--require-spill] [--max-logical KEY=BYTES]...
 ///   manifest_check FILE [--scale-stage NAME=FACTOR] [--set-error-pct X]
 ///                  [--set-mem KEY=BYTES] [--out FILE] [--append-to LEDGER]
 ///
@@ -26,6 +27,12 @@
 /// way: KEY is "peak_rss" (physical bytes) or a logical category name
 /// ("trace", "root", ...); the block's present flag is set, so an
 /// inflated peak trips the mem:peak_rss / mem:<category> gates.
+///
+/// Out-of-core checks: --require-spill demands the trace_spill block
+/// (chunked spill actually happened, with >= 1 chunk); --max-logical
+/// KEY=BYTES demands the logical mem category KEY is present and at most
+/// BYTES — check.sh uses `--max-logical trace=N` to prove a streamed
+/// 10^8-invocation run kept its trace footprint to the chunk budget.
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +52,8 @@ int UsageError() {
                "[--require-completed]\n"
                "                      [--require-counter NAME]... "
                "[--stage-leq NAME=OTHER.json]...\n"
+               "                      [--require-spill] "
+               "[--max-logical KEY=BYTES]...\n"
                "       manifest_check FILE [--scale-stage NAME=FACTOR] "
                "[--set-error-pct X]\n"
                "                      [--set-mem KEY=BYTES] [--out FILE] "
@@ -60,6 +69,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> required_counters;
   std::vector<std::pair<std::string, std::string>> stage_leq;  // stage, file
   bool require_completed = false;
+  bool require_spill = false;
+  std::vector<std::pair<std::string, uint64_t>> max_logical;  // key, bytes
   std::string scale_stage;
   double scale_factor = 1.0;
   bool set_error = false;
@@ -92,6 +103,24 @@ int main(int argc, char** argv) {
       stage_leq.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (arg == "--require-completed") {
       require_completed = true;
+    } else if (arg == "--require-spill") {
+      require_spill = true;
+    } else if (arg == "--max-logical") {
+      const std::string spec = value();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--max-logical wants KEY=BYTES, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      const double bytes = std::atof(spec.c_str() + eq + 1);
+      if (bytes < 0.0) {
+        std::fprintf(stderr, "bad --max-logical '%s' (negative bytes)\n",
+                     spec.c_str());
+        return 2;
+      }
+      max_logical.emplace_back(spec.substr(0, eq),
+                               static_cast<uint64_t>(bytes));
     } else if (arg == "--scale-stage") {
       const std::string spec = value();
       const size_t eq = spec.find('=');
@@ -205,6 +234,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "manifest_check: %s: not a completed run\n",
                    path.c_str());
       ok = false;
+    }
+    if (require_spill &&
+        (!manifest.trace_spill.present || manifest.trace_spill.chunks == 0)) {
+      std::fprintf(stderr,
+                   "manifest_check: %s: missing or empty trace_spill block\n",
+                   path.c_str());
+      ok = false;
+    }
+    for (const auto& [key, bytes] : max_logical) {
+      const auto it = manifest.mem.logical.find(key);
+      if (!manifest.mem.present || it == manifest.mem.logical.end()) {
+        std::fprintf(stderr,
+                     "manifest_check: %s: logical mem category \"%s\" absent\n",
+                     path.c_str(), key.c_str());
+        ok = false;
+      } else if (it->second > bytes) {
+        std::fprintf(stderr,
+                     "manifest_check: %s: logical mem \"%s\" = %llu bytes, "
+                     "above the %llu-byte bound\n",
+                     path.c_str(), key.c_str(),
+                     static_cast<unsigned long long>(it->second),
+                     static_cast<unsigned long long>(bytes));
+        ok = false;
+      }
     }
     if (!ok) {
       rc = 1;

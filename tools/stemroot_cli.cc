@@ -75,10 +75,12 @@
 #include "eval/pipeline.h"
 #include "eval/regress.h"
 #include "eval/stage_report.h"
+#include "eval/stream.h"
 #include "eval/trace_cache.h"
 #include "hw/profile.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "trace/chunked.h"
 #include "trace/serialize.h"
 #include "workloads/suite.h"
 
@@ -99,6 +101,10 @@ commands:
   evaluate  --in FILE [--method NAME] [--reps N] [--seed N]
   run       --suite SUITE --workload NAME [--gpu GPU] [--method NAME]
             [--reps N] [--seed N] [--scale X]
+  stream    --suite SUITE --workload NAME [--gpu GPU]
+            [--target-invocations N] [--trace-chunk-invocations N]
+            [--trace-spill DIR] [--cluster false] [--epsilon X]
+            [--confidence X] [--seed N] [--scale X]
   serve     --socket PATH [--max-sessions N] [--cache DIR|none]
             [--metrics FILE|fd:N] [--metrics-interval SEC]
             [--journal FILE] [--slow-ms MS]
@@ -187,6 +193,21 @@ pipeline commands (generate .. audit) also accept:
                      counters, headline metrics). written completed=false
                      up front, finalized on success.
   --ledger FILE      append the manifest to this JSONL ledger on success.
+  --trace-chunk-invocations N
+                     chunk capacity of the out-of-core trace view (0 = in-
+                     memory, the default). results are byte-identical at
+                     any chunk size; only the storage granularity moves.
+  --trace-spill DIR  spill the profiled trace to DIR as a chunked "SRTC"
+                     file (per-chunk FNV-1a digests; a corrupt or stale
+                     spill is rebuilt, never trusted). the manifest gains
+                     a trace_spill block recording the chunk layout.
+
+stream runs the out-of-core pass end-to-end: generate+profile a base
+workload, then stream it chunk-by-chunk through online duration stats
+and streaming ROOT clustering in bounded memory (logical trace peak =
+header + 2 chunk budgets). --target-invocations N tiles the profiled
+base out to N logical invocations without materializing them, which is
+how the 10^8..10^9-invocation scale suites run on a laptop-sized host.
 
 every command accepts:
   --threads N        0 = auto; or set STEMROOT_THREADS. thread count never
@@ -411,6 +432,8 @@ int CmdRun(const Flags& flags, const eval::CommonOptions& common,
   config.suite = flags.Require("suite");
   config.workload = flags.Require("workload");
   config.gpu = flags.GetString("gpu", "rtx2080");
+  config.trace_chunk_invocations = common.trace_chunk_invocations;
+  config.trace_spill_dir = common.trace_spill_dir;
   FillSamplerConfig(manifest, flags);
   config.epsilon = manifest.config.epsilon;
   config.confidence = manifest.config.confidence;
@@ -424,6 +447,82 @@ int CmdRun(const Flags& flags, const eval::CommonOptions& common,
         eval::StageReport::FromSnapshot(telemetry::Capture());
     std::printf("%s", report.ToText().c_str());
   }
+  return 0;
+}
+
+int CmdStream(const Flags& flags, const eval::CommonOptions& common,
+              eval::RunManifest& manifest) {
+  // Out-of-core streaming pass (DESIGN.md section 16): generate+profile a
+  // base workload (trace-cache aware), optionally spill it chunked, then
+  // stream a chunk iterator -- replicated out to --target-invocations
+  // when asked -- through online duration stats and streaming ROOT. The
+  // resident trace footprint is header + 2 chunk budgets regardless of
+  // the logical timeline length, which the manifest mem block records.
+  const workloads::SuiteId suite = eval::ResolveSuite(flags.Require("suite"));
+  const std::string workload = flags.Require("workload");
+  const hw::GpuSpec spec = eval::ResolveGpu(flags.GetString("gpu", "rtx2080"));
+  const uint64_t target =
+      static_cast<uint64_t>(flags.GetInt("target-invocations", 0));
+  const bool cluster = flags.GetBool("cluster", true);
+
+  eval::StreamOptions stream_options;
+  stream_options.seed = common.seed;
+  stream_options.cluster = cluster;
+  stream_options.clustering.root.stem.epsilon = flags.GetDouble(
+      "epsilon", stream_options.clustering.root.stem.epsilon);
+  stream_options.clustering.root.stem.confidence = flags.GetDouble(
+      "confidence", stream_options.clustering.root.stem.confidence);
+  manifest.config.epsilon = stream_options.clustering.root.stem.epsilon;
+  manifest.config.confidence = stream_options.clustering.root.stem.confidence;
+  flags.CheckAllRead();
+
+  const eval::Pipeline pipeline = eval::Pipeline::GenerateProfiled(
+      {.suite = suite,
+       .workload = workload,
+       .options = common.ToPipelineOptions()},
+      spec);
+  pipeline.FillManifest(manifest);
+
+  const uint64_t cap = common.trace_chunk_invocations > 0
+                           ? common.trace_chunk_invocations
+                           : kDefaultChunkInvocations;
+  std::unique_ptr<ChunkSource> source;
+  if (target > pipeline.Trace().NumInvocations()) {
+    // Synthetic scale-up: tile the profiled base out to the target without
+    // materializing it (the 10^8..10^9 bounded-memory suites).
+    source = std::make_unique<ReplicatedChunkSource>(pipeline.Trace(), target,
+                                                     cap);
+  } else {
+    source = pipeline.MakeChunkSource();
+  }
+
+  const eval::StreamResult result = eval::StreamTrace(*source, stream_options);
+
+  manifest.trace_spill.present = true;
+  manifest.trace_spill.chunk_invocations = source->ChunkCapacity();
+  manifest.trace_spill.chunks = result.chunks;
+  manifest.trace_spill.bytes = pipeline.Spill().bytes;
+
+  std::printf("streamed %llu invocations in %llu chunks (cap %llu)\n",
+              static_cast<unsigned long long>(result.invocations),
+              static_cast<unsigned long long>(result.chunks),
+              static_cast<unsigned long long>(source->ChunkCapacity()));
+  std::printf("  total duration: %.1f us  mean %.3f us  stddev %.3f us\n",
+              result.total_duration_us, result.durations.Mean(),
+              result.durations.Stddev());
+  if (cluster)
+    std::printf("  clusters: %zu  (splits %llu, merges %llu)\n",
+                result.clusters.size(),
+                static_cast<unsigned long long>(result.splits),
+                static_cast<unsigned long long>(result.merges));
+  std::printf(
+      "  resident trace budget: %.1f MiB (header + 2 chunks)%s\n",
+      static_cast<double>(result.resident_budget_bytes) / (1024.0 * 1024.0),
+      pipeline.Spill().enabled
+          ? (" | spill: " + pipeline.Spill().path +
+             (pipeline.Spill().reused ? " (reused)" : " (written)"))
+                .c_str()
+          : "");
   return 0;
 }
 
@@ -939,7 +1038,7 @@ int main(int argc, char** argv) {
   const bool pipeline_command =
       command == "generate" || command == "profile" || command == "info" ||
       command == "sample" || command == "evaluate" || command == "run" ||
-      command == "audit" || command == "dse";
+      command == "stream" || command == "audit" || command == "dse";
 
   // Manifest skeleton: stamped and written completed=false before any real
   // work, so even a crashed command leaves provenance evidence behind.
@@ -974,6 +1073,7 @@ int main(int argc, char** argv) {
     else if (command == "sample") rc = CmdSample(flags, common, manifest);
     else if (command == "evaluate") rc = CmdEvaluate(flags, common, manifest);
     else if (command == "run") rc = CmdRun(flags, common, manifest);
+    else if (command == "stream") rc = CmdStream(flags, common, manifest);
     else if (command == "audit") rc = CmdAudit(flags, common, manifest);
     else if (command == "dse") rc = CmdDse(flags, common, manifest);
     else if (command == "serve") rc = CmdServe(flags);
